@@ -1,0 +1,57 @@
+"""Ablation — interconnect sensitivity.
+
+The paper attributes the nolimit pipeline's poor 8-processor speedup to
+communication volume on its (2005, Fast-Ethernet-class) fabric.  If that
+explanation is right, a faster fabric should recover most of the gap
+between nolimit and W=10, while the width-constrained pipeline should be
+nearly fabric-insensitive.
+"""
+
+import pytest
+
+from conftest import SEED, one_shot
+from repro.cluster import FAST_ETHERNET, GIGABIT, INFINIBAND_LIKE
+from repro.datasets import make_dataset
+from repro.parallel import run_p2mdie
+from repro.util.fmt import fmt_float, render_table
+
+FABRICS = {
+    "fast-ethernet": FAST_ETHERNET,
+    "gigabit": GIGABIT,
+    "infiniband-like": INFINIBAND_LIKE,
+}
+
+
+@pytest.fixture(scope="module")
+def sweep(scale):
+    ds = make_dataset("mesh", seed=SEED, scale=scale)
+    out = {}
+    for fname, fabric in FABRICS.items():
+        for wname, width in (("nolimit", None), ("10", 10)):
+            out[(fname, wname)] = run_p2mdie(
+                ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=8, width=width, seed=SEED,
+                network=fabric,
+            )
+    return out
+
+
+def test_ablation_network(benchmark, sweep, table_sink):
+    one_shot(benchmark, lambda: None)  # timing lives in the module fixture
+    rows = []
+    for (fname, wname), r in sweep.items():
+        rows.append([fname, wname, fmt_float(r.seconds, 2), fmt_float(r.mbytes, 3), r.epochs])
+    table_sink(
+        "ablation_network",
+        render_table(
+            ["fabric", "width", "vtime(s)", "MB", "epochs"],
+            rows,
+            title="Ablation: interconnect speed vs pipeline width (mesh-like, p=8)",
+        ),
+    )
+    # The communication-bound configuration (nolimit) gains more from a
+    # faster fabric than the width-constrained one.
+    gain_nolimit = sweep[("fast-ethernet", "nolimit")].seconds / sweep[("infiniband-like", "nolimit")].seconds
+    gain_w10 = sweep[("fast-ethernet", "10")].seconds / sweep[("infiniband-like", "10")].seconds
+    assert gain_nolimit >= gain_w10 * 0.98
+    # Volume (bytes) is fabric-independent: same messages, same sizes.
+    assert sweep[("fast-ethernet", "nolimit")].comm.bytes_total == sweep[("infiniband-like", "nolimit")].comm.bytes_total

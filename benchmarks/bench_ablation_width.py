@@ -1,0 +1,57 @@
+"""Ablation (§5.3) — pipeline width sweep.
+
+The paper evaluates only W ∈ {10, nolimit} and observes that constraining
+the width "leads to increased speedups, without affecting the quality of
+the models" because wide pipelines move more data.  This ablation sweeps
+the width knob to expose the full trade-off curve on the chattiest
+dataset (mesh-like).
+"""
+
+import pytest
+
+from conftest import SEED, one_shot
+from repro.datasets import make_dataset
+from repro.parallel import run_p2mdie
+from repro.util.fmt import fmt_float, render_table
+
+WIDTHS = (1, 2, 5, 10, 20, None)
+
+
+@pytest.fixture(scope="module")
+def sweep(scale):
+    ds = make_dataset("mesh", seed=SEED, scale=scale)
+    out = {}
+    for w in WIDTHS:
+        out[w] = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=w, seed=SEED)
+    return out
+
+
+def test_ablation_width(benchmark, sweep, table_sink):
+    one_shot(benchmark, lambda: None)  # timing lives in the module fixture
+    rows = []
+    for w, r in sweep.items():
+        label = "nolimit" if w is None else str(w)
+        rows.append(
+            [label, fmt_float(r.seconds, 1), fmt_float(r.mbytes, 3), r.epochs, len(r.theory), r.uncovered]
+        )
+    table_sink(
+        "ablation_width",
+        render_table(
+            ["width", "vtime(s)", "MB", "epochs", "rules", "uncovered"],
+            rows,
+            title="Ablation: pipeline width W on mesh-like data (p=4)",
+        ),
+    )
+    # Communication volume must grow monotonically-ish with width.
+    assert sweep[1].mbytes < sweep[None].mbytes
+    # Every width still learns (quality preserved).
+    for w, r in sweep.items():
+        assert len(r.theory) >= 1, f"width {w} learned nothing"
+
+
+def test_bench_width1(benchmark, scale):
+    ds = make_dataset("mesh", seed=SEED, scale=scale)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=1, seed=SEED
+    )
+    assert res.epochs >= 1

@@ -1,0 +1,69 @@
+"""Figures 3-4 — the pipelined rule search, rendered as a Gantt trace.
+
+The paper's Figs. 3-4 are schematic: three workers, each running its
+pipeline stage and forwarding good rules to the next.  We reproduce the
+figure as a stage-activity trace of an actual 3-worker epoch: each worker
+must execute search stages s1, s2 and s3 (one per concurrently live
+pipeline), and the stage granularity should be balanced across workers.
+"""
+
+import pytest
+
+from conftest import SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.trace import occupancy, render_gantt, stage_summary
+from repro.parallel import run_p2mdie
+
+
+@pytest.fixture(scope="module")
+def traced_run(scale):
+    ds = make_dataset("carcinogenesis", seed=SEED, scale=scale)
+    return run_p2mdie(
+        ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, width=10, seed=SEED,
+        record_trace=True, max_epochs=1,
+    )
+
+
+def test_fig3_trace(benchmark, traced_run, table_sink):
+    gantt = one_shot(benchmark, render_gantt, traced_run.trace, width=100, t_end=traced_run.seconds)
+    occ = occupancy(traced_run.trace, traced_run.seconds)
+    summary = stage_summary(traced_run.trace)
+    lines = [
+        "Figure 3/4. One P2-MDIE epoch on 3 workers (stage digits = search(sK),",
+        "s=saturate, e=evaluate, m=mark_covered, .=idle)",
+        "",
+        gantt,
+        "",
+        "busy fraction per rank: "
+        + "  ".join(f"{r}:{f:.2f}" for r, f in occ.items()),
+        "",
+        "stage totals:",
+    ]
+    for st in summary:
+        lines.append(f"  {st.label:<14} count={st.count:<4} total={st.total_seconds:.3f}s")
+    table_sink("fig3_pipeline_trace", "\n".join(lines))
+
+    labels = {iv.label for iv in traced_run.trace}
+    # every pipeline stage ran somewhere (p=3 stages)
+    assert {"search(s1)", "search(s2)", "search(s3)"} <= labels
+    # each worker executed all three stages (the pipeline fold-back, Fig. 3)
+    for rank in (1, 2, 3):
+        ran = {iv.label for iv in traced_run.trace if iv.rank == rank}
+        assert {"search(s1)", "search(s2)", "search(s3)"} <= ran, f"rank {rank} missed a stage"
+
+
+def test_pipeline_balance(benchmark, traced_run):
+    """§4.1: 'the granularity of the tasks executed in parallel are very
+    similar, leading to balanced computations'."""
+    occ = one_shot(benchmark, occupancy, traced_run.trace, traced_run.seconds)
+    worker_occ = [v for r, v in occ.items() if r != 0]
+    assert max(worker_occ) - min(worker_occ) < 0.6
+
+
+def test_bench_traced_epoch(benchmark, scale):
+    ds = make_dataset("carcinogenesis", seed=SEED, scale=scale)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config,
+        p=3, width=10, seed=SEED, record_trace=True, max_epochs=1,
+    )
+    assert res.trace

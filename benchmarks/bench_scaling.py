@@ -1,0 +1,74 @@
+"""Scaling study — strong and weak scaling of P²-MDIE.
+
+The paper's claim that the algorithm "fosters scalability on the number
+of examples" is a *weak-scaling* claim: partitioning lets the cluster
+hold and process datasets that grow with the machine.  The paper only
+reports strong scaling (fixed data, Tables 2-3); this bench adds the weak
+variant: examples grow proportionally to p, so per-worker subset size is
+constant, and ideal behaviour is flat time per epoch.
+"""
+
+import pytest
+
+from conftest import SEED, one_shot
+from repro.datasets import make_dataset
+from repro.parallel import run_p2mdie
+from repro.util.fmt import fmt_float, render_table
+
+PS = (1, 2, 4, 8)
+POS_PER_WORKER = 40
+NEG_PER_WORKER = 6
+
+
+@pytest.fixture(scope="module")
+def weak_runs():
+    out = {}
+    for p in PS:
+        ds = make_dataset(
+            "mesh", seed=SEED, n_pos=POS_PER_WORKER * p, n_neg=NEG_PER_WORKER * p
+        )
+        out[p] = run_p2mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=p, width=10, seed=SEED
+        )
+    return out
+
+
+def test_weak_scaling(benchmark, weak_runs, table_sink):
+    one_shot(benchmark, lambda: None)  # timing lives in the module fixture
+    rows = []
+    for p, r in weak_runs.items():
+        per_epoch = r.seconds / max(r.epochs, 1)
+        rows.append(
+            [
+                p,
+                POS_PER_WORKER * p,
+                fmt_float(r.seconds, 2),
+                r.epochs,
+                fmt_float(per_epoch, 2),
+                fmt_float(r.mbytes, 3),
+                r.uncovered,
+            ]
+        )
+    table_sink(
+        "scaling_weak",
+        render_table(
+            ["p", "|E+|", "vtime(s)", "epochs", "s/epoch", "MB", "uncovered"],
+            rows,
+            title="Weak scaling: 40 positives per worker (mesh-like, W=10)",
+        ),
+    )
+    # Weak-scaling efficiency: per-epoch time at p=8 must stay within a
+    # small factor of p=1 even though the dataset is 8x larger.
+    t1 = weak_runs[1].seconds / max(weak_runs[1].epochs, 1)
+    t8 = weak_runs[8].seconds / max(weak_runs[8].epochs, 1)
+    assert t8 < 3.0 * t1, f"weak scaling collapsed: {t8:.2f}s vs {t1:.2f}s per epoch"
+    # And the 8-worker machine really processed 8x the data.
+    assert all(r.epochs >= 1 for r in weak_runs.values())
+
+
+def test_bench_weak_scaling_p8(benchmark):
+    ds = make_dataset("mesh", seed=SEED, n_pos=POS_PER_WORKER * 8, n_neg=NEG_PER_WORKER * 8)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=8, width=10, seed=SEED
+    )
+    assert res.epochs >= 1

@@ -1,0 +1,24 @@
+"""Table 1 — dataset characterisation.
+
+Regenerates the paper's Table 1 (|E+| / |E-| per dataset) from the
+synthetic generators and benchmarks generation cost.
+"""
+
+import pytest
+
+from conftest import SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.tables import table1_datasets
+
+
+def test_table1(benchmark, datasets, table_sink):
+    table = one_shot(benchmark, table1_datasets, datasets)
+    table_sink("table1_datasets", table)
+    for ds in datasets:
+        assert ds.n_pos > 0 and ds.n_neg > 0
+
+
+@pytest.mark.parametrize("name", ("carcinogenesis", "mesh", "pyrimidines"))
+def test_bench_generation(benchmark, name, scale):
+    ds = one_shot(benchmark, make_dataset, name, seed=SEED, scale=scale)
+    assert ds.kb.n_facts > 0

@@ -1,0 +1,39 @@
+"""Table 2 — average speedup for p ∈ {2, 4, 8}, width ∈ {nolimit, 10}.
+
+The paper's headline result: speedups grow with p, approach or exceed
+linear at p=8, and constraining the pipeline width helps on the
+communication-heavy datasets.  Also benchmarks one representative
+P²-MDIE run per processor count.
+"""
+
+import pytest
+
+from conftest import PS, SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.tables import table2_speedup
+from repro.parallel import run_p2mdie
+
+
+def test_table2(benchmark, matrix, table_sink):
+    table_sink("table2_speedup", one_shot(benchmark, table2_speedup, matrix, ps=PS))
+    # Shape assertions (paper §5.3): parallel execution is profitable at
+    # every p, and adding processors beyond 2 helps (at small scale the
+    # p=8 point may saturate — tiny per-worker subsets — so the growth
+    # check accepts the best of p ∈ {4, 8}).
+    for ds in {r.dataset for r in matrix.records}:
+        seq = matrix.mean("seconds", ds, None, 1)
+        s2 = seq / matrix.mean("seconds", ds, 10, 2)
+        s4 = seq / matrix.mean("seconds", ds, 10, 4)
+        s8 = seq / matrix.mean("seconds", ds, 10, 8)
+        assert s2 > 1.0, f"{ds}: no speedup at p=2"
+        assert s8 > 1.0, f"{ds}: no speedup at p=8"
+        assert max(s4, s8) >= s2, f"{ds}: speedup did not grow beyond p=2"
+
+
+@pytest.mark.parametrize("p", PS)
+def test_bench_p2mdie(benchmark, p, scale):
+    ds = make_dataset("carcinogenesis", seed=SEED, scale=scale)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=p, width=10, seed=SEED
+    )
+    assert res.epochs >= 1

@@ -1,0 +1,28 @@
+"""Table 3 — average execution time (virtual seconds) incl. sequential.
+
+Virtual times shrink monotonically as processors are added (the paper's
+Table 3 pattern), with the p=1 column being the sequential MDIE run.
+Benchmarks the sequential algorithm per dataset (host time).
+"""
+
+import pytest
+
+from conftest import DATASET_NAMES, PS, SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.tables import table3_times
+from repro.ilp import mdie
+
+
+def test_table3(benchmark, matrix, table_sink):
+    table_sink("table3_times", one_shot(benchmark, table3_times, matrix, ps=PS))
+    for ds in {r.dataset for r in matrix.records}:
+        seq = matrix.mean("seconds", ds, None, 1)
+        t8 = matrix.mean("seconds", ds, 10, 8)
+        assert t8 < seq, f"{ds}: p=8 not faster than sequential"
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_bench_sequential(benchmark, name, scale):
+    ds = make_dataset(name, seed=SEED, scale=scale)
+    res = one_shot(benchmark, mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=SEED)
+    assert res.epochs >= 1

@@ -1,0 +1,33 @@
+"""Table 4 — average communication exchanged (MBytes).
+
+The paper's key communication observation: the unconstrained pipeline
+("nolimit") exchanges much more data than width 10, and volume grows
+steeply with p.  Benchmarks an unconstrained-width run (the heaviest
+communicator).
+"""
+
+import pytest
+
+from conftest import PS, SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.tables import table4_communication
+from repro.parallel import run_p2mdie
+
+
+def test_table4(benchmark, matrix, table_sink):
+    table_sink("table4_communication", one_shot(benchmark, table4_communication, matrix, ps=PS))
+    for ds in {r.dataset for r in matrix.records}:
+        # volume grows with p in both configurations
+        for width in (None, 10):
+            mb = [matrix.mean("mbytes", ds, width, p) for p in PS]
+            assert mb[0] < mb[-1], f"{ds} w={width}: MBytes did not grow with p"
+        # nolimit moves at least as much data as width-10 at p=8
+        assert matrix.mean("mbytes", ds, None, 8) >= matrix.mean("mbytes", ds, 10, 8) * 0.9
+
+
+def test_bench_nolimit_run(benchmark, scale):
+    ds = make_dataset("mesh", seed=SEED, scale=scale)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=None, seed=SEED
+    )
+    assert res.comm.bytes_total > 0

@@ -1,0 +1,33 @@
+"""Table 5 — average number of epochs.
+
+"In all cases there is a significant reduction in epochs as we increase
+the number of processors" (§5.3): more pipelines per epoch ⇒ more rules
+accepted per epoch ⇒ fewer epochs.  Benchmarks a p=8 run (the most
+concurrent pipelines).
+"""
+
+import pytest
+
+from conftest import PS, SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.tables import table5_epochs
+from repro.parallel import run_p2mdie
+
+
+def test_table5(benchmark, matrix, table_sink):
+    table_sink("table5_epochs", one_shot(benchmark, table5_epochs, matrix, ps=PS))
+    for ds in {r.dataset for r in matrix.records}:
+        seq_epochs = matrix.mean("epochs", ds, None, 1)
+        for width in (None, 10):
+            e2 = matrix.mean("epochs", ds, width, 2)
+            e8 = matrix.mean("epochs", ds, width, 8)
+            assert e8 <= e2, f"{ds} w={width}: epochs grew with p"
+            assert e8 < seq_epochs, f"{ds} w={width}: no epoch reduction vs sequential"
+
+
+def test_bench_p8_run(benchmark, scale):
+    ds = make_dataset("pyrimidines", seed=SEED, scale=scale)
+    res = one_shot(
+        benchmark, run_p2mdie, ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=8, width=10, seed=SEED
+    )
+    assert res.epochs >= 1

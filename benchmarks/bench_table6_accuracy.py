@@ -1,0 +1,51 @@
+"""Table 6 — average predictive accuracy with paired t-test stars.
+
+The paper's quality claim: partitioned, pipelined learning does not
+significantly change predictive accuracy (98% confidence, paired t-test),
+and the rare significant differences are *improvements*.  Benchmarks the
+test-set evaluation step.
+"""
+
+import pytest
+
+from conftest import FOLDS, PS, SEED, one_shot
+from repro.datasets import make_dataset
+from repro.experiments.crossval import kfold
+from repro.experiments.stats import paired_ttest
+from repro.experiments.tables import table6_accuracy
+from repro.ilp import accuracy, mdie
+from repro.logic import Engine
+
+
+def test_table6(benchmark, matrix, table_sink):
+    table_sink("table6_accuracy", one_shot(benchmark, table6_accuracy, matrix, ps=PS))
+    # Quality-preservation check: where the t-test flags significance, the
+    # change must not be a *degradation* large enough to matter; and most
+    # cells must be statistically indistinguishable from sequential.
+    n_cells = 0
+    n_signif_decline = 0
+    for ds in {r.dataset for r in matrix.records}:
+        seq = matrix.fold_values("test_accuracy", ds, None, 1)
+        for width in (None, 10):
+            for p in PS:
+                par = matrix.fold_values("test_accuracy", ds, width, p)
+                if len(par) != len(seq) or len(seq) < 2:
+                    continue
+                n_cells += 1
+                r = paired_ttest(seq, par)
+                if r.significant and not r.improved:
+                    n_signif_decline += 1
+    assert n_cells > 0
+    assert n_signif_decline <= max(1, n_cells // 6), (
+        f"{n_signif_decline}/{n_cells} cells significantly WORSE than sequential "
+        "— parallelism is not preserving model quality"
+    )
+
+
+def test_bench_fold_evaluation(benchmark, scale):
+    ds = make_dataset("carcinogenesis", seed=SEED, scale=scale)
+    fold = next(iter(kfold(ds.pos, ds.neg, k=FOLDS, seed=SEED)))
+    res = mdie(ds.kb, list(fold.train_pos), list(fold.train_neg), ds.modes, ds.config, seed=SEED)
+    eng = Engine(ds.kb, ds.config.engine_budget())
+    acc = one_shot(benchmark, accuracy, eng, res.theory, list(fold.test_pos), list(fold.test_neg))
+    assert 0.0 <= acc <= 100.0

@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark suite.
+
+The evaluation matrix (every cell of Tables 2-6) is computed once per
+session and shared across bench modules.  Scale knobs:
+
+* ``REPRO_SCALE``    — ``small`` (default; seconds-scale synthetic data) or
+  ``paper`` (Table 1 cardinalities; budget an hour+);
+* ``REPRO_FOLDS``    — cross-validation folds (default 3 small / 5 paper);
+* ``REPRO_DATASETS`` — comma-separated subset of
+  ``carcinogenesis,mesh,pyrimidines``.
+
+Each bench prints the corresponding paper table and writes it to
+``benchmarks/output/`` so EXPERIMENTS.md can reference the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.experiments.runner import MatrixResult, run_matrix
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+FOLDS = int(os.environ.get("REPRO_FOLDS", "5" if SCALE == "paper" else "3"))
+DATASET_NAMES = tuple(
+    os.environ.get("REPRO_DATASETS", "carcinogenesis,mesh,pyrimidines").split(",")
+)
+SEED = int(os.environ.get("REPRO_SEED", "0"))
+PS = (2, 4, 8)
+WIDTHS = (None, 10)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The Table 1 datasets at the configured scale."""
+    return [make_dataset(name, seed=SEED, scale=SCALE) for name in DATASET_NAMES]
+
+
+@pytest.fixture(scope="session")
+def matrix() -> MatrixResult:
+    """The full evaluation matrix: every (dataset, width, p, fold) cell."""
+    return run_matrix(
+        dataset_names=DATASET_NAMES,
+        widths=WIDTHS,
+        ps=PS,
+        k_folds=FOLDS,
+        scale=SCALE,
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    """Print a rendered table and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return sink
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Matrix-style workloads take seconds; autocalibrated repetition would
+    multiply the suite's runtime for no precision benefit (the runs are
+    deterministic in virtual time anyway).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Explore the pipeline-width trade-off on the mesh-like dataset.
+
+The paper found that unconstrained width moved so much data between
+stages that 8-processor speedup dropped below linear on mesh and
+pyrimidines, while W=10 made it superlinear (§5.3, Tables 2 & 4).  This
+example sweeps W and reports virtual time, communication volume, and
+model quality side by side.
+
+Run:  python examples/mesh_width_ablation.py [--p 4]
+"""
+
+import argparse
+
+from repro.cluster.message import Tag
+from repro.datasets import make_dataset
+from repro.ilp import accuracy
+from repro.logic import Engine
+from repro.parallel import run_p2mdie
+from repro.util.fmt import fmt_float, render_table
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--p", type=int, default=4, help="number of workers")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--scale", choices=("small", "paper"), default="small")
+    args = ap.parse_args()
+
+    ds = make_dataset("mesh", seed=args.seed, scale=args.scale)
+    print(f"dataset: {ds.name}  |E+|={ds.n_pos}  |E-|={ds.n_neg}  p={args.p}\n")
+    engine = Engine(ds.kb, ds.config.engine_budget())
+
+    rows = []
+    for width in (1, 2, 5, 10, 20, None):
+        r = run_p2mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=width, seed=args.seed
+        )
+        pipeline_mb = r.comm.bytes_by_tag.get(Tag.LEARN_RULE, 0) / (1024.0 * 1024.0)
+        rows.append(
+            [
+                "nolimit" if width is None else width,
+                fmt_float(r.seconds, 1),
+                fmt_float(r.mbytes, 3),
+                fmt_float(pipeline_mb, 3),
+                r.epochs,
+                len(r.theory),
+                fmt_float(accuracy(engine, r.theory, ds.pos, ds.neg), 1),
+            ]
+        )
+    print(
+        render_table(
+            ["width", "time(s)", "total MB", "pipeline MB", "epochs", "rules", "train acc %"],
+            rows,
+            title="Pipeline width sweep: narrower pipelines trade rule choice for bandwidth",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

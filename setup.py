@@ -1,0 +1,5 @@
+"""Setup shim so that `pip install -e .` works on setuptools builds that
+lack the `wheel` package (legacy editable install path)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``learn``   run sequential MDIE or P²-MDIE on a bundled dataset and print
+            the learned theory plus run statistics;
+``tables``  run the evaluation matrix and print any of the paper's tables;
+``trace``   run one traced epoch and print the pipeline Gantt chart;
+``export``  write a bundled dataset to Aleph-style Prolog files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import DATASETS, make_dataset
+from repro.experiments.runner import run_matrix
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_speedup,
+    table3_times,
+    table4_communication,
+    table5_epochs,
+    table6_accuracy,
+)
+from repro.experiments.trace import occupancy, render_gantt
+from repro.ilp import accuracy, mdie
+from repro.logic import Engine
+from repro.logic.io import save_problem, theory_to_prolog
+from repro.parallel import run_p2mdie, sequential_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_width(s: str):
+    return None if s in ("nolimit", "none") else int(s)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    learn = sub.add_parser("learn", help="learn a theory on a bundled dataset")
+    learn.add_argument("dataset", choices=sorted(DATASETS))
+    learn.add_argument("--p", type=int, default=1, help="processors (1 = sequential MDIE)")
+    learn.add_argument("--width", type=_parse_width, default=10, help="pipeline width or 'nolimit'")
+    learn.add_argument("--seed", type=int, default=0)
+    learn.add_argument("--scale", choices=("small", "paper"), default="small")
+
+    tables = sub.add_parser("tables", help="run the evaluation matrix and print paper tables")
+    tables.add_argument("--which", default="2,3,4,5,6", help="comma-separated table numbers (1-6)")
+    tables.add_argument("--datasets", default="carcinogenesis,mesh,pyrimidines")
+    tables.add_argument("--folds", type=int, default=3)
+    tables.add_argument("--ps", default="2,4,8")
+    tables.add_argument("--seed", type=int, default=0)
+    tables.add_argument("--scale", choices=("small", "paper"), default="small")
+
+    trace = sub.add_parser("trace", help="render one epoch's pipeline activity (Figs. 3-4)")
+    trace.add_argument("dataset", choices=sorted(DATASETS))
+    trace.add_argument("--p", type=int, default=3)
+    trace.add_argument("--width", type=_parse_width, default=10)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--scale", choices=("small", "paper"), default="small")
+
+    export = sub.add_parser("export", help="write a dataset as Aleph-style Prolog files")
+    export.add_argument("dataset", choices=sorted(DATASETS))
+    export.add_argument("directory")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--scale", choices=("small", "paper"), default="small")
+    return ap
+
+
+def _cmd_learn(args) -> int:
+    ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    print(f"% dataset {ds.name}: |E+|={ds.n_pos} |E-|={ds.n_neg}")
+    if args.p == 1:
+        res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=args.seed)
+        seconds = sequential_seconds(res)
+        extra = f"% epochs={res.epochs} ops={res.ops} uncovered={res.uncovered}"
+        theory = res.theory
+    else:
+        res = run_p2mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width, seed=args.seed
+        )
+        seconds = res.seconds
+        extra = (
+            f"% epochs={res.epochs} comm={res.mbytes:.3f}MB uncovered={res.uncovered}"
+        )
+        theory = res.theory
+    engine = Engine(ds.kb, ds.config.engine_budget())
+    acc = accuracy(engine, theory, ds.pos, ds.neg)
+    print(theory_to_prolog(theory, header=f"learned by {'mdie' if args.p == 1 else 'p2-mdie'}"))
+    print(extra)
+    print(f"% virtual-time={seconds:.1f}s training-accuracy={acc:.1f}%")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    which = {int(x) for x in args.which.split(",")}
+    names = tuple(args.datasets.split(","))
+    ps = tuple(int(x) for x in args.ps.split(","))
+    if 1 in which:
+        datasets = [make_dataset(n, seed=args.seed, scale=args.scale) for n in names]
+        print(table1_datasets(datasets) + "\n")
+    if which - {1}:
+        matrix = run_matrix(
+            dataset_names=names, ps=ps, k_folds=args.folds, scale=args.scale, seed=args.seed
+        )
+        renderers = {
+            2: table2_speedup,
+            3: table3_times,
+            4: table4_communication,
+            5: table5_epochs,
+            6: table6_accuracy,
+        }
+        for n in sorted(which - {1}):
+            print(renderers[n](matrix, ps=ps) + "\n")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    res = run_p2mdie(
+        ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
+        seed=args.seed, record_trace=True, max_epochs=1,
+    )
+    print(render_gantt(res.trace, width=100, t_end=res.seconds))
+    occ = occupancy(res.trace, res.seconds)
+    print("busy fractions:", "  ".join(f"rank{r}={f:.2f}" for r, f in occ.items()))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    save_problem(args.directory, ds.kb, ds.pos, ds.neg, modes=list(ds.modes))
+    print(f"wrote {ds.name} ({ds.n_pos}+/{ds.n_neg}-) to {args.directory}/")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "learn": _cmd_learn,
+        "tables": _cmd_tables,
+        "trace": _cmd_trace,
+        "export": _cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""VirtualCluster: the user-facing façade over the DES scheduler.
+
+Wire up a master and ``p`` workers, run them to completion in virtual
+time, and collect the run artifacts (makespan, communication stats,
+optional busy-interval trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import ComputeInterval, SimProcess
+from repro.cluster.scheduler import CommStats, Scheduler
+
+__all__ = ["ClusterRun", "VirtualCluster"]
+
+
+@dataclass
+class ClusterRun:
+    """Artifacts of one completed virtual-cluster execution."""
+
+    makespan: float
+    comm: CommStats
+    trace: list[ComputeInterval] = field(default_factory=list)
+    #: final per-rank clocks (rank order)
+    clocks: list[float] = field(default_factory=list)
+
+    @property
+    def mbytes(self) -> float:
+        return self.comm.mbytes_total
+
+
+class VirtualCluster:
+    """A deterministic simulated distributed-memory machine.
+
+    >>> from repro.cluster.process import SimProcess
+    >>> class Ping(SimProcess):
+    ...     def run(self, ctx):
+    ...         yield ctx.send(1, "ping", tag="t")
+    ...         msg = yield ctx.recv(src=1)
+    >>> class Pong(SimProcess):
+    ...     def run(self, ctx):
+    ...         msg = yield ctx.recv(src=0)
+    ...         yield ctx.send(0, "pong", tag="t")
+    >>> run = VirtualCluster([Ping(0), Pong(1)]).run()
+    >>> run.comm.messages
+    2
+    """
+
+    def __init__(
+        self,
+        procs: Sequence[SimProcess],
+        network: NetworkModel = FAST_ETHERNET,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        record_trace: bool = False,
+    ):
+        self.procs = list(procs)
+        self.network = network
+        self.cost_model = cost_model
+        self.record_trace = record_trace
+
+    def run(self) -> ClusterRun:
+        sched = Scheduler(
+            self.procs,
+            network=self.network,
+            cost_model=self.cost_model,
+            record_trace=self.record_trace,
+        )
+        makespan = sched.run()
+        clocks = [sched.clock_of(p.rank) for p in sorted(self.procs, key=lambda p: p.rank)]
+        return ClusterRun(
+            makespan=makespan,
+            comm=sched.stats,
+            trace=sched.trace,
+            clocks=clocks,
+        )

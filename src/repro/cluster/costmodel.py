@@ -1,0 +1,99 @@
+"""Compute-cost models: engine operations → virtual seconds.
+
+The logic engine counts *inference operations* (candidate unifications);
+a :class:`CostModel` converts an operation delta into virtual CPU seconds
+on a simulated node.  Using operation counts instead of host wall time
+makes runs deterministic and host-independent while preserving relative
+compute costs exactly (every coverage test costs what it costs *on the
+data it runs on* — the basis of the paper's data-parallel speedup).
+
+``sec_per_op`` is calibrated so that paper-scale sequential runs land in
+the "thousands of seconds" regime the paper reports (§5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "OpsCostModel", "WallClockCostModel", "DEFAULT_COST_MODEL"]
+
+
+class CostModel:
+    """Interface: convert work measures into virtual seconds."""
+
+    def seconds_for_ops(self, ops: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def seconds_for_ops_at(self, rank: int, ops: int) -> float:
+        """Per-node cost; uniform clusters ignore ``rank``."""
+        return self.seconds_for_ops(ops)
+
+
+@dataclass(frozen=True)
+class OpsCostModel(CostModel):
+    """Deterministic model: ``ops * sec_per_op``.
+
+    The default ``sec_per_op`` of 40 µs corresponds to a 2005-era node
+    resolving ~25k candidate unifications per second through a Prolog
+    meta-level — deliberately coarse, since only *ratios* matter for
+    speedup/crossover shapes.
+    """
+
+    sec_per_op: float = 40e-6
+
+    def __post_init__(self):
+        if self.sec_per_op <= 0:
+            raise ValueError("sec_per_op must be positive")
+
+    def seconds_for_ops(self, ops: int) -> float:
+        return ops * self.sec_per_op
+
+
+class WallClockCostModel(CostModel):
+    """Host wall-clock model: virtual seconds = measured host seconds × scale.
+
+    Non-deterministic across hosts; provided for sanity-checking the ops
+    model (the shapes should agree).  Use :meth:`measure` around the
+    computation and pass the result through ``seconds_for_ops``-compatible
+    accounting via :class:`repro.cluster.process.ProcContext.compute`.
+    """
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def seconds_for_ops(self, ops: int) -> float:
+        # Interpreted as pre-measured host seconds when ops carries time.
+        return ops * self.scale
+
+    @staticmethod
+    def clock() -> float:
+        return time.perf_counter()
+
+
+class PerRankCostModel(CostModel):
+    """Heterogeneous cluster: per-rank speed multipliers over a base model.
+
+    A scale of 2.0 makes a node twice as *slow*.  The paper's pipeline
+    assumes near-identical stage granularity ("balanced computations",
+    §4.1); this model lets the ablation benches quantify how a straggler
+    node erodes that assumption.
+    """
+
+    def __init__(self, base: CostModel | None = None, scales: dict | None = None):
+        self.base = base or OpsCostModel()
+        self.scales = dict(scales or {})
+        for rank, s in self.scales.items():
+            if s <= 0:
+                raise ValueError(f"scale for rank {rank} must be positive")
+
+    def seconds_for_ops(self, ops: int) -> float:
+        return self.base.seconds_for_ops(ops)
+
+    def seconds_for_ops_at(self, rank: int, ops: int) -> float:
+        return self.base.seconds_for_ops(ops) * self.scales.get(rank, 1.0)
+
+
+DEFAULT_COST_MODEL = OpsCostModel()

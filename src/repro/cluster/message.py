@@ -1,0 +1,53 @@
+"""Messages exchanged between simulated cluster nodes.
+
+Payloads are arbitrary picklable Python objects; the *pickled size* of each
+payload is what the network model charges for and what the Table 4
+communication-volume accounting sums — mirroring LAM/MPI's pickle-like
+marshalling of Prolog terms in the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Message", "payload_nbytes", "Tag"]
+
+
+class Tag:
+    """Well-known message tags (the paper's task names, §4.1/Fig. 6)."""
+
+    LOAD_EXAMPLES = "load_examples"
+    START_PIPELINE = "start_pipeline"
+    LEARN_RULE = "learn_rule'"
+    RULES = "rules"
+    EVALUATE = "evaluate"
+    RESULT = "result"
+    MARK_COVERED = "mark_covered"
+    STOP = "stop"
+
+
+def payload_nbytes(payload: object) -> int:
+    """Marshalled size of a payload, in bytes."""
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message in the simulated cluster."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: object
+    nbytes: int
+    send_time: float
+    arrival_time: float
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message({self.src}->{self.dst} tag={self.tag} {self.nbytes}B "
+            f"t={self.send_time:.6f}->{self.arrival_time:.6f})"
+        )

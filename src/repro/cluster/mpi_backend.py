@@ -1,0 +1,127 @@
+"""mpi4py port adapter (documentation + optional real-cluster backend).
+
+The simulated :class:`~repro.cluster.process.ProcContext` API was designed
+to map one-to-one onto mpi4py's lowercase (pickle-based) methods, so the
+P²-MDIE master/worker code can run on a real cluster by swapping the
+context object:
+
+==========================  =========================================
+simulated                    mpi4py
+==========================  =========================================
+``yield ctx.send(d, x, t)``  ``comm.send(x, dest=d, tag=TAGS[t])``
+``yield ctx.bcast(x, t)``    loop of ``comm.send`` (or ``comm.bcast``)
+``m = yield ctx.recv()``     ``comm.recv(source=ANY_SOURCE, ...)``
+``yield ctx.compute(ops)``   (no-op — real CPUs charge themselves)
+==========================  =========================================
+
+This module provides :class:`MPIContext`, a drop-in context whose methods
+*execute immediately* instead of being yielded; :func:`drive_with_mpi`
+drives a :class:`~repro.cluster.process.SimProcess` generator against it.
+It imports mpi4py lazily and raises a clear error when unavailable (as on
+this offline host), so the rest of the library never depends on MPI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.process import BcastOp, ComputeOp, RecvOp, SendOp, SimProcess
+
+__all__ = ["MPIContext", "drive_with_mpi", "mpi_available"]
+
+_TAG_IDS = {
+    "load_examples": 1,
+    "start_pipeline": 2,
+    "learn_rule'": 3,
+    "rules": 4,
+    "evaluate": 5,
+    "result": 6,
+    "mark_covered": 7,
+    "stop": 8,
+}
+_ID_TAGS = {v: k for k, v in _TAG_IDS.items()}
+
+
+def mpi_available() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+class MPIContext:
+    """Execute ProcContext-style operations on a real MPI communicator."""
+
+    def __init__(self, comm=None):
+        if comm is None:
+            from mpi4py import MPI  # lazy; raises ImportError offline
+
+            comm = MPI.COMM_WORLD
+        self._comm = comm
+        self.rank = comm.Get_rank()
+        self.n_procs = comm.Get_size()
+
+    # -- syscall constructors (same surface as ProcContext) ---------------------
+    def send(self, dst: int, payload: object, tag: str) -> SendOp:
+        return SendOp(dst, payload, tag)
+
+    def bcast(self, payload: object, tag: str, dsts=None) -> BcastOp:
+        if dsts is None:
+            dsts = [r for r in range(self.n_procs) if r != self.rank]
+        return BcastOp(tuple(dsts), payload, tag)
+
+    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> RecvOp:
+        return RecvOp(src, tag)
+
+    def compute(self, ops: int, label: str = "compute") -> ComputeOp:
+        return ComputeOp(int(ops), label)
+
+    def execute(self, op):
+        """Perform one syscall; returns a Message for receives."""
+        if isinstance(op, SendOp):
+            self._comm.send(op.payload, dest=op.dst, tag=_TAG_IDS.get(op.tag, 99))
+            return None
+        if isinstance(op, BcastOp):
+            for dst in op.dsts:
+                self._comm.send(op.payload, dest=dst, tag=_TAG_IDS.get(op.tag, 99))
+            return None
+        if isinstance(op, RecvOp):
+            from mpi4py import MPI  # noqa: PLC0415 - lazy, only recv needs constants
+
+            src = MPI.ANY_SOURCE if op.src is None else op.src
+            tag = MPI.ANY_TAG if op.tag is None else _TAG_IDS.get(op.tag, 99)
+            status = MPI.Status()
+            payload = self._comm.recv(source=src, tag=tag, status=status)
+            return Message(
+                src=status.Get_source(),
+                dst=self.rank,
+                tag=_ID_TAGS.get(status.Get_tag(), str(status.Get_tag())),
+                payload=payload,
+                nbytes=payload_nbytes(payload),
+                send_time=0.0,
+                arrival_time=0.0,
+                seq=0,
+            )
+        if isinstance(op, ComputeOp):
+            return None  # real CPU time passes by itself
+        raise TypeError(f"unknown syscall {op!r}")
+
+
+def drive_with_mpi(proc: SimProcess, comm=None) -> None:
+    """Run a SimProcess generator against a real MPI communicator.
+
+    This is the entry point an ``mpiexec``-launched script would call; it
+    is exercised only where mpi4py exists.
+    """
+    ctx = MPIContext(comm)
+    gen = proc.run(ctx)  # SimProcess.run only uses the ctx constructors
+    result = None
+    try:
+        while True:
+            op = gen.send(result)
+            result = ctx.execute(op)
+    except StopIteration:
+        return

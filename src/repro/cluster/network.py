@@ -1,0 +1,54 @@
+"""Network model for the simulated cluster.
+
+Models a 2005-era Beowulf interconnect (switched Fast Ethernet under
+LAM/MPI over TCP): a fixed per-message latency plus a bandwidth term, with
+the sender's CPU occupied for the marshalling/transmission time (TCP send
+path) and the message arriving one latency later.
+
+All knobs are explicit so ablations can explore faster/slower fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "FAST_ETHERNET", "GIGABIT", "INFINIBAND_LIKE"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth cost model for one message.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way message latency in seconds (wire + MPI stack).
+    bandwidth_bps:
+        Sustained point-to-point bandwidth in *bytes* per second.
+    send_overhead_s:
+        Fixed CPU cost on the sender per message (marshalling, syscalls).
+    """
+
+    latency_s: float = 100e-6
+    bandwidth_bps: float = 11.0e6  # ~Fast Ethernet sustained (bytes/s)
+    send_overhead_s: float = 50e-6
+
+    def __post_init__(self):
+        if self.latency_s < 0 or self.bandwidth_bps <= 0 or self.send_overhead_s < 0:
+            raise ValueError("invalid network parameters")
+
+    def sender_busy_time(self, nbytes: int) -> float:
+        """CPU time the sender spends pushing ``nbytes`` out."""
+        return self.send_overhead_s + nbytes / self.bandwidth_bps
+
+    def arrival_delay(self) -> float:
+        """Extra delay between send completion and delivery."""
+        return self.latency_s
+
+
+#: ~100 Mbit switched Ethernet — the paper's likely fabric.
+FAST_ETHERNET = NetworkModel(latency_s=100e-6, bandwidth_bps=11.0e6, send_overhead_s=50e-6)
+#: ~1 Gbit Ethernet.
+GIGABIT = NetworkModel(latency_s=50e-6, bandwidth_bps=110.0e6, send_overhead_s=20e-6)
+#: Low-latency fabric for ablations.
+INFINIBAND_LIKE = NetworkModel(latency_s=5e-6, bandwidth_bps=900.0e6, send_overhead_s=2e-6)

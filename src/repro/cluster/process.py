@@ -1,0 +1,121 @@
+"""Process abstraction for the simulated cluster.
+
+A simulated node runs a :class:`SimProcess`: its :meth:`SimProcess.run`
+method is a *generator* that yields communication/compute syscalls to the
+scheduler and is resumed with their results — cooperative multitasking in
+virtual time.  The paper's §2.2 model maps directly:
+
+* ``send``      → non-blocking (sender charged marshalling time only);
+* ``broadcast`` → non-blocking send to a set of ranks;
+* ``receive``   → blocking (virtual clock jumps to message arrival).
+
+Python work done between yields is free in virtual time; processes charge
+for it explicitly with :meth:`ProcContext.compute`, passing the engine's
+operation delta.  This is what makes a 1-core host able to time an 8-node
+cluster faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Syscall", "SendOp", "BcastOp", "RecvOp", "ComputeOp", "ProcContext", "SimProcess", "ComputeInterval"]
+
+
+class Syscall:
+    """Base class for values a process generator yields to the scheduler."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SendOp(Syscall):
+    dst: int
+    payload: object
+    tag: str
+
+
+@dataclass(frozen=True)
+class BcastOp(Syscall):
+    dsts: tuple[int, ...]
+    payload: object
+    tag: str
+
+
+@dataclass(frozen=True)
+class RecvOp(Syscall):
+    """Blocking receive; ``src``/``tag`` of None match anything."""
+
+    src: Optional[int] = None
+    tag: Optional[str] = None
+
+    def matches(self, msg) -> bool:
+        return (self.src is None or msg.src == self.src) and (
+            self.tag is None or msg.tag == self.tag
+        )
+
+
+@dataclass(frozen=True)
+class ComputeOp(Syscall):
+    ops: int
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class ComputeInterval:
+    """A labelled busy interval on one node (drives the Fig. 3/4 trace)."""
+
+    rank: int
+    start: float
+    end: float
+    label: str
+
+
+class ProcContext:
+    """Per-process façade handed to :meth:`SimProcess.run`.
+
+    Provides syscall constructors (to be ``yield``-ed) plus read access to
+    the process's virtual clock and rank.
+    """
+
+    def __init__(self, rank: int, cluster):
+        self.rank = rank
+        self._cluster = cluster
+
+    # -- syscall constructors (yield these) ------------------------------------
+    def send(self, dst: int, payload: object, tag: str) -> SendOp:
+        return SendOp(dst, payload, tag)
+
+    def bcast(self, payload: object, tag: str, dsts: Optional[Iterable[int]] = None) -> BcastOp:
+        """Broadcast to ``dsts`` (default: every other rank)."""
+        if dsts is None:
+            dsts = [r for r in range(self._cluster.n_procs) if r != self.rank]
+        return BcastOp(tuple(dsts), payload, tag)
+
+    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> RecvOp:
+        return RecvOp(src, tag)
+
+    def compute(self, ops: int, label: str = "compute") -> ComputeOp:
+        return ComputeOp(int(ops), label)
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        return self._cluster.clock_of(self.rank)
+
+    @property
+    def n_procs(self) -> int:
+        return self._cluster.n_procs
+
+
+class SimProcess:
+    """Base class for simulated cluster node programs."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+
+    def run(self, ctx: ProcContext):  # pragma: no cover - interface
+        """Generator body: yield syscalls, receive results."""
+        raise NotImplementedError
+        yield  # makes this a generator even if not overridden

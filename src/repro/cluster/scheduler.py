@@ -1,0 +1,231 @@
+"""Deterministic discrete-event scheduler for the virtual cluster.
+
+Conservative PDES over generator processes.  Invariants:
+
+* Every process owns a virtual clock that only moves forward.
+* A message sent when the sender's clock is ``t`` arrives at
+  ``t + busy(nbytes) + latency`` — strictly after ``t``.
+* The scheduler always advances the process with the globally smallest
+  *next-action time*: its clock if runnable, or the earliest matching
+  mailbox arrival if blocked on a receive.  Since any not-yet-sent message
+  must be sent at or after its sender's current clock (and hence arrive
+  strictly later), delivering the currently-earliest matching message to
+  the globally minimal process can never violate causality.
+
+Determinism: ties break on (time, rank, mailbox sequence number); no host
+clocks or hash-order iteration are involved anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import (
+    BcastOp,
+    ComputeInterval,
+    ComputeOp,
+    ProcContext,
+    RecvOp,
+    SendOp,
+    SimProcess,
+)
+
+__all__ = ["Scheduler", "DeadlockError", "CommStats"]
+
+
+class DeadlockError(RuntimeError):
+    """All processes blocked on receive with no messages in flight."""
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication accounting for one run (feeds Table 4)."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    bytes_by_tag: dict = field(default_factory=dict)
+    bytes_by_link: dict = field(default_factory=dict)  # (src, dst) -> bytes
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes_total += msg.nbytes
+        self.bytes_by_tag[msg.tag] = self.bytes_by_tag.get(msg.tag, 0) + msg.nbytes
+        key = (msg.src, msg.dst)
+        self.bytes_by_link[key] = self.bytes_by_link.get(key, 0) + msg.nbytes
+
+    @property
+    def mbytes_total(self) -> float:
+        return self.bytes_total / (1024.0 * 1024.0)
+
+
+class _ProcState:
+    __slots__ = ("proc", "gen", "clock", "blocked_on", "done", "mailbox")
+
+    def __init__(self, proc: SimProcess, gen):
+        self.proc = proc
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked_on: Optional[RecvOp] = None
+        self.done = False
+        # heap of (arrival_time, seq, Message)
+        self.mailbox: list = []
+
+
+class Scheduler:
+    """Runs a set of :class:`SimProcess` instances to completion."""
+
+    def __init__(
+        self,
+        procs: list[SimProcess],
+        network: NetworkModel = FAST_ETHERNET,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        record_trace: bool = False,
+        max_events: int = 50_000_000,
+    ):
+        if len({p.rank for p in procs}) != len(procs):
+            raise ValueError("duplicate ranks")
+        self.network = network
+        self.cost_model = cost_model
+        self.stats = CommStats()
+        self.trace: list[ComputeInterval] = []
+        self.record_trace = record_trace
+        self.max_events = max_events
+        self._seq = 0
+        self._states: dict[int, _ProcState] = {}
+        self.n_procs = len(procs)
+        for p in sorted(procs, key=lambda p: p.rank):
+            ctx = ProcContext(p.rank, self)
+            self._states[p.rank] = _ProcState(p, p.run(ctx))
+
+    # -- introspection used by ProcContext --------------------------------------
+    def clock_of(self, rank: int) -> float:
+        return self._states[rank].clock
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the whole run (max clock)."""
+        return max(s.clock for s in self._states.values())
+
+    # -- core loop -----------------------------------------------------------------
+    def run(self) -> float:
+        """Execute all processes; returns the makespan in virtual seconds."""
+        events = 0
+        # Prime every generator to its first yield.
+        for rank in sorted(self._states):
+            self._step(rank, first=True)
+        while True:
+            rank, when = self._pick_next()
+            if rank is None:
+                break
+            events += 1
+            if events > self.max_events:  # pragma: no cover - runaway guard
+                raise RuntimeError("scheduler exceeded max_events; runaway simulation?")
+            self._step(rank, wake_time=when)
+        return self.makespan
+
+    def _pick_next(self) -> tuple[Optional[int], float]:
+        """Next process to advance: smallest next-action time, tie on rank."""
+        best_rank: Optional[int] = None
+        best_time = float("inf")
+        any_alive = False
+        for rank in sorted(self._states):
+            st = self._states[rank]
+            if st.done:
+                continue
+            any_alive = True
+            if st.blocked_on is None:
+                t = st.clock  # runnable (shouldn't happen between steps)
+            else:
+                arr = self._earliest_match(st)
+                if arr is None:
+                    continue
+                t = max(st.clock, arr)
+            if t < best_time:
+                best_time = t
+                best_rank = rank
+        if best_rank is None:
+            if any_alive:
+                raise DeadlockError(
+                    "all live processes blocked on receive with empty mailboxes"
+                )
+            return None, 0.0
+        return best_rank, best_time
+
+    def _earliest_match(self, st: _ProcState) -> Optional[float]:
+        spec = st.blocked_on
+        best = None
+        for arrival, seq, msg in st.mailbox:
+            if spec.matches(msg) and (best is None or (arrival, seq) < best[:2]):
+                best = (arrival, seq, msg)
+        return best[0] if best else None
+
+    def _pop_match(self, st: _ProcState) -> Message:
+        spec = st.blocked_on
+        best_i = -1
+        best_key = None
+        for i, (arrival, seq, msg) in enumerate(st.mailbox):
+            if spec.matches(msg) and (best_key is None or (arrival, seq) < best_key):
+                best_key = (arrival, seq)
+                best_i = i
+        assert best_i >= 0
+        return st.mailbox.pop(best_i)[2]
+
+    def _step(self, rank: int, first: bool = False, wake_time: Optional[float] = None) -> None:
+        """Advance one process until it blocks on recv or finishes."""
+        st = self._states[rank]
+        send_value = None
+        if not first and st.blocked_on is not None:
+            msg = self._pop_match(st)
+            st.clock = max(st.clock, msg.arrival_time)
+            st.blocked_on = None
+            send_value = msg
+        while True:
+            try:
+                op = st.gen.send(send_value)
+            except StopIteration:
+                st.done = True
+                return
+            send_value = None
+            if isinstance(op, ComputeOp):
+                dt = self.cost_model.seconds_for_ops_at(rank, op.ops)
+                if self.record_trace:
+                    self.trace.append(
+                        ComputeInterval(rank, st.clock, st.clock + dt, op.label)
+                    )
+                st.clock += dt
+            elif isinstance(op, SendOp):
+                self._send(st, op.dst, op.payload, op.tag)
+            elif isinstance(op, BcastOp):
+                for dst in op.dsts:
+                    self._send(st, dst, op.payload, op.tag)
+            elif isinstance(op, RecvOp):
+                st.blocked_on = op
+                return
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"process {rank} yielded non-syscall {op!r}")
+
+    def _send(self, st: _ProcState, dst: int, payload: object, tag: str) -> None:
+        if dst not in self._states:
+            raise ValueError(f"send to unknown rank {dst}")
+        nbytes = payload_nbytes(payload)
+        busy = self.network.sender_busy_time(nbytes)
+        st.clock += busy
+        arrival = st.clock + self.network.arrival_delay()
+        self._seq += 1
+        msg = Message(
+            src=st.proc.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            send_time=st.clock,
+            arrival_time=arrival,
+            seq=self._seq,
+        )
+        self.stats.record(msg)
+        self._states[dst].mailbox.append((arrival, self._seq, msg))

@@ -1,0 +1,29 @@
+"""Synthetic relational dataset generators.
+
+The paper evaluates on carcinogenesis, mesh and pyrimidines (Table 1);
+those datasets are not redistributable, so this package generates seeded
+synthetic equivalents with the same cardinalities, relational structure
+and planted target theories (see DESIGN.md §1).  Michalski's trains is
+included as the quickstart/tests problem (it is also the dataset used by
+the related work of Matsui et al., §6).
+"""
+
+from repro.datasets.base import DATASETS, Dataset, SCALES, make_dataset, register_dataset
+from repro.datasets.carcinogenesis import make_carcinogenesis
+from repro.datasets.krki import make_krki
+from repro.datasets.mesh import make_mesh
+from repro.datasets.pyrimidines import make_pyrimidines
+from repro.datasets.trains import make_trains
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "SCALES",
+    "make_dataset",
+    "register_dataset",
+    "make_carcinogenesis",
+    "make_krki",
+    "make_mesh",
+    "make_pyrimidines",
+    "make_trains",
+]

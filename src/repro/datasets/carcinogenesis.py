@@ -1,0 +1,149 @@
+"""Carcinogenesis-like synthetic dataset (molecular substructure discovery).
+
+The real carcinogenesis dataset [Srinivasan et al. 97] classifies molecules
+by rodent-bioassay outcome from atom/bond structure.  This generator
+produces the same *shape* of problem: random molecular graphs (atoms with
+elements and charges, bonds with types) and an activity label planted as a
+small disjunctive substructure theory:
+
+* rule 1 — the molecule contains a double bond to an oxygen atom
+  (carbonyl-like);
+* rule 2 — the molecule contains a negatively charged chlorine.
+
+Labels are flipped with probability ``label_noise`` to emulate bioassay
+noise, and generation continues until the requested |E+|/|E-| quotas are
+met exactly (Table 1: 162/136 at paper scale).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import Dataset, register_dataset
+from repro.ilp.config import ILPConfig
+from repro.ilp.modes import ModeSet
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import atom
+from repro.util.rng import make_rng
+
+__all__ = ["make_carcinogenesis"]
+
+_ELEMENTS = ("c", "o", "n", "cl", "s")
+_ELEM_WEIGHTS = (0.62, 0.15, 0.10, 0.07, 0.06)
+_BOND_TYPES = (1, 2, 7)  # single, double, aromatic
+_BOND_WEIGHTS = (0.78, 0.16, 0.06)
+_CHARGES = ("c_neg", "c_zero", "c_pos")
+_CHARGE_WEIGHTS = (0.3, 0.55, 0.15)
+
+
+def _weighted(rng: random.Random, values, weights):
+    return rng.choices(values, weights=weights, k=1)[0]
+
+
+def _gen_molecule(rng: random.Random, mol: str, kb_facts: list) -> bool:
+    """Emit one molecule's facts into ``kb_facts``; return its true label."""
+    n_atoms = rng.randint(5, 10)
+    atoms = [f"{mol}_a{i}" for i in range(n_atoms)]
+    elems = [_weighted(rng, _ELEMENTS, _ELEM_WEIGHTS) for _ in atoms]
+    charges = [_weighted(rng, _CHARGES, _CHARGE_WEIGHTS) for _ in atoms]
+    # Connected random tree plus a few extra edges (ring bonds).
+    bonds: list[tuple[int, int, int]] = []
+    for i in range(1, n_atoms):
+        j = rng.randint(0, i - 1)
+        bonds.append((i, j, _weighted(rng, _BOND_TYPES, _BOND_WEIGHTS)))
+    for _ in range(rng.randint(0, 3)):
+        i, j = rng.sample(range(n_atoms), 2)
+        bonds.append((i, j, _weighted(rng, _BOND_TYPES, _BOND_WEIGHTS)))
+
+    for a in atoms:
+        kb_facts.append(atom("atom_of", mol, a))
+    for a, e in zip(atoms, elems):
+        kb_facts.append(atom("elem", a, e))
+    for a, ch in zip(atoms, charges):
+        kb_facts.append(atom("charge", a, ch))
+    for i, j, t in bonds:
+        kb_facts.append(atom("bond", atoms[i], atoms[j], t))
+        kb_facts.append(atom("bond", atoms[j], atoms[i], t))
+
+    # Planted theory (expressible in the mode language below):
+    #   active(M) :- atom_of(M,A), bond(A,B,2), elem(B,o).
+    #   active(M) :- atom_of(M,A), elem(A,cl), charge(A,c_neg).
+    rule1 = any(
+        t == 2 and (elems[i] == "o" or elems[j] == "o") for i, j, t in bonds
+    )
+    rule2 = any(e == "cl" and ch == "c_neg" for e, ch in zip(elems, charges))
+    return rule1 or rule2
+
+
+@register_dataset("carcinogenesis")
+def make_carcinogenesis(
+    seed: int = 0,
+    scale: str = "small",
+    n_pos: int | None = None,
+    n_neg: int | None = None,
+    label_noise: float = 0.03,
+) -> Dataset:
+    """Generate a carcinogenesis-like problem (Table 1: 162+/136- at
+    ``scale="paper"``; 56+/48- at ``"small"``)."""
+    if n_pos is None or n_neg is None:
+        n_pos, n_neg = (162, 136) if scale == "paper" else (56, 48)
+    rng = make_rng(seed, "carcinogenesis")
+    kb = KnowledgeBase()
+    pos, neg = [], []
+    attempts = 0
+    max_attempts = 60 * (n_pos + n_neg)
+    m = 0
+    while (len(pos) < n_pos or len(neg) < n_neg) and attempts < max_attempts:
+        attempts += 1
+        mol = f"m{m}"
+        facts: list = []
+        label = _gen_molecule(rng, mol, facts)
+        if label_noise > 0 and rng.random() < label_noise:
+            label = not label
+        target = pos if label else neg
+        quota = n_pos if label else n_neg
+        if len(target) >= quota:
+            continue  # quota filled; discard this molecule
+        for f in facts:
+            kb.add_fact(f)
+        target.append(atom("active", mol))
+        m += 1
+    if len(pos) < n_pos or len(neg) < n_neg:  # pragma: no cover - defensive
+        raise RuntimeError("carcinogenesis generator failed to meet quotas")
+
+    modes = ModeSet(
+        [
+            "modeh(1, active(+mol))",
+            "modeb(*, atom_of(+mol, -atm))",
+            "modeb(1, elem(+atm, #element))",
+            "modeb(*, bond(+atm, -atm, #btype))",
+            "modeb(1, charge(+atm, #chargeb))",
+        ]
+    )
+    config = ILPConfig(
+        max_clause_length=3,
+        var_depth=3,
+        recall=12,
+        # Planted rules legitimately cover label-flipped negatives (expected
+        # ~label_noise * activity-rate * n_neg of them, with real variance
+        # across seeds); the allowance needs headroom above that mean or a
+        # noisy seed makes the true theory unlearnable.
+        noise=max(3, round(0.08 * n_neg)),
+        min_pos=2,
+        max_nodes=250,
+        max_bottom_literals=100,
+        engine_max_ops=50_000,
+        pipeline_width=10,
+    )
+    return Dataset(
+        name="carcinogenesis",
+        kb=kb,
+        pos=pos,
+        neg=neg,
+        modes=modes,
+        config=config,
+        target_description=(
+            "active(M) :- atom_of(M,A), bond(A,B,2), elem(B,o).  ;  "
+            "active(M) :- atom_of(M,A), elem(A,cl), charge(A,c_neg)."
+        ),
+    )

@@ -1,0 +1,171 @@
+"""Experiment runner: one (dataset × width × p × fold) cell per run.
+
+Reproduces the paper's protocol (§5.2): 5-fold cross-validation; for each
+fold the sequential algorithm (p=1) and P²-MDIE at p ∈ {2, 4, 8} with
+pipeline width ∈ {nolimit, 10}; reported values are fold averages.
+
+Sequential and parallel runs share the same engine cost model, so Table 2's
+speedups are ratios of commensurable virtual times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.datasets.base import Dataset, make_dataset
+from repro.experiments.crossval import Fold, kfold
+from repro.ilp.mdie import mdie
+from repro.ilp.theory import accuracy
+from repro.logic.clause import Theory
+from repro.logic.engine import Engine
+from repro.parallel.p2mdie import run_p2mdie, sequential_seconds
+
+__all__ = ["RunRecord", "MatrixResult", "run_cell", "run_matrix", "WIDTH_LABELS", "width_label"]
+
+#: the paper's two pipeline configurations.
+WIDTH_LABELS = {"nolimit": None, "10": 10}
+
+
+def width_label(width: Optional[int]) -> str:
+    return "nolimit" if width is None else str(width)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One cell of the evaluation matrix."""
+
+    dataset: str
+    width: Optional[int]  # None = nolimit
+    p: int  # 1 = sequential MDIE
+    fold: int
+    seconds: float
+    mbytes: float
+    epochs: int
+    test_accuracy: float
+    theory_size: int
+    uncovered: int
+
+    @property
+    def width_name(self) -> str:
+        return width_label(self.width)
+
+
+@dataclass
+class MatrixResult:
+    """All records of a matrix sweep, with lookup helpers."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def cells(
+        self,
+        dataset: Optional[str] = None,
+        width: Optional[object] = ...,
+        p: Optional[int] = None,
+    ) -> list[RunRecord]:
+        out = self.records
+        if dataset is not None:
+            out = [r for r in out if r.dataset == dataset]
+        if width is not ...:
+            out = [r for r in out if r.width == width]
+        if p is not None:
+            out = [r for r in out if r.p == p]
+        return out
+
+    def fold_values(self, attr: str, dataset: str, width, p: int) -> list[float]:
+        recs = sorted(self.cells(dataset, width, p), key=lambda r: r.fold)
+        return [getattr(r, attr) for r in recs]
+
+    def mean(self, attr: str, dataset: str, width, p: int) -> float:
+        vals = self.fold_values(attr, dataset, width, p)
+        if not vals:
+            raise KeyError(f"no records for ({dataset}, {width}, {p})")
+        return sum(vals) / len(vals)
+
+
+def run_cell(
+    ds: Dataset,
+    fold: Fold,
+    p: int,
+    width: Optional[int],
+    seed: int,
+    network: NetworkModel = FAST_ETHERNET,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    max_epochs: Optional[int] = None,
+) -> RunRecord:
+    """Run one algorithm configuration on one fold."""
+    if p == 1:
+        res = mdie(ds.kb, list(fold.train_pos), list(fold.train_neg), ds.modes, ds.config, seed=seed, max_epochs=max_epochs)
+        theory: Theory = res.theory
+        seconds = sequential_seconds(res, cost_model)
+        mbytes = 0.0
+        epochs = res.epochs
+        uncovered = res.uncovered
+    else:
+        res = run_p2mdie(
+            ds.kb,
+            list(fold.train_pos),
+            list(fold.train_neg),
+            ds.modes,
+            ds.config,
+            p=p,
+            width=width,
+            seed=seed,
+            network=network,
+            cost_model=cost_model,
+            max_epochs=max_epochs,
+        )
+        theory = res.theory
+        seconds = res.seconds
+        mbytes = res.mbytes
+        epochs = res.epochs
+        uncovered = res.uncovered
+    engine = Engine(ds.kb, ds.config.engine_budget())
+    acc = accuracy(engine, theory, list(fold.test_pos), list(fold.test_neg))
+    return RunRecord(
+        dataset=ds.name,
+        width=width if p > 1 else None,
+        p=p,
+        fold=fold.index,
+        seconds=seconds,
+        mbytes=mbytes,
+        epochs=epochs,
+        test_accuracy=acc,
+        theory_size=len(theory),
+        uncovered=uncovered,
+    )
+
+
+def run_matrix(
+    dataset_names: Sequence[str] = ("carcinogenesis", "mesh", "pyrimidines"),
+    widths: Sequence[Optional[int]] = (None, 10),
+    ps: Sequence[int] = (2, 4, 8),
+    k_folds: int = 5,
+    scale: str = "small",
+    seed: int = 0,
+    network: NetworkModel = FAST_ETHERNET,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    include_sequential: bool = True,
+    max_epochs: Optional[int] = None,
+) -> MatrixResult:
+    """Run the full evaluation matrix of §5.
+
+    The sequential baseline (p=1) is run once per fold and shared by both
+    width configurations, mirroring the '-' cells in Tables 3/6.
+    """
+    out = MatrixResult()
+    for name in dataset_names:
+        ds = make_dataset(name, seed=seed, scale=scale)
+        for fold in kfold(ds.pos, ds.neg, k=k_folds, seed=seed):
+            if include_sequential:
+                out.records.append(
+                    run_cell(ds, fold, p=1, width=None, seed=seed, network=network, cost_model=cost_model, max_epochs=max_epochs)
+                )
+            for width in widths:
+                for p in ps:
+                    out.records.append(
+                        run_cell(ds, fold, p=p, width=width, seed=seed, network=network, cost_model=cost_model, max_epochs=max_epochs)
+                    )
+    return out

@@ -1,0 +1,67 @@
+"""Statistics for the accuracy table (paper Table 6).
+
+The paper reports per-cell mean accuracy with standard deviation and uses
+"the paired t-test to detect significance ... up to a 98% confidence
+level", starring cells that differ significantly from the sequential run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _sstats
+
+__all__ = ["mean_std", "paired_ttest", "PairedTest"]
+
+
+def mean_std(xs: Sequence[float]) -> tuple[float, float]:
+    """Sample mean and (n-1) standard deviation, as the paper reports."""
+    n = len(xs)
+    if n == 0:
+        raise ValueError("empty sample")
+    m = sum(xs) / n
+    if n == 1:
+        return m, 0.0
+    var = sum((x - m) ** 2 for x in xs) / (n - 1)
+    return m, math.sqrt(var)
+
+
+@dataclass(frozen=True)
+class PairedTest:
+    """Result of a paired t-test between two fold-accuracy vectors."""
+
+    t: float
+    pvalue: float
+    significant: bool
+    improved: bool  # mean(b) > mean(a) among significant results
+
+    @property
+    def star(self) -> str:
+        """The paper's '*' marker (significant difference vs sequential)."""
+        return "*" if self.significant else ""
+
+
+def paired_ttest(a: Sequence[float], b: Sequence[float], confidence: float = 0.98) -> PairedTest:
+    """Two-sided paired t-test: is ``b`` (parallel) different from ``a``
+    (sequential) at the given confidence level?
+
+    >>> r = paired_ttest([60.0, 61.0, 59.5, 60.2, 60.8],
+    ...                  [70.1, 71.0, 69.8, 70.5, 70.9])
+    >>> (r.significant, r.improved)
+    (True, True)
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least 2 pairs")
+    diffs = [y - x for x, y in zip(a, b)]
+    if all(abs(d) < 1e-12 for d in diffs):
+        return PairedTest(t=0.0, pvalue=1.0, significant=False, improved=False)
+    t, p = _sstats.ttest_rel(b, a)
+    significant = bool(p < (1.0 - confidence))
+    mean_diff = sum(diffs) / len(diffs)
+    return PairedTest(
+        t=float(t), pvalue=float(p), significant=significant, improved=significant and mean_diff > 0
+    )

@@ -1,0 +1,120 @@
+"""ILP configuration — the paper's constraint set ``C``.
+
+One :class:`ILPConfig` value parameterises both the sequential MDIE
+algorithm (Fig. 1) and P²-MDIE (Fig. 5): language constraints (clause
+length, variable-introduction depth ``i``), acceptance constraints (noise,
+minimum positive cover), search resources (the paper tunes "a threshold on
+the number of rules that can be generated on each search"), and the
+pipeline width ``W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.logic.engine import QueryBudget
+
+__all__ = ["ILPConfig", "NO_LIMIT"]
+
+#: Sentinel for an unconstrained pipeline width (the paper's "nolimit").
+NO_LIMIT: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ILPConfig:
+    """Constraints ``C`` plus search/pipeline parameters.
+
+    Attributes
+    ----------
+    max_clause_length:
+        Maximum number of *body* literals in a rule.
+    var_depth:
+        Progol's ``i`` parameter: number of saturation layers when building
+        the bottom clause (how far new variables may be chained).
+    recall:
+        Default recall bound per mode declaration (max solutions retrieved
+        per input-binding when saturating); individual modes may override.
+    max_bottom_literals:
+        Hard cap on bottom-clause body size.
+    noise:
+        Maximum number of negative examples a rule may cover and still be
+        "consistent" (global count, aggregated over subsets in the
+        parallel algorithm).
+    min_pos:
+        Minimum number of positive examples a rule must cover to be "good".
+    max_nodes:
+        Maximum number of rules generated per ``learn_rule`` search — the
+        knob the paper used to bound sequential runs to two hours.
+    pipeline_width:
+        The paper's ``W``: max rules streamed between pipeline stages
+        (``None`` = "nolimit").
+    heuristic:
+        Scoring function name (see :mod:`repro.ilp.heuristics`).
+    select_seed_randomly:
+        Seed-example selection policy; the paper selects randomly.
+    on_uncoverable:
+        What to do with a positive example no good rule covers: ``"skip"``
+        (leave uncovered, the default) or ``"memorize"`` (add the example
+        itself as a unit rule, Progol-style).
+    reorder_body:
+        Apply the selectivity-based body-literal reordering transformation
+        before coverage testing (see :mod:`repro.ilp.reorder`); changes
+        engine operation counts, never semantics.
+    search_strategy:
+        ``learn_rule`` queue discipline: ``"bfs"`` (the paper's April
+        configuration: top-down breadth-first), ``"best_first"``
+        (heuristic-ordered priority queue) or ``"beam"`` (level-synchronous
+        with ``beam_width`` survivors per level).
+    beam_width:
+        Nodes kept per level under the beam strategy.
+    engine_max_depth / engine_max_ops:
+        Resource bounds for each coverage-test query.
+    """
+
+    max_clause_length: int = 4
+    var_depth: int = 2
+    recall: int = 20
+    max_bottom_literals: int = 60
+    noise: int = 0
+    min_pos: int = 2
+    max_nodes: int = 600
+    pipeline_width: Optional[int] = 10
+    heuristic: str = "coverage"
+    select_seed_randomly: bool = True
+    on_uncoverable: str = "skip"
+    reorder_body: bool = False
+    search_strategy: str = "bfs"
+    beam_width: int = 5
+    engine_max_depth: int = 8
+    engine_max_ops: int = 200_000
+
+    def __post_init__(self):
+        if self.max_clause_length < 1:
+            raise ValueError("max_clause_length must be >= 1")
+        if self.var_depth < 1:
+            raise ValueError("var_depth must be >= 1")
+        if self.recall < 1:
+            raise ValueError("recall must be >= 1")
+        if self.noise < 0:
+            raise ValueError("noise must be >= 0")
+        if self.min_pos < 1:
+            raise ValueError("min_pos must be >= 1")
+        if self.pipeline_width is not None and self.pipeline_width < 1:
+            raise ValueError("pipeline_width must be >= 1 or None (nolimit)")
+        if self.on_uncoverable not in ("skip", "memorize"):
+            raise ValueError("on_uncoverable must be 'skip' or 'memorize'")
+        if self.search_strategy not in ("bfs", "best_first", "beam"):
+            raise ValueError("search_strategy must be 'bfs', 'best_first' or 'beam'")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+
+    def engine_budget(self) -> QueryBudget:
+        return QueryBudget(max_depth=self.engine_max_depth, max_ops=self.engine_max_ops)
+
+    def with_width(self, width: Optional[int]) -> "ILPConfig":
+        """Copy of this config with a different pipeline width."""
+        return replace(self, pipeline_width=width)
+
+    def replace(self, **kw) -> "ILPConfig":
+        return replace(self, **kw)

@@ -1,0 +1,107 @@
+"""Rule coverage evaluation (the paper's ``evalOnExamples``).
+
+A rule ``h :- b1, ..., bn`` covers a ground example ``e`` iff ``e`` unifies
+with ``h`` and the instantiated body is provable from the background
+knowledge (within the engine's resource bounds — budget-exhausted proofs
+count as *not covered*, the standard resource-bounded semantics).
+
+Coverage over an example list is returned as an **integer bitset** (bit i
+set ⇔ example i covered).  Bitsets make the parallel algorithm's bag
+re-evaluation, global aggregation and ``mark_covered`` steps cheap and
+exact, and they serialize compactly between simulated cluster nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.logic.clause import Clause
+from repro.logic.engine import Engine
+from repro.logic.terms import Term
+from repro.logic.unify import resolve, unify
+
+__all__ = ["covers", "coverage_bitset", "CoverageStats", "popcount", "bitset_from_indices", "indices_from_bitset"]
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits (examples covered)."""
+    return bits.bit_count()
+
+
+def bitset_from_indices(indices, n: Optional[int] = None) -> int:
+    out = 0
+    for i in indices:
+        out |= 1 << i
+    return out
+
+
+def indices_from_bitset(bits: int):
+    i = 0
+    while bits:
+        if bits & 1:
+            yield i
+        bits >>= 1
+        i += 1
+
+
+def covers(engine: Engine, rule: Clause, example: Term) -> bool:
+    """True iff ``rule`` covers ``example`` given ``engine.kb``.
+
+    >>> from repro.logic import KnowledgeBase, Engine, parse_clause, parse_term
+    >>> kb = KnowledgeBase(); kb.add_program("q(a).")
+    >>> covers(Engine(kb), parse_clause("p(X) :- q(X)."), parse_term("p(a)"))
+    True
+    """
+    r = rule.rename_apart()
+    subst = unify(r.head, example)
+    if subst is None:
+        return False
+    if not r.body:
+        return True
+    goals = tuple(resolve(b, subst) for b in r.body)
+    return engine.prove(goals)
+
+
+def coverage_bitset(engine: Engine, rule: Clause, examples: Sequence[Term]) -> int:
+    """Bitset of examples covered by ``rule``."""
+    bits = 0
+    for i, e in enumerate(examples):
+        if covers(engine, rule, e):
+            bits |= 1 << i
+    return bits
+
+
+@dataclass(frozen=True)
+class CoverageStats:
+    """Aggregated evaluation result for one rule.
+
+    ``pos``/``neg`` are *counts*; ``pos_bits`` is the positive-coverage
+    bitset (needed by ``mark_covered``), ``neg_bits`` the negative one.
+    In the parallel algorithm these are summed/OR-ed across subsets.
+    """
+
+    pos: int
+    neg: int
+    pos_bits: int = 0
+    neg_bits: int = 0
+
+    def merged(self, other: "CoverageStats", pos_shift: int = 0, neg_shift: int = 0) -> "CoverageStats":
+        """Combine stats from two disjoint example subsets.
+
+        ``pos_shift``/``neg_shift`` position the other subset's bits within
+        a global numbering (used by the master to aggregate worker
+        results).
+        """
+        return CoverageStats(
+            pos=self.pos + other.pos,
+            neg=self.neg + other.neg,
+            pos_bits=self.pos_bits | (other.pos_bits << pos_shift),
+            neg_bits=self.neg_bits | (other.neg_bits << neg_shift),
+        )
+
+    @staticmethod
+    def of(engine: Engine, rule: Clause, pos: Sequence[Term], neg: Sequence[Term]) -> "CoverageStats":
+        pb = coverage_bitset(engine, rule, pos)
+        nb = coverage_bitset(engine, rule, neg)
+        return CoverageStats(pos=popcount(pb), neg=popcount(nb), pos_bits=pb, neg_bits=nb)

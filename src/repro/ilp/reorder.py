@@ -1,0 +1,89 @@
+"""Body-literal reordering: a query transformation for cheaper coverage.
+
+The paper cites work on "efficiently testing candidate rules" (Costa,
+Srinivasan & Camacho's simple transformations; Blockeel et al.'s query
+packs) as the orthogonal, sequential route to ILP performance — and notes
+such speedups "are still usable in a parallel setting".  This module
+implements the classic instance: reorder a rule's body so that literals
+whose input variables are already bound (and whose predicates have the
+fewest candidate facts) run first, maximising early failure and indexed
+lookup.
+
+Semantics are unchanged — conjunction is commutative for the pure
+database predicates ILP bodies use — only the engine's operation count
+drops.  Enabled via ``ILPConfig(reorder_body=True)`` or applied manually
+with :func:`optimize_clause_order`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.clause import Clause
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import Const, Struct, Term, Var, variables_of
+
+__all__ = ["optimize_clause_order", "literal_cost_estimate"]
+
+#: literals of these indicators are impure/meta and must keep their
+#: relative position after every variable they mention is bound.
+_GUARDED = {"\\+", "not", "is", "<", ">", "=<", ">=", "==", "\\==", "=", "\\="}
+
+
+def literal_cost_estimate(kb: KnowledgeBase, lit: Term, bound: set) -> tuple:
+    """Sort key: (unbound inputs, first-arg-unindexed, candidate count).
+
+    Lower is cheaper to run next.  ``bound`` is the set of variables bound
+    so far (head inputs plus outputs of already-scheduled literals).
+    """
+    if not isinstance(lit, Struct):
+        return (0, 0, 0)
+    lit_vars = set(variables_of(lit))
+    unbound = len(lit_vars - bound)
+    first = lit.args[0]
+    indexed = isinstance(first, Const) or (isinstance(first, Var) and first in bound)
+    store = kb.facts_for(lit.indicator)
+    return (unbound, 0 if indexed else 1, len(store))
+
+
+def optimize_clause_order(kb: KnowledgeBase, clause: Clause) -> Clause:
+    """Greedily reorder ``clause``'s body for evaluation.
+
+    Executability is preserved: a literal is schedulable only when
+    guarded/builtin literals have all their variables bound; database
+    literals are always schedulable (the engine enumerates candidates),
+    but the cost estimate strongly prefers bound, indexed, small ones.
+
+    >>> from repro.logic import KnowledgeBase, parse_clause
+    >>> kb = KnowledgeBase(); kb.add_program("big(a). big(b). big(c). tiny(a).")
+    >>> c = parse_clause("p(X) :- big(X), tiny(X).")
+    >>> str(optimize_clause_order(kb, c))
+    'p(X) :- tiny(X), big(X).'
+    """
+    bound = set(variables_of(clause.head))
+    remaining = list(clause.body)
+    ordered: list[Term] = []
+    while remaining:
+        schedulable = []
+        for lit in remaining:
+            if isinstance(lit, Struct) and lit.functor in _GUARDED:
+                if not (set(variables_of(lit)) <= bound):
+                    continue
+            schedulable.append(lit)
+        if not schedulable:
+            # Guarded literals still waiting on outputs — schedule the
+            # cheapest database literal to make progress.
+            schedulable = [
+                l for l in remaining
+                if not (isinstance(l, Struct) and l.functor in _GUARDED)
+            ]
+            if not schedulable:  # pragma: no cover - ill-formed clause
+                schedulable = remaining
+        best = min(
+            schedulable,
+            key=lambda l: (literal_cost_estimate(kb, l, bound), remaining.index(l)),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= set(variables_of(best))
+    return Clause(clause.head, tuple(ordered))

@@ -1,0 +1,93 @@
+"""Example store: a (sub)set of training examples with liveness tracking.
+
+Both the sequential algorithm and each parallel worker hold their examples
+in an :class:`ExampleStore`.  Positive examples are never physically
+removed; instead an ``alive`` bitmask tracks which are still uncovered.
+Because coverage bitsets are computed over the *full* positive list, cached
+rule evaluations stay valid across ``mark_covered`` steps — only the mask
+changes.  (Negative examples are never removed.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ilp.coverage import CoverageStats, coverage_bitset, popcount
+from repro.logic.clause import Clause
+from repro.logic.engine import Engine
+from repro.logic.terms import Term
+
+__all__ = ["ExampleStore"]
+
+
+class ExampleStore:
+    """Positive/negative examples plus a coverage-evaluation cache.
+
+    ``reorder_body=True`` evaluates a selectivity-reordered variant of
+    each rule (see :mod:`repro.ilp.reorder`) while caching under the
+    original clause — a pure engine-cost optimisation.
+    """
+
+    def __init__(self, pos: Sequence[Term], neg: Sequence[Term], reorder_body: bool = False):
+        self.pos: list[Term] = list(pos)
+        self.neg: list[Term] = list(neg)
+        self.reorder_body = reorder_body
+        #: bitmask over ``self.pos``: bit i set ⇔ example i still uncovered.
+        self.alive: int = (1 << len(self.pos)) - 1
+        # clause -> (pos_bits over full pos list, neg_bits)
+        self._cache: dict[Clause, tuple[int, int]] = {}
+
+    # -- liveness ---------------------------------------------------------------
+    @property
+    def n_pos(self) -> int:
+        return len(self.pos)
+
+    @property
+    def n_neg(self) -> int:
+        return len(self.neg)
+
+    @property
+    def remaining(self) -> int:
+        """Number of still-uncovered positive examples."""
+        return popcount(self.alive)
+
+    def alive_examples(self) -> list[Term]:
+        return [e for i, e in enumerate(self.pos) if self.alive >> i & 1]
+
+    def alive_indices(self) -> list[int]:
+        return [i for i in range(len(self.pos)) if self.alive >> i & 1]
+
+    def kill(self, pos_bits: int) -> int:
+        """Remove covered positives; returns how many were newly covered."""
+        newly = popcount(self.alive & pos_bits)
+        self.alive &= ~pos_bits
+        return newly
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, engine: Engine, rule: Clause) -> CoverageStats:
+        """Evaluate ``rule`` on this store (alive positives, all negatives).
+
+        Results are cached per clause; the cache survives ``kill`` because
+        bitsets are over the full example lists.
+        """
+        cached = self._cache.get(rule)
+        if cached is None:
+            to_eval = rule
+            if self.reorder_body and rule.body:
+                from repro.ilp.reorder import optimize_clause_order
+
+                to_eval = optimize_clause_order(engine.kb, rule)
+            pb = coverage_bitset(engine, to_eval, self.pos)
+            nb = coverage_bitset(engine, to_eval, self.neg)
+            self._cache[rule] = (pb, nb)
+        else:
+            pb, nb = cached
+        live = pb & self.alive
+        return CoverageStats(pos=popcount(live), neg=popcount(nb), pos_bits=live, neg_bits=nb)
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

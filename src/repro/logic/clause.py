@@ -1,0 +1,145 @@
+"""Horn clauses and theories.
+
+A :class:`Clause` is a definite Horn clause ``head :- body``.  ILP rules,
+background-knowledge rules, and bottom clauses are all ``Clause`` values.
+A :class:`Theory` is an ordered set of clauses (order matters for
+first-match prediction semantics, as in Prolog-based ILP systems).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.logic.terms import (
+    Const,
+    Struct,
+    Term,
+    Var,
+    is_ground,
+    variables_of,
+)
+from repro.logic.unify import Subst, rename_apart, resolve
+
+__all__ = ["Clause", "Theory", "head_indicator"]
+
+
+def _as_atom(t: Term) -> Term:
+    if isinstance(t, Var):
+        raise TypeError("a clause literal cannot be a variable")
+    return t
+
+
+class Clause:
+    """A definite Horn clause ``head :- b1, ..., bn`` (facts have n = 0)."""
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Term, body: Iterable[Term] = ()):
+        self.head = _as_atom(head)
+        self.body = tuple(_as_atom(b) for b in body)
+        self._hash = hash((self.head, self.body))
+
+    # -- basic protocol --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Clause)
+            and other.head == self.head
+            and other.body == self.body
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clause({self})"
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(b) for b in self.body)
+        return f"{self.head} :- {body}."
+
+    def __len__(self) -> int:
+        """Number of literals (head + body), the paper's clause length."""
+        return 1 + len(self.body)
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return head_indicator(self.head)
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body and is_ground(self.head)
+
+    def literals(self) -> Iterator[Term]:
+        yield self.head
+        yield from self.body
+
+    def variables(self) -> list[Var]:
+        """Distinct variables in order of first occurrence."""
+        seen: dict[Var, None] = {}
+        for lit in self.literals():
+            for v in variables_of(lit):
+                seen.setdefault(v)
+        return list(seen)
+
+    def is_ground_clause(self) -> bool:
+        return all(is_ground(l) for l in self.literals())
+
+    # -- transforms --------------------------------------------------------------
+    def rename_apart(self, prefix: str = "_R") -> "Clause":
+        """Fresh-variable variant (standardising apart before resolution)."""
+        mapping: dict = {}
+        head = rename_apart(self.head, mapping, prefix)
+        body = tuple(rename_apart(b, mapping, prefix) for b in self.body)
+        return Clause(head, body)
+
+    def substitute(self, subst: Subst) -> "Clause":
+        """Apply a substitution to every literal."""
+        return Clause(resolve(self.head, subst), tuple(resolve(b, subst) for b in self.body))
+
+    def with_extra_literal(self, lit: Term) -> "Clause":
+        """Refinement step: append one body literal."""
+        return Clause(self.head, self.body + (_as_atom(lit),))
+
+
+def head_indicator(head: Term) -> tuple[str, int]:
+    if isinstance(head, Struct):
+        return head.indicator
+    if isinstance(head, Const) and isinstance(head.value, str):
+        return (head.value, 0)
+    raise TypeError(f"invalid clause head: {head!r}")
+
+
+class Theory:
+    """An ordered collection of learned clauses."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self.clauses: list[Clause] = list(clauses)
+
+    def add(self, clause: Clause) -> None:
+        self.clauses.append(clause)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __getitem__(self, i: int) -> Clause:
+        return self.clauses[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Theory) and other.clauses == self.clauses
+
+    def __str__(self) -> str:
+        return "\n".join(str(c) for c in self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Theory({len(self.clauses)} clauses)"
+
+    def total_literals(self) -> int:
+        return sum(len(c) for c in self.clauses)

@@ -1,0 +1,147 @@
+"""Knowledge base: indexed ground facts plus rules.
+
+The background knowledge ``B`` of an ILP problem is a
+:class:`KnowledgeBase`.  Facts are stored per predicate indicator with a
+first-argument index (the dominant access path during coverage testing:
+``bond(m17, A1, A2)`` with the molecule id bound).  Rules are stored per
+indicator in insertion order, Prolog-style.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from repro.logic.clause import Clause, head_indicator
+from repro.logic.parser import parse_program
+from repro.logic.terms import Const, Struct, Term, Var, is_ground
+
+__all__ = ["FactStore", "KnowledgeBase"]
+
+
+class FactStore:
+    """Ground facts of a single predicate, with first-argument indexing."""
+
+    __slots__ = ("indicator", "facts", "by_first", "fact_set")
+
+    def __init__(self, indicator: tuple[str, int]):
+        self.indicator = indicator
+        self.facts: list[Term] = []
+        # first-arg constant -> list of facts (only populated for arity >= 1)
+        self.by_first: dict[object, list[Term]] = defaultdict(list)
+        self.fact_set: set[Term] = set()
+
+    def add(self, fact: Term) -> bool:
+        """Add a ground fact; returns False if it was already present."""
+        if fact in self.fact_set:
+            return False
+        self.fact_set.add(fact)
+        self.facts.append(fact)
+        if isinstance(fact, Struct):
+            first = fact.args[0]
+            if isinstance(first, Const):
+                self.by_first[first.value].append(fact)
+        return True
+
+    def candidates(self, goal: Term) -> list[Term]:
+        """Facts possibly unifying with ``goal`` (first-arg indexed)."""
+        if isinstance(goal, Struct) and goal.args:
+            first = goal.args[0]
+            if isinstance(first, Const):
+                return self.by_first.get(first.value, [])
+        return self.facts
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.facts)
+
+    def __contains__(self, fact: Term) -> bool:
+        return fact in self.fact_set
+
+
+class KnowledgeBase:
+    """Background knowledge: ground facts + definite rules.
+
+    >>> kb = KnowledgeBase()
+    >>> kb.add_program("parent(ann, bob). parent(bob, cat).")
+    >>> kb.add_program("grand(X, Z) :- parent(X, Y), parent(Y, Z).")
+    >>> len(kb.facts_for(("parent", 2)))
+    2
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._facts: dict[tuple[str, int], FactStore] = {}
+        self._rules: dict[tuple[str, int], list[Clause]] = defaultdict(list)
+        self.n_facts = 0
+        for c in clauses:
+            self.add_clause(c)
+
+    # -- mutation ----------------------------------------------------------------
+    def add_clause(self, clause: Clause) -> None:
+        if clause.is_fact:
+            self.add_fact(clause.head)
+        else:
+            self._rules[clause.indicator].append(clause)
+
+    def add_fact(self, fact: Term) -> bool:
+        if not is_ground(fact):
+            raise ValueError(f"facts must be ground: {fact}")
+        ind = head_indicator(fact)
+        store = self._facts.get(ind)
+        if store is None:
+            store = self._facts[ind] = FactStore(ind)
+        added = store.add(fact)
+        if added:
+            self.n_facts += 1
+        return added
+
+    def add_rule(self, clause: Clause) -> None:
+        self._rules[clause.indicator].append(clause)
+
+    def remove_rule(self, clause: Clause) -> None:
+        self._rules[clause.indicator].remove(clause)
+
+    def add_program(self, src: str) -> None:
+        """Parse and add a Prolog-ish program string."""
+        for clause in parse_program(src):
+            self.add_clause(clause)
+
+    # -- queries -----------------------------------------------------------------
+    def facts_for(self, indicator: tuple[str, int]) -> FactStore:
+        store = self._facts.get(indicator)
+        if store is None:
+            store = self._facts[indicator] = FactStore(indicator)
+        return store
+
+    def rules_for(self, indicator: tuple[str, int]) -> list[Clause]:
+        return self._rules.get(indicator, [])
+
+    def has_predicate(self, indicator: tuple[str, int]) -> bool:
+        return bool(self._facts.get(indicator)) or bool(self._rules.get(indicator))
+
+    def predicates(self) -> list[tuple[str, int]]:
+        out = set(self._facts) | set(self._rules)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        """Total clause count (facts + rules)."""
+        return self.n_facts + sum(len(rs) for rs in self._rules.values())
+
+    def copy(self) -> "KnowledgeBase":
+        """Shallow-ish copy: fact stores are rebuilt, clauses shared."""
+        out = KnowledgeBase()
+        for ind, store in self._facts.items():
+            for f in store.facts:
+                out.add_fact(f)
+        for ind, rules in self._rules.items():
+            out._rules[ind] = list(rules)
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "predicates": len(self.predicates()),
+            "facts": self.n_facts,
+            "rules": sum(len(rs) for rs in self._rules.values()),
+        }

@@ -1,0 +1,102 @@
+"""θ-subsumption: the generality order ILP search spaces are structured by.
+
+Clause ``C`` θ-subsumes ``D`` (written ``C ⪰ D``) iff there is a
+substitution θ with ``Cθ ⊆ D`` (literal sets).  θ-subsumption is the
+ordering Plotkin defined and the one the paper's search (and virtually all
+MDIE systems) uses: a rule is *more general* than another iff it subsumes
+it.
+
+Deciding θ-subsumption is NP-complete in general; the backtracking matcher
+below is exact, with literal ordering by candidate count (fewest first) to
+keep the search small on ILP-sized clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.clause import Clause
+from repro.logic.terms import Struct, Term, Var
+from repro.logic.unify import match, walk
+
+__all__ = [
+    "theta_subsumes",
+    "subsume_equivalent",
+    "strictly_more_general",
+    "reduce_clause",
+]
+
+
+def _literal_candidates(lit: Term, targets: list[Term]) -> list[Term]:
+    if isinstance(lit, Struct):
+        return [
+            t
+            for t in targets
+            if isinstance(t, Struct) and t.functor == lit.functor and len(t.args) == len(lit.args)
+        ]
+    return [t for t in targets if t == lit]
+
+
+def theta_subsumes(c: Clause, d: Clause) -> bool:
+    """True iff ``c`` θ-subsumes ``d`` (``c`` at least as general as ``d``).
+
+    >>> from repro.logic.parser import parse_clause
+    >>> g = parse_clause("p(X) :- q(X, Y).")
+    >>> s = parse_clause("p(a) :- q(a, b), r(a).")
+    >>> theta_subsumes(g, s)
+    True
+    >>> theta_subsumes(s, g)
+    False
+    """
+    # Heads must match (we compare rules for one target predicate).
+    subst = match(c.head, d.head)
+    if subst is None:
+        return False
+    targets = list(d.body) + [d.head]
+    # Order body literals by how constrained they are.
+    lits = sorted(c.body, key=lambda l: len(_literal_candidates(l, targets)))
+
+    def backtrack(i: int, subst: dict) -> bool:
+        if i == len(lits):
+            return True
+        for cand in _literal_candidates(lits[i], targets):
+            s2 = match(lits[i], cand, subst)
+            if s2 is not None and backtrack(i + 1, s2):
+                return True
+        return False
+
+    return backtrack(0, subst)
+
+
+def subsume_equivalent(c: Clause, d: Clause) -> bool:
+    """Subsumption-equivalence: each clause subsumes the other."""
+    return theta_subsumes(c, d) and theta_subsumes(d, c)
+
+
+def strictly_more_general(c: Clause, d: Clause) -> bool:
+    """``c`` subsumes ``d`` but not vice versa."""
+    return theta_subsumes(c, d) and not theta_subsumes(d, c)
+
+
+def reduce_clause(c: Clause) -> Clause:
+    """Plotkin reduction: drop body literals whose removal keeps the clause
+    subsumption-equivalent.
+
+    The result is a minimal (not necessarily unique) equivalent clause;
+    useful for deduplicating rules exchanged along the pipeline.
+    """
+    body = list(c.body)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(body)):
+            candidate = Clause(c.head, body[:i] + body[i + 1 :])
+            if theta_subsumes(candidate, Clause(c.head, tuple(body))):
+                # dropping literal i loses no generality constraint:
+                # candidate is more general by construction; equivalence
+                # requires the original to subsume the candidate too.
+                if theta_subsumes(Clause(c.head, tuple(body)), candidate):
+                    del body[i]
+                    changed = True
+                    break
+    return Clause(c.head, tuple(body))

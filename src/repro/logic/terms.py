@@ -1,0 +1,210 @@
+"""First-order logic terms.
+
+Three immutable term kinds, as in a standard Prolog core:
+
+* :class:`Var` — a logic variable (``X``, ``_G12``).
+* :class:`Const` — an atomic constant: a symbol (``ethyl``), an ``int`` or a
+  ``float``.
+* :class:`Struct` — a compound term ``f(t1, ..., tn)``.  Predicates/atoms are
+  represented as structs too (an atom is simply a term in predicate
+  position).
+
+Terms are immutable, hashable and compare structurally, so they can be used
+as dict keys (substitutions, indices) and set members (coverage caches).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Struct",
+    "atom",
+    "mk_term",
+    "fresh_var",
+    "variables_of",
+    "constants_of",
+    "term_size",
+    "term_depth",
+    "is_ground",
+]
+
+_fresh_counter = itertools.count()
+
+
+class Var:
+    """A logic variable, identified by name.
+
+    Two ``Var`` objects with the same name are the same variable.  Fresh
+    (globally unique) variables are produced by :func:`fresh_var`.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._hash = hash(("V", name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Const:
+    """An atomic constant: symbol, integer or float."""
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Union[str, int, float]):
+        self.value = value
+        self._hash = hash(("C", value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and other.value == self.value
+            # 1 == 1.0 in Python; keep int/float constants distinct.
+            and type(other.value) is type(self.value)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Struct:
+    """A compound term ``functor(arg1, ..., argN)`` (N >= 1).
+
+    Zero-arity atoms are represented as :class:`Const`; the parser and
+    :func:`atom` enforce this normal form.
+    """
+
+    __slots__ = ("functor", "args", "_hash")
+
+    def __init__(self, functor: str, args: tuple):
+        self.functor = functor
+        self.args = args
+        self._hash = hash(("S", functor, args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The predicate indicator ``(name, arity)``."""
+        return (self.functor, len(self.args))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Struct({self.functor!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        return f"{self.functor}({', '.join(map(str, self.args))})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Struct)
+            and other._hash == self._hash
+            and other.functor == self.functor
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+Term = Union[Var, Const, Struct]
+
+
+def mk_term(value: object) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings starting with an uppercase letter or ``_`` become variables,
+    other strings become symbol constants; ints/floats become numeric
+    constants; terms pass through unchanged.
+    """
+    if isinstance(value, (Var, Const, Struct)):
+        return value
+    if isinstance(value, bool):
+        return Const("true" if value else "false")
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, str):
+        if value and (value[0].isupper() or value[0] == "_"):
+            return Var(value)
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} to a term")
+
+
+def atom(functor: str, *args: object) -> Term:
+    """Build an atom/compound term, coercing Python args via :func:`mk_term`.
+
+    >>> str(atom("bond", "m1", 3, "X"))
+    'bond(m1, 3, X)'
+    """
+    if not args:
+        return Const(functor)
+    return Struct(functor, tuple(mk_term(a) for a in args))
+
+
+def fresh_var(prefix: str = "_G") -> Var:
+    """Return a globally fresh variable."""
+    return Var(f"{prefix}{next(_fresh_counter)}")
+
+
+def variables_of(term: Term) -> Iterator[Var]:
+    """Iterate variables in ``term``, left-to-right, with repeats."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            yield t
+        elif isinstance(t, Struct):
+            stack.extend(reversed(t.args))
+
+
+def constants_of(term: Term) -> Iterator[Const]:
+    """Iterate constants in ``term``, left-to-right, with repeats."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Const):
+            yield t
+        elif isinstance(t, Struct):
+            stack.extend(reversed(t.args))
+
+
+def term_size(term: Term) -> int:
+    """Number of symbol occurrences in ``term`` (vars and consts count 1)."""
+    if isinstance(term, Struct):
+        return 1 + sum(term_size(a) for a in term.args)
+    return 1
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth; constants and variables have depth 0."""
+    if isinstance(term, Struct):
+        return 1 + max((term_depth(a) for a in term.args), default=0)
+    return 0
+
+
+def is_ground(term: Term) -> bool:
+    """True iff ``term`` contains no variables."""
+    return next(variables_of(term), None) is None

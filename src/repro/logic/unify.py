@@ -1,0 +1,176 @@
+"""Unification and substitutions.
+
+A substitution is a plain ``dict[Var, Term]``.  :func:`walk` resolves
+binding chains; :func:`unify` is the standard sound unification (with an
+optional occurs check, off by default as in most Prologs, since ILP
+saturation/refinement never builds cyclic terms).
+
+Two flavours are provided:
+
+* functional: :func:`unify` / :func:`match` return a *new* dict, convenient
+  for library users and tests;
+* trail-based: :func:`unify_trail` mutates a shared dict and records
+  bindings on a trail list so the engine can backtrack in O(bindings)
+  (see :mod:`repro.logic.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import MutableMapping, Optional
+
+from repro.logic.terms import Const, Struct, Term, Var, fresh_var
+
+__all__ = [
+    "Subst",
+    "walk",
+    "resolve",
+    "unify",
+    "unify_trail",
+    "undo_trail",
+    "match",
+    "rename_apart",
+    "occurs_in",
+]
+
+Subst = MutableMapping[Var, Term]
+
+
+def walk(term: Term, subst: Subst) -> Term:
+    """Follow variable bindings until a non-var or unbound var is reached.
+
+    A self-binding ``X -> X`` (which one-way :func:`match` may record as an
+    identity mapping) is treated as terminal rather than chased forever.
+    """
+    while isinstance(term, Var):
+        nxt = subst.get(term)
+        if nxt is None or nxt == term:
+            return term
+        term = nxt
+    return term
+
+
+def resolve(term: Term, subst: Subst) -> Term:
+    """Apply ``subst`` deeply to ``term`` (a.k.a. ``instantiate``)."""
+    term = walk(term, subst)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(resolve(a, subst) for a in term.args))
+    return term
+
+
+def occurs_in(var: Var, term: Term, subst: Subst) -> bool:
+    """True iff ``var`` occurs in ``term`` under ``subst``."""
+    stack = [term]
+    while stack:
+        t = walk(stack.pop(), subst)
+        if isinstance(t, Var):
+            if t == var:
+                return True
+        elif isinstance(t, Struct):
+            stack.extend(t.args)
+    return False
+
+
+def unify(t1: Term, t2: Term, subst: Optional[Subst] = None, occurs_check: bool = False) -> Optional[dict]:
+    """Unify two terms; return an extended copy of ``subst`` or ``None``.
+
+    >>> from repro.logic.terms import atom
+    >>> s = unify(atom("p", "X", "a"), atom("p", "b", "Y"))
+    >>> sorted((str(k), str(v)) for k, v in s.items())
+    [('X', 'b'), ('Y', 'a')]
+    """
+    out: dict = dict(subst) if subst else {}
+    trail: list = []
+    if unify_trail(t1, t2, out, trail, occurs_check=occurs_check):
+        return out
+    return None
+
+
+def unify_trail(t1: Term, t2: Term, subst: Subst, trail: list, occurs_check: bool = False) -> bool:
+    """Destructive unification recording new bindings on ``trail``.
+
+    On failure the caller must invoke :func:`undo_trail` with the trail
+    length captured before the call (the engine does this on backtracking).
+    This function leaves ``subst`` consistent either way — it only *adds*
+    bindings.
+    """
+    stack = [(t1, t2)]
+    while stack:
+        a, b = stack.pop()
+        a = walk(a, subst)
+        b = walk(b, subst)
+        if a is b:
+            continue
+        if isinstance(a, Var):
+            if isinstance(b, Var) and b == a:
+                continue
+            if occurs_check and occurs_in(a, b, subst):
+                return False
+            subst[a] = b
+            trail.append(a)
+        elif isinstance(b, Var):
+            if occurs_check and occurs_in(b, a, subst):
+                return False
+            subst[b] = a
+            trail.append(b)
+        elif isinstance(a, Const) and isinstance(b, Const):
+            if a != b:
+                return False
+        elif isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or len(a.args) != len(b.args):
+                return False
+            stack.extend(zip(a.args, b.args))
+        else:
+            return False
+    return True
+
+
+def undo_trail(subst: Subst, trail: list, mark: int) -> None:
+    """Remove bindings recorded after ``mark`` (backtracking)."""
+    while len(trail) > mark:
+        del subst[trail.pop()]
+
+
+def match(pattern: Term, ground: Term, subst: Optional[Subst] = None) -> Optional[dict]:
+    """One-way matching: bind variables of ``pattern`` only.
+
+    Used for θ-subsumption and fact retrieval, where the right-hand side
+    must be treated as fixed (its variables are constants for matching
+    purposes).
+    """
+    out: dict = dict(subst) if subst else {}
+    stack = [(pattern, ground)]
+    while stack:
+        p, g = stack.pop()
+        p = walk(p, out)
+        if isinstance(p, Var):
+            out[p] = g
+            continue
+        if isinstance(p, Const):
+            if p != g:
+                return None
+            continue
+        if not isinstance(g, Struct) or p.functor != g.functor or len(p.args) != len(g.args):
+            return None
+        stack.extend(zip(p.args, g.args))
+    return out
+
+
+def rename_apart(term: Term, mapping: Optional[dict] = None, prefix: str = "_R") -> Term:
+    """Rename all variables in ``term`` to fresh ones.
+
+    ``mapping`` (old var -> new var) may be shared across several terms of
+    one clause so that shared variables stay shared.
+    """
+    if mapping is None:
+        mapping = {}
+
+    def go(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t not in mapping:
+                mapping[t] = fresh_var(prefix)
+            return mapping[t]
+        if isinstance(t, Struct):
+            return Struct(t.functor, tuple(go(a) for a in t.args))
+        return t
+
+    return go(term)

@@ -1,0 +1,54 @@
+"""P²-MDIE: the paper's pipelined data-parallel covering algorithm,
+plus the related-work baseline (data-parallel coverage testing)."""
+
+from repro.parallel.coverage_parallel import CoverageParallelMaster, run_coverage_parallel
+from repro.parallel.independent import IndependentMaster, IndependentWorker, run_independent
+from repro.parallel.master import EpochLog, P2Master
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    PipelineTask,
+    RuleStats,
+    StartPipeline,
+    Stop,
+)
+from repro.parallel.p2mdie import (
+    P2Result,
+    SharedProblem,
+    WorkerProblem,
+    run_p2mdie,
+    sequential_seconds,
+)
+from repro.parallel.partition import Partition, partition_examples
+from repro.parallel.worker import MASTER_RANK, P2Worker
+
+__all__ = [
+    "CoverageParallelMaster",
+    "run_coverage_parallel",
+    "IndependentMaster",
+    "IndependentWorker",
+    "run_independent",
+    "EpochLog",
+    "P2Master",
+    "EvaluateRequest",
+    "EvaluateResult",
+    "LoadExamples",
+    "MarkCovered",
+    "PipelineRules",
+    "PipelineTask",
+    "RuleStats",
+    "StartPipeline",
+    "Stop",
+    "P2Result",
+    "SharedProblem",
+    "WorkerProblem",
+    "run_p2mdie",
+    "sequential_seconds",
+    "Partition",
+    "partition_examples",
+    "MASTER_RANK",
+    "P2Worker",
+]

@@ -1,0 +1,225 @@
+"""Baseline: data-parallel *coverage testing* (related work, paper §6).
+
+The strategy of Graham et al. [14] and Konstantopoulos [19]: a single
+master runs the ordinary sequential MDIE search, but each candidate rule's
+coverage is computed by the workers on their example partitions and summed
+by the master.  The search itself is not parallelised — only
+``evalOnExamples`` is.
+
+The task granularity is controlled by ``batch_size``: 1 rule per round is
+Konstantopoulos' fine-grained variant (one latency-bound round trip per
+candidate — the paper attributes his "poor results" to exactly this);
+larger batches approximate Graham et al.  This baseline exists so the
+benchmark suite can reproduce the §6 comparison: p²-mdie's medium/high
+granularity vs. fine-grained coverage-parallelism.
+
+Workers are the unchanged :class:`~repro.parallel.worker.P2Worker` — the
+baseline master simply never sends ``start_pipeline``/``learn_rule'``
+tasks, only ``evaluate`` and ``mark_covered``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.message import Tag
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import ProcContext, SimProcess
+from repro.ilp.bottom import SaturationError, build_bottom
+from repro.ilp.config import ILPConfig
+from repro.ilp.heuristics import is_good, score_rule
+from repro.ilp.modes import ModeSet
+from repro.ilp.refinement import SearchRule, refinements, start_rule
+from repro.logic.clause import Clause, Theory
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import Term
+from repro.parallel.master import EpochLog
+from repro.parallel.messages import EvaluateRequest, EvaluateResult, LoadExamples, MarkCovered, StartPipeline, Stop
+from repro.parallel.p2mdie import P2Result, SharedProblem
+from repro.parallel.partition import partition_examples
+from repro.parallel.worker import P2Worker
+from repro.util.rng import make_rng
+
+__all__ = ["CoverageParallelMaster", "run_coverage_parallel"]
+
+
+class CoverageParallelMaster(SimProcess):
+    """Sequential search, distributed evaluation (rank 0)."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        kb: KnowledgeBase,
+        pos: Sequence[Term],
+        neg: Sequence[Term],
+        modes: ModeSet,
+        config: ILPConfig,
+        batch_size: int = 1,
+        seed: int = 0,
+        max_epochs: Optional[int] = None,
+    ):
+        super().__init__(0)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.n_workers = n_workers
+        self.kb = kb
+        self.pos = list(pos)
+        self.neg = list(neg)
+        self.modes = modes
+        self.config = config
+        self.batch_size = batch_size
+        self.seed = seed
+        self.max_epochs = max_epochs
+        # outputs:
+        self.theory = Theory()
+        self.epoch_logs: list[EpochLog] = []
+        self.remaining = len(pos)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_logs)
+
+    def _workers(self) -> list[int]:
+        return list(range(1, self.n_workers + 1))
+
+    def _eval_round(self, ctx: ProcContext, clauses: list[Clause]):
+        yield ctx.bcast(EvaluateRequest(rules=tuple(clauses)), tag=Tag.EVALUATE, dsts=self._workers())
+        totals = [[0, 0] for _ in clauses]
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.RESULT)
+            res: EvaluateResult = msg.payload
+            for i, rs in enumerate(res.stats):
+                totals[i][0] += rs.pos
+                totals[i][1] += rs.neg
+        yield ctx.compute(len(clauses) + 1, label="aggregate")
+        return totals
+
+    def run(self, ctx: ProcContext):
+        for k in self._workers():
+            yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
+
+        engine = Engine(self.kb, self.config.engine_budget())
+        rng = make_rng(self.seed, "covpar")
+        alive = (1 << len(self.pos)) - 1
+        failed = 0
+
+        while self.remaining > 0:
+            if self.max_epochs is not None and self.epochs >= self.max_epochs:
+                break
+            candidates = alive & ~failed
+            idxs = [i for i in range(len(self.pos)) if (candidates >> i) & 1]
+            if not idxs:
+                break
+            i = rng.choice(idxs) if self.config.select_seed_randomly else idxs[0]
+            log = EpochLog(epoch=self.epochs + 1, bag_size=0)
+
+            ops0 = engine.total_ops
+            try:
+                bottom = build_bottom(self.pos[i], engine, self.modes, self.config)
+            except SaturationError:
+                bottom = None
+            yield ctx.compute(engine.total_ops - ops0, label="saturate")
+            if bottom is None:
+                failed |= 1 << i
+                self.epoch_logs.append(log)
+                continue
+
+            # Breadth-first search; evaluation happens remotely in batches.
+            queue: list[SearchRule] = [start_rule(bottom)]
+            qi = 0
+            nodes = 0
+            seen: set[Clause] = set()
+            best: Optional[tuple[float, SearchRule, int, int]] = None
+            while qi < len(queue) and nodes < self.config.max_nodes:
+                batch: list[SearchRule] = []
+                while qi < len(queue) and len(batch) < self.batch_size and nodes + len(batch) < self.config.max_nodes:
+                    r = queue[qi]
+                    qi += 1
+                    if r.clause in seen:
+                        continue
+                    seen.add(r.clause)
+                    batch.append(r)
+                if not batch:
+                    break
+                nodes += len(batch)
+                log.bag_size += len(batch)
+                totals = yield from self._eval_round(ctx, [r.clause for r in batch])
+                for r, (pcount, ncount) in zip(batch, totals):
+                    score = score_rule(pcount, ncount, len(r.clause.body) + 1, self.config)
+                    if r.clause.body and is_good(pcount, ncount, self.config):
+                        if best is None or (score, -len(r.clause.body)) > (best[0], -len(best[1].clause.body)):
+                            best = (score, r, pcount, ncount)
+                    if pcount >= self.config.min_pos:
+                        queue.extend(refinements(r, bottom, self.config))
+
+            if best is None:
+                failed |= 1 << i
+                self.epoch_logs.append(log)
+                continue
+
+            _, rule, pcount, _ = best
+            self.theory.add(rule.clause)
+            log.accepted.append(rule.clause)
+            log.pos_covered = pcount
+            self.remaining -= pcount
+            yield ctx.bcast(MarkCovered(rule=rule.clause), tag=Tag.MARK_COVERED, dsts=self._workers())
+            # Master-side alive view: it owns the seed pool, so it tracks
+            # global coverage with one local evaluation (charged).
+            ops0 = engine.total_ops
+            from repro.ilp.coverage import coverage_bitset
+
+            bits = coverage_bitset(engine, rule.clause, self.pos)
+            yield ctx.compute(engine.total_ops - ops0, label="mark_covered")
+            alive &= ~bits
+            failed &= alive
+            self.epoch_logs.append(log)
+
+        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
+
+
+def run_coverage_parallel(
+    kb: KnowledgeBase,
+    pos: Sequence[Term],
+    neg: Sequence[Term],
+    modes: ModeSet,
+    config: ILPConfig,
+    p: int,
+    batch_size: int = 1,
+    seed: int = 0,
+    network: NetworkModel = FAST_ETHERNET,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    max_epochs: Optional[int] = None,
+) -> P2Result:
+    """Run the coverage-parallel baseline; returns the same artifact type
+    as :func:`repro.parallel.p2mdie.run_p2mdie` so harness code can compare
+    them directly."""
+    rng = make_rng(seed, "partition")
+    partitions = partition_examples(pos, neg, p, rng)
+    shared = SharedProblem(kb, partitions, modes, config)
+    master = CoverageParallelMaster(
+        n_workers=p,
+        kb=kb,
+        pos=pos,
+        neg=neg,
+        modes=modes,
+        config=config,
+        batch_size=batch_size,
+        seed=seed,
+        max_epochs=max_epochs,
+    )
+    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
+    run = VirtualCluster([master, *workers], network=network, cost_model=cost_model).run()
+    return P2Result(
+        theory=master.theory,
+        epochs=master.epochs,
+        seconds=run.makespan,
+        comm=run.comm,
+        uncovered=max(master.remaining, 0),
+        epoch_logs=master.epoch_logs,
+        clocks=run.clocks,
+        trace=run.trace,
+    )

@@ -1,0 +1,206 @@
+"""Baseline: independent data-parallel learning (no pipelining).
+
+The third strategy in the design space the paper situates itself in
+(§6, Matsui et al.'s "data parallelism"): partition the examples, let
+every worker run the *full sequential* covering algorithm on its own
+subset with no communication at all, then merge.  The master unions the
+local theories, evaluates them globally once, discards rules that are not
+globally good, and greedily consumes the rest exactly like P²-MDIE's bag
+consumption.
+
+This isolates the value of the *pipeline*: independent learning has the
+same data distribution and even less communication, but each rule only
+ever saw one subset during search — the quality problem the paper's
+rule-streaming is designed to fix ("training on small subsets of the
+whole data might reduce the quality of learning").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.message import Tag
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import ProcContext, SimProcess
+from repro.ilp.bottom import SaturationError, build_bottom
+from repro.ilp.config import ILPConfig
+from repro.ilp.heuristics import is_good, score_rule
+from repro.ilp.modes import ModeSet
+from repro.ilp.search import learn_rule
+from repro.logic.clause import Clause, Theory
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import Term
+from repro.parallel.master import EpochLog
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    StartPipeline,
+    Stop,
+)
+from repro.parallel.p2mdie import P2Result, SharedProblem
+from repro.parallel.partition import partition_examples
+from repro.parallel.worker import P2Worker
+from repro.util.rng import make_rng
+
+__all__ = ["IndependentWorker", "IndependentMaster", "run_independent"]
+
+
+class IndependentWorker(P2Worker):
+    """A worker whose 'pipeline' never leaves the node.
+
+    Reuses every P2Worker task handler; only ``start_pipeline`` changes —
+    instead of one stage of one pipeline, it runs a complete local
+    covering loop (sequential MDIE on the local subset) and ships the
+    resulting theory to the master.
+    """
+
+    def _start_pipeline(self, ctx: ProcContext, width: Optional[int]):
+        ops0 = self.engine.total_ops
+        local_rules = []
+        # Local covering loop (Fig. 1 semantics on the local store).
+        failed = 0
+        while True:
+            candidates = self.store.alive & ~failed
+            idxs = [i for i in range(self.store.n_pos) if (candidates >> i) & 1]
+            if not idxs:
+                break
+            i = self._rng.choice(idxs) if self.config.select_seed_randomly else idxs[0]
+            try:
+                bottom = build_bottom(self.store.pos[i], self.engine, self.modes, self.config)
+            except SaturationError:
+                failed |= 1 << i
+                continue
+            result = learn_rule(self.engine, bottom, self.store, self.config, width=1)
+            if result.best is None:
+                failed |= 1 << i
+                continue
+            local_rules.append(result.best.rule)
+            self.store.kill(result.best.stats.pos_bits)
+        # Local kills are provisional — restore liveness so the master's
+        # global mark_covered drives the authoritative state.
+        self.store.alive = (1 << self.store.n_pos) - 1
+        if width is not None:
+            local_rules = local_rules[:width]
+        yield ctx.compute(self._ops_since(ops0), label="local_mdie")
+        yield ctx.send(
+            0, PipelineRules(origin=self.rank, rules=tuple(local_rules)), tag=Tag.RULES
+        )
+
+
+class IndependentMaster(SimProcess):
+    """Union local theories, filter globally, consume greedily."""
+
+    def __init__(self, n_workers: int, total_pos: int, config: ILPConfig, width=None):
+        super().__init__(0)
+        self.n_workers = n_workers
+        self.total_pos = total_pos
+        self.config = config
+        self.width = width
+        self.theory = Theory()
+        self.epoch_logs: list[EpochLog] = []
+        self.remaining = total_pos
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_logs)
+
+    def _workers(self):
+        return list(range(1, self.n_workers + 1))
+
+    def _global_eval(self, ctx, clauses):
+        yield ctx.bcast(EvaluateRequest(rules=tuple(clauses)), tag=Tag.EVALUATE, dsts=self._workers())
+        totals = [[0, 0] for _ in clauses]
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.RESULT)
+            res: EvaluateResult = msg.payload
+            for i, rs in enumerate(res.stats):
+                totals[i][0] += rs.pos
+                totals[i][1] += rs.neg
+        yield ctx.compute(len(clauses) + 1, label="aggregate")
+        return totals
+
+    def run(self, ctx: ProcContext):
+        for k in self._workers():
+            yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
+        for k in self._workers():
+            yield ctx.send(k, StartPipeline(width=self.width), tag=Tag.START_PIPELINE)
+        bag: dict[Clause, None] = {}
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.RULES)
+            for sr in msg.payload.rules:
+                bag.setdefault(sr.clause)
+        log = EpochLog(epoch=1, bag_size=len(bag))
+
+        if bag:
+            clauses = list(bag)
+            totals = yield from self._global_eval(ctx, clauses)
+            stats = dict(zip(clauses, totals))
+            for c in list(bag):
+                p, n = stats[c]
+                if not is_good(p, n, self.config):
+                    del bag[c]
+            while bag:
+                best = min(
+                    bag,
+                    key=lambda c: (
+                        -score_rule(stats[c][0], stats[c][1], len(c.body) + 1, self.config),
+                        len(c.body),
+                        str(c),
+                    ),
+                )
+                del bag[best]
+                self.theory.add(best)
+                log.accepted.append(best)
+                covered = stats[best][0]
+                log.pos_covered += covered
+                self.remaining -= covered
+                yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=self._workers())
+                if not bag:
+                    break
+                clauses = list(bag)
+                totals = yield from self._global_eval(ctx, clauses)
+                stats = dict(zip(clauses, totals))
+                for c in list(bag):
+                    p, n = stats[c]
+                    if not is_good(p, n, self.config):
+                        del bag[c]
+        self.epoch_logs.append(log)
+        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
+
+
+def run_independent(
+    kb: KnowledgeBase,
+    pos: Sequence[Term],
+    neg: Sequence[Term],
+    modes: ModeSet,
+    config: ILPConfig,
+    p: int,
+    width: Optional[int] = None,
+    seed: int = 0,
+    network: NetworkModel = FAST_ETHERNET,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> P2Result:
+    """Run the independent-learning baseline; same artifact type as
+    :func:`repro.parallel.p2mdie.run_p2mdie` for direct comparison."""
+    rng = make_rng(seed, "partition")
+    partitions = partition_examples(pos, neg, p, rng)
+    shared = SharedProblem(kb, partitions, modes, config)
+    master = IndependentMaster(n_workers=p, total_pos=len(pos), config=config, width=width)
+    workers = [IndependentWorker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
+    run = VirtualCluster([master, *workers], network=network, cost_model=cost_model).run()
+    return P2Result(
+        theory=master.theory,
+        epochs=master.epochs,
+        seconds=run.makespan,
+        comm=run.comm,
+        uncovered=max(master.remaining, 0),
+        epoch_logs=master.epoch_logs,
+        clocks=run.clocks,
+        trace=run.trace,
+    )

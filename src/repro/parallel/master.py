@@ -1,0 +1,218 @@
+"""P²-MDIE master process (paper Fig. 5).
+
+Per epoch the master:
+
+1. starts ``p`` pipelines, one rooted at each worker (lines 6-8);
+2. collects the ``p`` pipelines' final rule sets into ``RulesBag``
+   (line 9);
+3. globally evaluates the bag (broadcast ``evaluate`` / gather results,
+   lines 10-11);
+4. greedily consumes the bag (lines 12-22): accept the globally best rule,
+   broadcast ``mark_covered``, re-evaluate the remainder, drop rules that
+   are no longer good.
+
+Epochs repeat until every positive example is covered or learning stalls
+(no pipeline produced an acceptable rule for ``stall_limit`` consecutive
+epochs — the paper's generic "stopping condition").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.message import Tag
+from repro.cluster.process import ProcContext, SimProcess
+from repro.ilp.config import ILPConfig
+from repro.ilp.heuristics import is_good, score_rule
+from repro.logic.clause import Clause, Theory
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    ExamplesReport,
+    GatherExamples,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    Repartition,
+    StartPipeline,
+    Stop,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["P2Master", "EpochLog"]
+
+
+@dataclass
+class EpochLog:
+    """Per-epoch bookkeeping (drives Tables 3-5 and the trace figure)."""
+
+    epoch: int
+    bag_size: int
+    accepted: list[Clause] = field(default_factory=list)
+    pos_covered: int = 0
+
+
+class P2Master(SimProcess):
+    """Rank-0 master driving the worker ring."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        total_pos: int,
+        config: ILPConfig,
+        width: Optional[int] = ...,
+        max_epochs: Optional[int] = None,
+        stall_limit: int = 3,
+        repartition_each_epoch: bool = False,
+        seed: int = 0,
+        ship_data: Optional[list] = None,
+    ):
+        super().__init__(0)
+        self.n_workers = n_workers
+        self.total_pos = total_pos
+        self.config = config
+        self.width = config.pipeline_width if width is ... else width
+        self.max_epochs = max_epochs
+        self.stall_limit = stall_limit
+        #: §4.1's rejected alternative, implemented so its cost is
+        #: measurable: reshuffle the remaining examples over the workers
+        #: before every epoch after the first.
+        self.repartition_each_epoch = repartition_each_epoch
+        self.seed = seed
+        #: when set (no shared filesystem), a list of per-worker LoadData
+        #: payloads to ship instead of LoadExamples notifications (§4.1).
+        self.ship_data = ship_data
+        # outputs, populated by run():
+        self.theory = Theory()
+        self.epoch_logs: list[EpochLog] = []
+        self.remaining: int = total_pos
+
+    @property
+    def epochs(self) -> int:
+        return len(self.epoch_logs)
+
+    def _workers(self) -> list[int]:
+        return list(range(1, self.n_workers + 1))
+
+    # -- global evaluation round (Fig. 5 lines 10-11 / 18-19) --------------------
+    def _global_eval(self, ctx: ProcContext, clauses: list[Clause]):
+        """Broadcast evaluate(); gather and sum per-worker stats."""
+        yield ctx.bcast(EvaluateRequest(rules=tuple(clauses)), tag=Tag.EVALUATE, dsts=self._workers())
+        totals = [[0, 0] for _ in clauses]
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.RESULT)
+            res: EvaluateResult = msg.payload
+            for i, rs in enumerate(res.stats):
+                totals[i][0] += rs.pos
+                totals[i][1] += rs.neg
+        # Aggregation cost is linear in bag size.
+        yield ctx.compute(len(clauses) + 1, label="aggregate")
+        return [(p, n) for p, n in totals]
+
+    def _drop_not_good(self, bag: dict, stats: dict) -> None:
+        """Fig. 5 lines 20-21: discard rules that stopped being good."""
+        for clause in list(bag):
+            p, n = stats[clause]
+            if not is_good(p, n, self.config):
+                del bag[clause]
+
+    def _pick_best(self, bag: dict, stats: dict) -> Clause:
+        """Fig. 5 line 13: best rule by global-coverage heuristic."""
+
+        def key(clause: Clause):
+            p, n = stats[clause]
+            s = score_rule(p, n, len(clause.body) + 1, self.config)
+            return (-s, len(clause.body), str(clause))
+
+        return min(bag, key=key)
+
+    # -- process body ----------------------------------------------------------------
+    def run(self, ctx: ProcContext):
+        # Fig. 5 line 3: broadcast load_examples (partition id == rank), or
+        # ship the data itself when no shared filesystem is assumed.
+        for k in self._workers():
+            if self.ship_data is not None:
+                yield ctx.send(k, self.ship_data[k - 1], tag=Tag.LOAD_EXAMPLES)
+            else:
+                yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
+
+        stall = 0
+        while self.remaining > 0:
+            if self.max_epochs is not None and self.epochs >= self.max_epochs:
+                break
+            if self.repartition_each_epoch and self.epochs > 0:
+                yield from self._repartition_round(ctx)
+            log = EpochLog(epoch=self.epochs + 1, bag_size=0)
+
+            # Lines 6-8: start p pipelines.
+            for k in self._workers():
+                yield ctx.send(k, StartPipeline(width=self.width), tag=Tag.START_PIPELINE)
+            # Line 9: collect every pipeline's rules.
+            bag: dict[Clause, None] = {}
+            for _ in self._workers():
+                msg = yield ctx.recv(tag=Tag.RULES)
+                rules: PipelineRules = msg.payload
+                for sr in rules.rules:
+                    bag.setdefault(sr.clause)
+            log.bag_size = len(bag)
+
+            if bag:
+                # Lines 10-11: global evaluation of the whole bag.
+                clauses = list(bag)
+                totals = yield from self._global_eval(ctx, clauses)
+                stats = dict(zip(clauses, totals))
+                self._drop_not_good(bag, stats)
+
+                # Lines 12-22: consume the bag.
+                while bag:
+                    best = self._pick_best(bag, stats)
+                    del bag[best]
+                    self.theory.add(best)
+                    log.accepted.append(best)
+                    covered = stats[best][0]
+                    log.pos_covered += covered
+                    self.remaining -= covered
+                    yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=self._workers())
+                    if not bag:
+                        break
+                    clauses = list(bag)
+                    totals = yield from self._global_eval(ctx, clauses)
+                    stats = dict(zip(clauses, totals))
+                    self._drop_not_good(bag, stats)
+
+            self.epoch_logs.append(log)
+            if log.accepted:
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.stall_limit:
+                    break
+
+        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
+
+    # -- repartitioning extension (§4.1's rejected alternative) ------------------
+    def _repartition_round(self, ctx: ProcContext):
+        """Gather remaining examples, reshuffle, redistribute.
+
+        This ships example terms over the network (no shared-FS shortcut
+        mid-run) — precisely the communication the paper declined to pay.
+        """
+        from repro.parallel.partition import partition_examples
+
+        yield ctx.bcast(GatherExamples(), tag=Tag.LOAD_EXAMPLES, dsts=self._workers())
+        pos: list = []
+        neg: list = []
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.LOAD_EXAMPLES)
+            report: ExamplesReport = msg.payload
+            pos.extend(report.pos)
+            neg.extend(report.neg)
+        # Deterministic global ordering before the shuffle.
+        pos.sort(key=str)
+        neg.sort(key=str)
+        rng = make_rng(self.seed, "repartition", self.epochs)
+        parts = partition_examples(pos, neg, self.n_workers, rng)
+        yield ctx.compute(len(pos) + len(neg) + 1, label="aggregate")
+        for k, part in zip(self._workers(), parts):
+            yield ctx.send(k, Repartition(pos=part.pos, neg=part.neg), tag=Tag.LOAD_EXAMPLES)

@@ -1,0 +1,161 @@
+"""Task payloads exchanged by the P²-MDIE master and workers.
+
+These are the paper's worker tasks (Fig. 6) plus the inter-stage pipeline
+message (Fig. 7 line 17).  All payloads are plain picklable dataclasses;
+their pickled size is what the Table 4 communication accounting charges.
+
+Design note: per §4.1 the training data itself is *not* shipped — "we
+assumed ... the data can be shared by all processors, through a
+distributed file system".  :class:`LoadExamples` therefore carries only
+the partition id; the simulated shared filesystem is
+:class:`repro.parallel.p2mdie.SharedProblem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ilp.bottom import BottomClause
+from repro.ilp.refinement import SearchRule
+from repro.logic.clause import Clause
+
+__all__ = [
+    "LoadExamples",
+    "LoadData",
+    "StartPipeline",
+    "PipelineTask",
+    "PipelineRules",
+    "EvaluateRequest",
+    "EvaluateResult",
+    "MarkCovered",
+    "GatherExamples",
+    "ExamplesReport",
+    "Repartition",
+    "Stop",
+    "RuleStats",
+]
+
+
+@dataclass(frozen=True)
+class LoadExamples:
+    """'Load your subset' notification (data comes from the shared FS)."""
+
+    partition_id: int
+
+
+@dataclass(frozen=True)
+class LoadData:
+    """Ship the training data itself (no shared filesystem, §4.1).
+
+    "Obviously, if file sharing is not possible one needs to exchange
+    messages containing the referred data."  This message carries one
+    worker's example subset plus the full background knowledge as terms,
+    so the one-time distribution cost is measured rather than assumed
+    ("Example data is loaded only once, hence the transmission cost
+    should be low in both approaches").
+    """
+
+    pos: tuple
+    neg: tuple
+    facts: tuple
+    rules: tuple
+
+
+@dataclass(frozen=True)
+class StartPipeline:
+    """Start a pipeline rooted at the receiving worker (Fig. 6)."""
+
+    width: Optional[int]  # None = nolimit
+
+
+@dataclass(frozen=True)
+class PipelineTask:
+    """``learn_rule'(⊥e, step, w, S)`` shipped to the next stage (Fig. 7).
+
+    ``bottom`` is None when the originating worker had no usable seed (its
+    positives were exhausted); such pipelines pass through unchanged so the
+    master still receives exactly ``p`` result sets.
+    """
+
+    bottom: Optional[BottomClause]
+    step: int
+    width: Optional[int]
+    rules: tuple[SearchRule, ...]
+    origin: int  # rank that seeded this pipeline
+
+
+@dataclass(frozen=True)
+class PipelineRules:
+    """Final rules of one pipeline, delivered to the master."""
+
+    origin: int
+    rules: tuple[SearchRule, ...]
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Master → workers: evaluate these rules on your local subset."""
+
+    rules: tuple[Clause, ...]
+
+
+@dataclass(frozen=True)
+class RuleStats:
+    """One rule's local evaluation: alive-positive and negative cover."""
+
+    pos: int
+    neg: int
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    """Worker → master: per-rule local stats, in request order."""
+
+    rank: int
+    stats: tuple[RuleStats, ...]
+
+
+@dataclass(frozen=True)
+class MarkCovered:
+    """Master → workers: rule accepted; retract covered positives."""
+
+    rule: Clause
+
+
+@dataclass(frozen=True)
+class GatherExamples:
+    """Master → workers: report your remaining examples (repartitioning).
+
+    Part of the optional inter-epoch repartitioning extension — the
+    alternative §4.1 considers and rejects "mainly because the high
+    communication cost of repartitioning".  Implemented so that cost can
+    be measured rather than assumed.
+    """
+
+
+@dataclass(frozen=True)
+class ExamplesReport:
+    """Worker → master: the local alive positives and all negatives."""
+
+    rank: int
+    pos: tuple
+    neg: tuple
+
+
+@dataclass(frozen=True)
+class Repartition:
+    """Master → one worker: replace your subset with these examples.
+
+    Unlike :class:`LoadExamples` this ships the example terms themselves
+    (the shared-filesystem shortcut does not apply to a mid-run reshuffle),
+    so its pickled size is the repartitioning cost the paper worried about.
+    """
+
+    pos: tuple
+    neg: tuple
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Master → workers: learning finished."""

@@ -1,0 +1,186 @@
+"""P²-MDIE front-end: run the pipelined data-parallel algorithm end-to-end.
+
+``run_p2mdie`` wires a :class:`~repro.parallel.master.P2Master` and ``p``
+:class:`~repro.parallel.worker.P2Worker` ranks onto a
+:class:`~repro.cluster.VirtualCluster`, executes to completion and returns
+a :class:`P2Result` carrying everything the paper's tables need: the
+learned theory, virtual execution time (Table 3), communication volume
+(Table 4), and epoch count (Table 5).  Speedups (Table 2) come from
+pairing it with a sequential :func:`repro.ilp.mdie.mdie` run via
+:func:`sequential_seconds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import ClusterRun, VirtualCluster
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL, OpsCostModel
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import ComputeInterval
+from repro.cluster.scheduler import CommStats
+from repro.ilp.config import ILPConfig
+from repro.ilp.mdie import MDIEResult
+from repro.ilp.modes import ModeSet
+from repro.logic.clause import Theory
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.terms import Term
+from repro.parallel.master import EpochLog, P2Master
+from repro.parallel.partition import Partition, partition_examples
+from repro.parallel.worker import P2Worker
+from repro.util.rng import make_rng
+
+__all__ = ["WorkerProblem", "SharedProblem", "P2Result", "run_p2mdie", "sequential_seconds"]
+
+
+@dataclass(frozen=True)
+class WorkerProblem:
+    """Everything one worker reads from the shared filesystem."""
+
+    kb: KnowledgeBase
+    pos: tuple[Term, ...]
+    neg: tuple[Term, ...]
+    modes: ModeSet
+    config: ILPConfig
+
+
+class SharedProblem:
+    """The simulated distributed filesystem (§4.1).
+
+    The paper assumes background knowledge, constraints and example subsets
+    are visible to every node through a shared FS, so ``load_examples``
+    messages carry only a partition id.  This object plays that role: it
+    holds the KB and the partitions; workers read their share by id.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        partitions: Sequence[Partition],
+        modes: ModeSet,
+        config: ILPConfig,
+    ):
+        self.kb = kb
+        self.partitions = list(partitions)
+        self.modes = modes
+        self.config = config
+
+    def worker_problem(self, partition_id: int) -> WorkerProblem:
+        """Partition ids are worker ranks (1-based)."""
+        part = self.partitions[partition_id - 1]
+        return WorkerProblem(
+            kb=self.kb,
+            pos=part.pos,
+            neg=part.neg,
+            modes=self.modes,
+            config=self.config,
+        )
+
+
+@dataclass
+class P2Result:
+    """Artifacts of one P²-MDIE run (everything Tables 2-6 consume)."""
+
+    theory: Theory
+    epochs: int
+    #: virtual wall-clock of the whole run, in seconds (Table 3).
+    seconds: float
+    #: communication accounting (Table 4).
+    comm: CommStats
+    #: positives left uncovered at termination.
+    uncovered: int
+    epoch_logs: list[EpochLog] = field(default_factory=list)
+    clocks: list[float] = field(default_factory=list)
+    trace: list[ComputeInterval] = field(default_factory=list)
+
+    @property
+    def mbytes(self) -> float:
+        return self.comm.mbytes_total
+
+
+def run_p2mdie(
+    kb: KnowledgeBase,
+    pos: Sequence[Term],
+    neg: Sequence[Term],
+    modes: ModeSet,
+    config: ILPConfig,
+    p: int,
+    width: Optional[int] = ...,
+    seed: int = 0,
+    network: NetworkModel = FAST_ETHERNET,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    record_trace: bool = False,
+    max_epochs: Optional[int] = None,
+    stall_limit: int = 3,
+    repartition_each_epoch: bool = False,
+    share_mode: str = "shared_fs",
+) -> P2Result:
+    """Run p2-mdie(E+, E-, B, C, p, w) — the paper's Fig. 5 entry point.
+
+    ``width=...`` defaults to ``config.pipeline_width``; pass ``None``
+    explicitly for the "nolimit" configuration.
+    ``repartition_each_epoch`` enables the §4.1 alternative the paper
+    rejected (reshuffling remaining examples before every epoch), so its
+    communication cost can be measured.
+    ``share_mode`` is ``"shared_fs"`` (paper's assumption: workers read
+    their subsets from a distributed filesystem) or ``"messages"`` (the
+    §4.1 fallback: the master ships background knowledge and example
+    subsets over the network at start-up).
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if share_mode not in ("shared_fs", "messages"):
+        raise ValueError("share_mode must be 'shared_fs' or 'messages'")
+    rng = make_rng(seed, "partition")
+    partitions = partition_examples(pos, neg, p, rng)
+    shared = SharedProblem(kb, partitions, modes, config)
+    ship_data = None
+    if share_mode == "messages":
+        from repro.parallel.messages import LoadData
+
+        facts = tuple(f for ind in kb.predicates() for f in kb.facts_for(ind))
+        rules = tuple(r for ind in kb.predicates() for r in kb.rules_for(ind))
+        ship_data = [
+            LoadData(pos=part.pos, neg=part.neg, facts=facts, rules=rules)
+            for part in partitions
+        ]
+    master = P2Master(
+        n_workers=p,
+        total_pos=len(pos),
+        config=config,
+        width=width,
+        max_epochs=max_epochs,
+        stall_limit=stall_limit,
+        repartition_each_epoch=repartition_each_epoch,
+        seed=seed,
+        ship_data=ship_data,
+    )
+    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
+    cluster = VirtualCluster(
+        [master, *workers],
+        network=network,
+        cost_model=cost_model,
+        record_trace=record_trace,
+    )
+    run: ClusterRun = cluster.run()
+    return P2Result(
+        theory=master.theory,
+        epochs=master.epochs,
+        seconds=run.makespan,
+        comm=run.comm,
+        uncovered=max(master.remaining, 0),
+        epoch_logs=master.epoch_logs,
+        clocks=run.clocks,
+        trace=run.trace,
+    )
+
+
+def sequential_seconds(result: MDIEResult, cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Virtual execution time of a sequential MDIE run.
+
+    The sequential algorithm runs on one node with no communication, so its
+    virtual time is exactly its engine work under the same cost model the
+    cluster charges — making Table 2's speedup ratios well-defined.
+    """
+    return cost_model.seconds_for_ops(result.ops)

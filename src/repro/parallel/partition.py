@@ -1,0 +1,60 @@
+"""Example partitioning (master step 1, Fig. 5 line 2).
+
+"The master randomly and evenly partitions the examples into p subsets" —
+positives and negatives are shuffled independently and dealt round-robin,
+so subset sizes differ by at most one example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic.terms import Term
+
+__all__ = ["Partition", "partition_examples"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One worker's share of the training data."""
+
+    pos: tuple[Term, ...]
+    neg: tuple[Term, ...]
+
+    @property
+    def n_pos(self) -> int:
+        return len(self.pos)
+
+    @property
+    def n_neg(self) -> int:
+        return len(self.neg)
+
+
+def partition_examples(
+    pos: Sequence[Term],
+    neg: Sequence[Term],
+    p: int,
+    rng: random.Random,
+) -> list[Partition]:
+    """Random even split of (pos, neg) into ``p`` partitions.
+
+    Deterministic given the RNG state.  Every example lands in exactly one
+    partition; sizes are balanced to within one.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    pos_idx = list(range(len(pos)))
+    neg_idx = list(range(len(neg)))
+    rng.shuffle(pos_idx)
+    rng.shuffle(neg_idx)
+    out = []
+    for k in range(p):
+        out.append(
+            Partition(
+                pos=tuple(pos[i] for i in pos_idx[k::p]),
+                neg=tuple(neg[i] for i in neg_idx[k::p]),
+            )
+        )
+    return out

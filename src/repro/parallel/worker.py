@@ -1,0 +1,248 @@
+"""P²-MDIE worker process (paper Fig. 6 + Fig. 7).
+
+Each worker owns one example partition (read from the simulated shared
+filesystem on ``load_examples``) and serves four tasks:
+
+* ``start_pipeline(w)`` — select a local seed, saturate it into ⊥e, run
+  the first pipeline stage (``learn_rule'`` with an empty seed set);
+* ``learn_rule'(⊥e, step, w, S)`` — continue a pipeline started
+  elsewhere: re-evaluate the received rules locally, search onward from
+  them, forward the best ``w`` to the next stage (or the master);
+* ``evaluate(Rules)`` — local coverage stats for the master's rule bag;
+* ``mark_covered(R)`` — retract locally covered positives.
+
+All engine work between messages is charged to the worker's virtual clock
+via ``ctx.compute`` with the engine's operation delta.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.message import Tag
+from repro.cluster.process import ProcContext, SimProcess
+from repro.ilp.bottom import BottomClause, SaturationError, build_bottom
+from repro.ilp.config import ILPConfig
+from repro.ilp.modes import ModeSet
+from repro.ilp.search import learn_rule
+from repro.ilp.store import ExampleStore
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    ExamplesReport,
+    GatherExamples,
+    LoadData,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    PipelineTask,
+    Repartition,
+    RuleStats,
+    StartPipeline,
+    Stop,
+)
+from repro.util.rng import make_rng
+
+__all__ = ["P2Worker", "MASTER_RANK"]
+
+MASTER_RANK = 0
+
+
+class P2Worker(SimProcess):
+    """One pipeline stage owner.
+
+    ``shared`` is the simulated distributed filesystem
+    (:class:`repro.parallel.p2mdie.SharedProblem`); ``n_workers`` fixes the
+    pipeline ring ``1 → 2 → ... → p → 1``.
+    """
+
+    def __init__(self, rank: int, shared, n_workers: int, seed: int = 0):
+        super().__init__(rank)
+        self.shared = shared
+        self.n_workers = n_workers
+        self.seed = seed
+        # populated on load_examples:
+        self.store: Optional[ExampleStore] = None
+        self.engine: Optional[Engine] = None
+        self.config: Optional[ILPConfig] = None
+        self.modes: Optional[ModeSet] = None
+        # seeds already tried as pipeline roots (and not since covered):
+        self._tried_mask = 0
+
+    # -- helpers -----------------------------------------------------------------
+    def _next_worker(self) -> int:
+        """Successor in the ring of workers (ranks 1..p)."""
+        return self.rank % self.n_workers + 1
+
+    def _select_seed(self) -> Optional[int]:
+        candidates = self.store.alive & ~self._tried_mask
+        if not candidates and self.store.alive:
+            # Every alive seed has been tried without being covered.  Allow a
+            # fresh pass: the global coverage state changed since those
+            # pipelines ran (other rules were accepted), so a retried seed
+            # can produce different surviving rules.  Termination stays
+            # bounded by the master's stall detector.
+            self._tried_mask = 0
+            candidates = self.store.alive
+        idxs = [i for i in range(self.store.n_pos) if (candidates >> i) & 1]
+        if not idxs:
+            return None
+        if self.config.select_seed_randomly:
+            return self._rng.choice(idxs)
+        return idxs[0]
+
+    def _ops_since(self, mark: int) -> int:
+        return self.engine.total_ops - mark
+
+    # -- process body ----------------------------------------------------------------
+    def run(self, ctx: ProcContext):
+        # Fig. 6 load_examples(): read the local subset + shared data, or
+        # (no shared FS) receive everything in a LoadData message.
+        msg = yield ctx.recv(tag=Tag.LOAD_EXAMPLES)
+        if isinstance(msg.payload, LoadExamples):
+            problem = self.shared.worker_problem(msg.payload.partition_id)
+            kb = problem.kb
+            pos, neg = problem.pos, problem.neg
+            self.config = problem.config
+            self.modes = problem.modes
+            load_cost = len(pos) + len(neg)
+        else:
+            assert isinstance(msg.payload, LoadData)
+            data: LoadData = msg.payload
+            # Shared problem still supplies the (small) bias/config; the
+            # bulky relational data came over the wire.
+            self.config = self.shared.config
+            self.modes = self.shared.modes
+            kb = KnowledgeBase()
+            for fact in data.facts:
+                kb.add_fact(fact)
+            for rule in data.rules:
+                kb.add_rule(rule)
+            pos, neg = data.pos, data.neg
+            # Building the KB from terms costs real work: one op per clause.
+            load_cost = len(data.facts) + len(data.rules) + len(pos) + len(neg)
+        self.store = ExampleStore(pos, neg, reorder_body=self.config.reorder_body)
+        self.engine = Engine(kb, self.config.engine_budget())
+        self._rng = make_rng(self.seed, "worker", self.rank)
+        yield ctx.compute(load_cost, label="load")
+
+        while True:
+            msg = yield ctx.recv()
+            payload = msg.payload
+            if isinstance(payload, Stop):
+                return
+            if isinstance(payload, StartPipeline):
+                yield from self._start_pipeline(ctx, payload.width)
+            elif isinstance(payload, PipelineTask):
+                yield from self._pipeline_stage(ctx, payload)
+            elif isinstance(payload, EvaluateRequest):
+                yield from self._evaluate(ctx, payload)
+            elif isinstance(payload, MarkCovered):
+                yield from self._mark_covered(ctx, payload)
+            elif isinstance(payload, GatherExamples):
+                yield from self._gather_examples(ctx)
+            elif isinstance(payload, Repartition):
+                yield from self._repartition(ctx, payload)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"worker {self.rank}: unknown task {payload!r}")
+
+    # -- tasks ----------------------------------------------------------------------
+    def _start_pipeline(self, ctx: ProcContext, width: Optional[int]):
+        """Fig. 6 start_pipeline: seed, saturate, first learn_rule' stage."""
+        ops0 = self.engine.total_ops
+        seed_i = self._select_seed()
+        bottom: Optional[BottomClause] = None
+        if seed_i is not None:
+            self._tried_mask |= 1 << seed_i
+            try:
+                bottom = build_bottom(
+                    self.store.pos[seed_i], self.engine, self.modes, self.config
+                )
+            except SaturationError:
+                bottom = None
+        yield ctx.compute(self._ops_since(ops0), label="saturate")
+        task = PipelineTask(bottom=bottom, step=1, width=width, rules=(), origin=self.rank)
+        yield from self._pipeline_stage(ctx, task)
+
+    def _pipeline_stage(self, ctx: ProcContext, task: PipelineTask):
+        """Fig. 7 learn_rule': search locally, forward Good onward."""
+        ops0 = self.engine.total_ops
+        if task.bottom is None:
+            good: tuple = task.rules
+        else:
+            result = learn_rule(
+                self.engine,
+                task.bottom,
+                self.store,
+                self.config,
+                seeds=task.rules or None,
+                width=task.width,
+            )
+            good = tuple(er.rule for er in result.good)
+        yield ctx.compute(self._ops_since(ops0), label=f"search(s{task.step})")
+        if task.step >= self.n_workers:
+            # Last stage: ship the pipeline's rules to the master.
+            yield ctx.send(
+                MASTER_RANK,
+                PipelineRules(origin=task.origin, rules=good),
+                tag=Tag.RULES,
+            )
+        else:
+            yield ctx.send(
+                self._next_worker(),
+                PipelineTask(
+                    bottom=task.bottom,
+                    step=task.step + 1,
+                    width=task.width,
+                    rules=good,
+                    origin=task.origin,
+                ),
+                tag=Tag.LEARN_RULE,
+            )
+
+    def _evaluate(self, ctx: ProcContext, req: EvaluateRequest):
+        """Fig. 6 evaluate_rules: local stats for each bag rule."""
+        ops0 = self.engine.total_ops
+        stats = []
+        for rule in req.rules:
+            cs = self.store.evaluate(self.engine, rule)
+            stats.append(RuleStats(pos=cs.pos, neg=cs.neg))
+        yield ctx.compute(self._ops_since(ops0), label="evaluate")
+        yield ctx.send(
+            MASTER_RANK,
+            EvaluateResult(rank=self.rank, stats=tuple(stats)),
+            tag=Tag.RESULT,
+        )
+
+    def _mark_covered(self, ctx: ProcContext, req: MarkCovered):
+        """Fig. 6 mark_covered: retract positives the accepted rule covers."""
+        ops0 = self.engine.total_ops
+        cs = self.store.evaluate(self.engine, req.rule)
+        self.store.kill(cs.pos_bits)
+        # Seeds that were covered no longer need the tried-mark; keeping the
+        # mask aligned with `alive` lets future epochs retry only genuinely
+        # new ground.
+        self._tried_mask &= self.store.alive
+        yield ctx.compute(self._ops_since(ops0), label="mark_covered")
+
+    def _gather_examples(self, ctx: ProcContext):
+        """Repartitioning step 1: report remaining examples to the master."""
+        report = ExamplesReport(
+            rank=self.rank,
+            pos=tuple(self.store.alive_examples()),
+            neg=tuple(self.store.neg),
+        )
+        yield ctx.compute(self.store.remaining + self.store.n_neg, label="gather")
+        yield ctx.send(MASTER_RANK, report, tag=Tag.LOAD_EXAMPLES)
+
+    def _repartition(self, ctx: ProcContext, req: Repartition):
+        """Repartitioning step 2: adopt a fresh subset.
+
+        The evaluation cache dies with the old store — exactly the hidden
+        cost (beyond message bytes) that makes repartitioning expensive.
+        """
+        self.store = ExampleStore(list(req.pos), list(req.neg), reorder_body=self.config.reorder_body)
+        self._tried_mask = 0
+        yield ctx.compute(self.store.n_pos + self.store.n_neg, label="load")

@@ -1,0 +1,14 @@
+"""Small shared utilities: seeded RNG plumbing and formatting helpers."""
+
+from repro.util.rng import RngStream, derive_seed, make_rng
+from repro.util.fmt import fmt_float, fmt_int, fmt_mbytes, render_table
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "make_rng",
+    "fmt_float",
+    "fmt_int",
+    "fmt_mbytes",
+    "render_table",
+]

@@ -1,0 +1,65 @@
+"""Tests for the KRK-illegal dataset generator."""
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.datasets.krki import _is_illegal
+from repro.ilp.mdie import mdie
+from repro.ilp.theory import accuracy
+from repro.logic.engine import Engine
+
+
+class TestLabelFunction:
+    def test_adjacent_kings_illegal(self):
+        assert _is_illegal(3, 3, 0, 7, 4, 4)
+
+    def test_rook_attacks_file(self):
+        assert _is_illegal(0, 0, 5, 3, 5, 7)
+
+    def test_rook_attacks_rank(self):
+        assert _is_illegal(0, 0, 2, 6, 7, 6)
+
+    def test_shared_square_illegal(self):
+        assert _is_illegal(2, 2, 2, 2, 7, 7)
+
+    def test_legal_position(self):
+        assert not _is_illegal(0, 0, 2, 3, 7, 7)
+
+
+class TestGenerator:
+    def test_quotas(self):
+        ds = make_dataset("krki", seed=1, scale="small")
+        assert (ds.n_pos, ds.n_neg) == (60, 60)
+
+    def test_deterministic(self):
+        a = make_dataset("krki", seed=4)
+        b = make_dataset("krki", seed=4)
+        assert [str(e) for e in a.pos] == [str(e) for e in b.pos]
+
+    def test_modes_validate(self):
+        make_dataset("krki", seed=1).modes.validate()
+
+    def test_labels_consistent_with_bk(self):
+        """Every positive's board must satisfy the illegality predicate
+        computed from its stored piece facts."""
+        ds = make_dataset("krki", seed=1, scale="small")
+        boards = {}
+        for pred in ("wk", "wr", "bk"):
+            for f in ds.kb.facts_for((pred, 3)):
+                pid = str(f.args[0])
+                boards.setdefault(pid, {})[pred] = (f.args[1].value, f.args[2].value)
+        for e in ds.pos:
+            b = boards[str(e.args[0])]
+            assert _is_illegal(*b["wk"], *b["wr"], *b["bk"])
+        for e in ds.neg:
+            b = boards[str(e.args[0])]
+            assert not _is_illegal(*b["wk"], *b["wr"], *b["bk"])
+
+
+class TestLearnable:
+    def test_mdie_beats_chance(self):
+        ds = make_dataset("krki", seed=1, scale="small")
+        res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=1)
+        eng = Engine(ds.kb, ds.config.engine_budget())
+        acc = accuracy(eng, res.theory, ds.pos, ds.neg)
+        assert acc > 75.0

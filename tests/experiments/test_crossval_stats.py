@@ -1,0 +1,106 @@
+"""Tests for cross-validation and the paired t-test machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.crossval import kfold
+from repro.experiments.stats import mean_std, paired_ttest
+from repro.logic.terms import atom
+
+
+def _ex(n, pred="p"):
+    return [atom(pred, i) for i in range(n)]
+
+
+class TestKfold:
+    def test_counts(self):
+        folds = list(kfold(_ex(20), _ex(15, "n"), k=5, seed=0))
+        assert len(folds) == 5
+        for f in folds:
+            assert len(f.train_pos) + len(f.test_pos) == 20
+            assert len(f.train_neg) + len(f.test_neg) == 15
+
+    def test_test_sets_partition_data(self):
+        folds = list(kfold(_ex(20), _ex(15, "n"), k=5, seed=0))
+        all_test_pos = [str(e) for f in folds for e in f.test_pos]
+        assert sorted(all_test_pos) == sorted(str(e) for e in _ex(20))
+        assert len(all_test_pos) == len(set(all_test_pos))
+
+    def test_train_test_disjoint(self):
+        for f in kfold(_ex(20), _ex(15, "n"), k=5, seed=0):
+            assert not set(map(str, f.train_pos)) & set(map(str, f.test_pos))
+            assert not set(map(str, f.train_neg)) & set(map(str, f.test_neg))
+
+    def test_stratified_balance(self):
+        folds = list(kfold(_ex(20), _ex(10, "n"), k=5, seed=0))
+        for f in folds:
+            assert len(f.test_pos) == 4
+            assert len(f.test_neg) == 2
+
+    def test_deterministic(self):
+        a = [f.test_pos for f in kfold(_ex(20), _ex(10, "n"), k=5, seed=7)]
+        b = [f.test_pos for f in kfold(_ex(20), _ex(10, "n"), k=5, seed=7)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold(_ex(20), _ex(10, "n"), k=1))
+        with pytest.raises(ValueError):
+            list(kfold(_ex(3), _ex(10, "n"), k=5))
+
+    @given(st.integers(5, 40), st.integers(5, 40), st.integers(2, 5), st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, npos, nneg, k, seed):
+        folds = list(kfold(_ex(npos), _ex(nneg, "n"), k=k, seed=seed))
+        sizes = [len(f.test_pos) for f in folds]
+        assert sum(sizes) == npos
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestMeanStd:
+    def test_basic(self):
+        m, s = mean_std([2.0, 4.0, 4.0, 4.0, 6.0])
+        assert m == 4.0
+        assert s == pytest.approx(1.4142, abs=1e-3)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestPairedTtest:
+    def test_clear_difference_significant(self):
+        r = paired_ttest([60, 61, 59, 60, 61], [70, 71, 69, 70, 71])
+        assert r.significant and r.improved
+        assert r.star == "*"
+
+    def test_identical_not_significant(self):
+        r = paired_ttest([60.0] * 5, [60.0] * 5)
+        assert not r.significant
+        assert r.star == ""
+
+    def test_noise_not_significant(self):
+        r = paired_ttest([60, 62, 58, 61, 59], [61, 60, 59, 62, 58])
+        assert not r.significant
+
+    def test_decline_not_improved(self):
+        r = paired_ttest([70, 71, 69, 70, 71], [60, 61, 59, 60, 61])
+        assert r.significant and not r.improved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_ttest([1.0], [2.0])
+        with pytest.raises(ValueError):
+            paired_ttest([1.0, 2.0], [2.0])
+
+    def test_confidence_threshold(self):
+        # borderline case: strict confidence flips significance
+        a = [60, 61, 59, 60, 61]
+        b = [61, 62, 60, 61, 63]
+        loose = paired_ttest(a, b, confidence=0.5)
+        strict = paired_ttest(a, b, confidence=0.9999)
+        assert loose.significant and not strict.significant

@@ -1,0 +1,58 @@
+"""Tests for the markdown evaluation-report generator."""
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.experiments.report import ReportMeta, render_report, speedup_summary
+from repro.experiments.runner import run_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(
+        dataset_names=("trains",),
+        widths=(2,),
+        ps=(2,),
+        k_folds=2,
+        scale="small",
+        seed=6,
+    )
+
+
+class TestSpeedupSummary:
+    def test_structure(self, matrix):
+        rows = speedup_summary(matrix, ps=(2,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "trains"
+        assert row["width"] == "2"
+        assert row["p2"] > 0
+
+    def test_empty_matrix(self):
+        from repro.experiments.runner import MatrixResult
+
+        assert speedup_summary(MatrixResult()) == []
+
+
+class TestRenderReport:
+    def test_contains_all_tables(self, matrix):
+        ds = make_dataset("trains", seed=6, scale="small")
+        doc = render_report(matrix, datasets=[ds], ps=(2,))
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6"):
+            assert marker in doc, marker
+        assert doc.startswith("# P²-MDIE evaluation report")
+
+    def test_meta_rendered(self, matrix):
+        doc = render_report(matrix, meta=ReportMeta(scale="small", seed=6, notes="hi"), ps=(2,))
+        assert "seed: `6`" in doc
+        assert "notes: hi" in doc
+
+    def test_significance_section(self, matrix):
+        doc = render_report(matrix, ps=(2,))
+        assert "Accuracy significance" in doc
+        # either lists cells or says nothing differs
+        assert ("no cell differs" in doc) or ("→" in doc)
+
+    def test_without_datasets_skips_table1(self, matrix):
+        doc = render_report(matrix, ps=(2,))
+        assert "Table 1" not in doc

@@ -1,0 +1,79 @@
+"""Tests for the pipeline trace rendering (Figs. 3-4 reproduction)."""
+
+import pytest
+
+from repro.cluster.process import ComputeInterval as CI
+from repro.experiments.trace import occupancy, render_gantt, stage_summary
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert render_gantt([]) == "(empty trace)"
+
+    def test_single_interval(self):
+        out = render_gantt([CI(1, 0.0, 1.0, "search(s1)")], width=10)
+        assert out == "rank 1 |1111111111|"
+
+    def test_stage_chars(self):
+        out = render_gantt(
+            [CI(1, 0.0, 0.5, "search(s2)"), CI(1, 0.5, 1.0, "evaluate")], width=10
+        )
+        assert "2" in out and "e" in out
+
+    def test_idle_shown_as_dots(self):
+        out = render_gantt([CI(1, 0.5, 1.0, "saturate")], width=10)
+        row = out.split("|")[1]
+        assert row.startswith(".")
+        assert row.endswith("s")
+
+    def test_multiple_ranks_sorted(self):
+        out = render_gantt([CI(2, 0, 1, "evaluate"), CI(0, 0, 1, "aggregate")], width=4)
+        lines = out.splitlines()
+        assert lines[0].startswith("rank 0")
+        assert lines[1].startswith("rank 2")
+
+    def test_fixed_t_end(self):
+        out = render_gantt([CI(1, 0.0, 1.0, "evaluate")], width=10, t_end=2.0)
+        row = out.split("|")[1]
+        assert row == "eeeee....."
+
+
+class TestOccupancy:
+    def test_fractions(self):
+        occ = occupancy([CI(1, 0, 2, "a"), CI(2, 0, 1, "b")], makespan=2.0)
+        assert occ == {1: 1.0, 2: 0.5}
+
+    def test_invalid_makespan(self):
+        with pytest.raises(ValueError):
+            occupancy([], makespan=0.0)
+
+
+class TestStageSummary:
+    def test_aggregation(self):
+        trace = [
+            CI(1, 0, 1, "search(s1)"),
+            CI(2, 1, 3, "search(s1)"),
+            CI(1, 3, 4, "evaluate"),
+        ]
+        stats = {s.label: s for s in stage_summary(trace)}
+        assert stats["search(s1)"].count == 2
+        assert stats["search(s1)"].total_seconds == 3.0
+        assert stats["evaluate"].count == 1
+
+
+class TestOnRealRun:
+    def test_p2mdie_trace_renders(self):
+        from repro.datasets import make_dataset
+        from repro.parallel.p2mdie import run_p2mdie
+
+        ds = make_dataset("trains", seed=4, scale="small")
+        res = run_p2mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, seed=4, record_trace=True, max_epochs=1
+        )
+        out = render_gantt(res.trace, width=60)
+        assert "rank 1" in out and "rank 3" in out
+        occ = occupancy(res.trace, res.seconds)
+        assert all(0 <= v <= 1.0 for v in occ.values())
+        # pipeline stages 1..3 all appear somewhere in the trace
+        labels = {iv.label for iv in res.trace}
+        assert {"search(s1)", "search(s2)", "search(s3)"} <= labels

@@ -1,0 +1,86 @@
+"""Unit tests for coverage evaluation and bitsets."""
+
+import pytest
+
+from repro.ilp.coverage import (
+    CoverageStats,
+    bitset_from_indices,
+    coverage_bitset,
+    covers,
+    indices_from_bitset,
+    popcount,
+)
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_clause, parse_term
+
+
+@pytest.fixture
+def eng():
+    kb = KnowledgeBase()
+    kb.add_program("q(a). q(b). r(b).")
+    return Engine(kb)
+
+
+class TestCovers:
+    def test_fact_rule(self, eng):
+        assert covers(eng, parse_clause("p(X) :- q(X)."), parse_term("p(a)"))
+
+    def test_miss(self, eng):
+        assert not covers(eng, parse_clause("p(X) :- q(X)."), parse_term("p(z)"))
+
+    def test_conjunction(self, eng):
+        rule = parse_clause("p(X) :- q(X), r(X).")
+        assert covers(eng, rule, parse_term("p(b)"))
+        assert not covers(eng, rule, parse_term("p(a)"))
+
+    def test_bare_head_covers_matching(self, eng):
+        assert covers(eng, parse_clause("p(X)."), parse_term("p(anything)"))
+
+    def test_head_functor_mismatch(self, eng):
+        assert not covers(eng, parse_clause("p(X) :- q(X)."), parse_term("s(a)"))
+
+    def test_head_constant_filter(self, eng):
+        rule = parse_clause("p(a) :- q(a).")
+        assert covers(eng, rule, parse_term("p(a)"))
+        assert not covers(eng, rule, parse_term("p(b)"))
+
+    def test_rule_variables_fresh_per_example(self, eng):
+        # same rule evaluated twice must not leak bindings
+        rule = parse_clause("p(X) :- q(X).")
+        assert covers(eng, rule, parse_term("p(a)"))
+        assert covers(eng, rule, parse_term("p(b)"))
+
+
+class TestBitsets:
+    def test_coverage_bitset(self, eng):
+        rule = parse_clause("p(X) :- q(X).")
+        examples = [parse_term("p(a)"), parse_term("p(z)"), parse_term("p(b)")]
+        bits = coverage_bitset(eng, rule, examples)
+        assert bits == 0b101
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b10110) == 3
+
+    def test_roundtrip(self):
+        idx = [0, 3, 17]
+        assert list(indices_from_bitset(bitset_from_indices(idx))) == idx
+
+
+class TestCoverageStats:
+    def test_of(self, eng):
+        rule = parse_clause("p(X) :- q(X).")
+        pos = [parse_term("p(a)"), parse_term("p(b)")]
+        neg = [parse_term("p(z)")]
+        st = CoverageStats.of(eng, rule, pos, neg)
+        assert (st.pos, st.neg) == (2, 0)
+        assert st.pos_bits == 0b11
+
+    def test_merged_shifts(self):
+        a = CoverageStats(pos=1, neg=0, pos_bits=0b1, neg_bits=0)
+        b = CoverageStats(pos=2, neg=1, pos_bits=0b11, neg_bits=0b1)
+        m = a.merged(b, pos_shift=1, neg_shift=1)
+        assert m.pos == 3 and m.neg == 1
+        assert m.pos_bits == 0b111
+        assert m.neg_bits == 0b10

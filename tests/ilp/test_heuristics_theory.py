@@ -1,0 +1,115 @@
+"""Unit tests for heuristics, acceptance, theories and config."""
+
+import pytest
+
+from repro.ilp.config import ILPConfig
+from repro.ilp.heuristics import HEURISTICS, is_good, score_rule
+from repro.ilp.theory import TheoryReport, accuracy, confusion, predicts
+from repro.logic.clause import Theory
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_clause, parse_term
+
+
+class TestHeuristics:
+    def test_coverage(self):
+        assert HEURISTICS["coverage"](10, 3, 2) == 7.0
+
+    def test_compression_penalises_length(self):
+        assert HEURISTICS["compression"](10, 0, 1) > HEURISTICS["compression"](10, 0, 4)
+
+    def test_laplace_bounds(self):
+        assert 0 < HEURISTICS["laplace"](0, 0, 1) < 1
+        assert HEURISTICS["laplace"](100, 0, 1) > HEURISTICS["laplace"](1, 0, 1)
+
+    def test_mestimate(self):
+        assert 0 < HEURISTICS["mestimate"](5, 5, 1) < 1
+
+    def test_precision_zero_cover(self):
+        assert HEURISTICS["precision"](0, 0, 1) == 0.0
+
+    def test_score_rule_dispatch(self):
+        cfg = ILPConfig(heuristic="coverage")
+        assert score_rule(5, 2, 2, cfg) == 3.0
+
+    def test_unknown_heuristic(self):
+        cfg = ILPConfig(heuristic="coverage")
+        object.__setattr__(cfg, "heuristic", "nope")
+        with pytest.raises(ValueError):
+            score_rule(1, 0, 1, cfg)
+
+
+class TestIsGood:
+    def test_min_pos(self):
+        cfg = ILPConfig(min_pos=3, noise=0)
+        assert not is_good(2, 0, cfg)
+        assert is_good(3, 0, cfg)
+
+    def test_noise_bound(self):
+        cfg = ILPConfig(min_pos=1, noise=2)
+        assert is_good(5, 2, cfg)
+        assert not is_good(5, 3, cfg)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ILPConfig(max_clause_length=0)
+        with pytest.raises(ValueError):
+            ILPConfig(noise=-1)
+        with pytest.raises(ValueError):
+            ILPConfig(pipeline_width=0)
+        with pytest.raises(ValueError):
+            ILPConfig(on_uncoverable="whatever")
+
+    def test_width_none_ok(self):
+        assert ILPConfig(pipeline_width=None).pipeline_width is None
+
+    def test_with_width(self):
+        cfg = ILPConfig(pipeline_width=10)
+        assert cfg.with_width(None).pipeline_width is None
+        assert cfg.pipeline_width == 10  # frozen original
+
+    def test_engine_budget(self):
+        cfg = ILPConfig(engine_max_depth=5, engine_max_ops=100)
+        b = cfg.engine_budget()
+        assert (b.max_depth, b.max_ops) == (5, 100)
+
+
+class TestTheoryPrediction:
+    @pytest.fixture
+    def setup(self):
+        kb = KnowledgeBase()
+        kb.add_program("q(a). q(b). r(c).")
+        theory = Theory([parse_clause("p(X) :- q(X).")])
+        return Engine(kb), theory
+
+    def test_predicts(self, setup):
+        eng, th = setup
+        assert predicts(eng, th, parse_term("p(a)"))
+        assert not predicts(eng, th, parse_term("p(c)"))
+
+    def test_confusion(self, setup):
+        eng, th = setup
+        pos = [parse_term("p(a)"), parse_term("p(c)")]
+        neg = [parse_term("p(b)"), parse_term("p(z)")]
+        rep = confusion(eng, th, pos, neg)
+        assert (rep.tp, rep.fn, rep.fp, rep.tn) == (1, 1, 1, 1)
+        assert rep.accuracy == 0.5
+        assert rep.precision == 0.5
+        assert rep.recall == 0.5
+
+    def test_accuracy_percentage(self, setup):
+        eng, th = setup
+        assert accuracy(eng, th, [parse_term("p(a)")], [parse_term("p(z)")]) == 100.0
+
+    def test_empty_theory_rejects_all(self, setup):
+        eng, _ = setup
+        th = Theory()
+        assert accuracy(eng, th, [parse_term("p(a)")], [parse_term("p(z)")]) == 50.0
+
+    def test_report_zero_division(self):
+        rep = TheoryReport(tp=0, fn=0, tn=0, fp=0)
+        assert rep.accuracy == 0.0
+        assert rep.precision == 0.0
+        assert rep.recall == 0.0

@@ -1,0 +1,107 @@
+"""Tests for theory post-processing (pruning)."""
+
+import pytest
+
+from repro.ilp.coverage import coverage_bitset
+from repro.ilp.prune import drop_redundant_clauses, prune_clause, prune_theory
+from repro.logic.clause import Theory
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_clause, parse_term
+
+
+@pytest.fixture
+def eng():
+    kb = KnowledgeBase()
+    kb.add_program(
+        "q(a). q(b). q(c). r(a). r(b). t(a). t(b). t(c). t(z)."
+    )
+    return Engine(kb)
+
+
+@pytest.fixture
+def pos():
+    return [parse_term(f"p({x})") for x in "ab"]
+
+
+@pytest.fixture
+def neg():
+    return [parse_term(f"p({x})") for x in "yz"]
+
+
+class TestPruneClause:
+    def test_drops_idle_literals(self, eng, pos, neg):
+        # r(X) alone already decides the extension, so q and t are idle
+        c = parse_clause("p(X) :- q(X), r(X), t(X).")
+        pruned = prune_clause(eng, c, pos, neg)
+        assert pruned.body == (parse_term("r(X)"),)
+
+    def test_keeps_discriminating_literal(self, eng, pos, neg):
+        # r(X) separates {a,b} from z; must survive
+        c = parse_clause("p(X) :- t(X), r(X).")
+        pruned = prune_clause(eng, c, pos, neg)
+        assert parse_term("r(X)") in pruned.body
+
+    def test_extension_preserved(self, eng, pos, neg):
+        c = parse_clause("p(X) :- q(X), r(X), t(X).")
+        pruned = prune_clause(eng, c, pos, neg)
+        assert coverage_bitset(eng, pruned, pos) == coverage_bitset(eng, c, pos)
+        assert coverage_bitset(eng, pruned, neg) == coverage_bitset(eng, c, neg)
+
+    def test_bare_head_unchanged(self, eng, pos, neg):
+        c = parse_clause("p(X) :- r(X).")
+        # r is needed (z is negative and t(z) holds); single literal stays
+        assert prune_clause(eng, c, pos, neg) == c
+
+
+class TestDropRedundantClauses:
+    def test_equivalent_clause_removed(self, eng, pos):
+        # both clauses cover exactly {a, b} on this training set; one goes
+        general = parse_clause("p(X) :- q(X).")
+        specific = parse_clause("p(X) :- q(X), r(X).")
+        th = Theory([specific, general])
+        out = drop_redundant_clauses(eng, th, pos)
+        assert len(out) == 1
+        kept = out[0]
+        assert coverage_bitset(eng, kept, pos) == 0b11
+
+    def test_complementary_clauses_kept(self, eng):
+        pos = [parse_term("p(a)"), parse_term("p(c)")]
+        c1 = parse_clause("p(X) :- r(X).")  # covers a
+        c2 = parse_clause("p(c).")  # covers c
+        out = drop_redundant_clauses(eng, Theory([c1, c2]), pos)
+        assert len(out) == 2
+
+    def test_total_coverage_preserved(self, eng, pos):
+        th = Theory(
+            [
+                parse_clause("p(X) :- q(X), r(X)."),
+                parse_clause("p(X) :- q(X)."),
+                parse_clause("p(a)."),
+            ]
+        )
+        out = drop_redundant_clauses(eng, th, pos)
+        before = 0
+        for c in th:
+            before |= coverage_bitset(eng, c, pos)
+        after = 0
+        for c in out:
+            after |= coverage_bitset(eng, c, pos)
+        assert before == after
+
+
+class TestPruneTheory:
+    def test_end_to_end_on_learned_theory(self):
+        from repro.datasets import make_dataset
+        from repro.ilp import mdie
+        from repro.ilp.theory import confusion
+
+        ds = make_dataset("trains", seed=2, scale="small")
+        res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=2)
+        eng = Engine(ds.kb, ds.config.engine_budget())
+        before = confusion(eng, res.theory, ds.pos, ds.neg)
+        pruned = prune_theory(eng, res.theory, ds.pos, ds.neg)
+        after = confusion(eng, pruned, ds.pos, ds.neg)
+        assert after.tp == before.tp  # positives kept
+        assert after.fp <= before.fp  # consistency monotone
+        assert pruned.total_literals() <= res.theory.total_literals()

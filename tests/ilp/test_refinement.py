@@ -1,0 +1,87 @@
+"""Unit tests for the bottom-clause-guided refinement operator."""
+
+import pytest
+
+from repro.ilp.bottom import build_bottom
+from repro.ilp.config import ILPConfig
+from repro.ilp.refinement import SearchRule, refinements, rule_vars_in_scope, start_rule
+from repro.logic.subsumption import theta_subsumes
+
+
+@pytest.fixture
+def bottom(family_engine, family_modes, family_config, family_pos):
+    return build_bottom(family_pos[0], family_engine, family_modes, family_config)
+
+
+class TestStartRule:
+    def test_bare_head(self, bottom):
+        sr = start_rule(bottom)
+        assert sr.clause.body == ()
+        assert sr.last_index == -1
+
+
+class TestRefinements:
+    def test_children_extend_by_one(self, bottom, family_config):
+        sr = start_rule(bottom)
+        for child in refinements(sr, bottom, family_config):
+            assert len(child.clause.body) == 1
+            assert child.last_index >= 0
+
+    def test_indices_strictly_increase(self, bottom, family_config):
+        sr = start_rule(bottom)
+        kids = list(refinements(sr, bottom, family_config))
+        for child in kids:
+            for gc in refinements(child, bottom, family_config):
+                assert gc.last_index > child.last_index
+
+    def test_connectivity(self, bottom, family_config):
+        # every refinement's new literal has its inputs in scope
+        sr = start_rule(bottom)
+        frontier = [sr]
+        for _ in range(2):
+            nxt = []
+            for r in frontier:
+                scope = rule_vars_in_scope(r, bottom)
+                for child in refinements(r, bottom, family_config):
+                    new_lit_index = child.last_index
+                    bl = bottom.literals[new_lit_index]
+                    assert bl.input_vars <= scope
+                    nxt.append(child)
+            frontier = nxt
+
+    def test_no_duplicate_subsequences(self, bottom, family_config):
+        # exhaustive 2-level expansion generates distinct clauses
+        sr = start_rule(bottom)
+        seen = set()
+        for child in refinements(sr, bottom, family_config):
+            for gc in refinements(child, bottom, family_config):
+                assert gc.clause not in seen
+                seen.add(gc.clause)
+
+    def test_max_clause_length_stops(self, bottom):
+        cfg = ILPConfig(max_clause_length=1)
+        sr = start_rule(bottom)
+        child = next(iter(refinements(sr, bottom, cfg)))
+        assert list(refinements(child, bottom, cfg)) == []
+
+    def test_refinement_specialises(self, bottom, family_config):
+        # each child is θ-subsumed by its parent (generality decreases)
+        sr = start_rule(bottom)
+        for child in refinements(sr, bottom, family_config):
+            assert theta_subsumes(sr.clause, child.clause)
+
+    def test_deterministic_order(self, bottom, family_config):
+        a = [c.clause for c in refinements(start_rule(bottom), bottom, family_config)]
+        b = [c.clause for c in refinements(start_rule(bottom), bottom, family_config)]
+        assert a == b
+
+
+class TestSearchRule:
+    def test_len_is_body_length(self, bottom):
+        sr = start_rule(bottom)
+        assert len(sr) == 0
+
+    def test_frozen(self, bottom):
+        sr = start_rule(bottom)
+        with pytest.raises(AttributeError):
+            sr.last_index = 5

@@ -1,0 +1,109 @@
+"""Tests for the body-literal reordering transformation."""
+
+import pytest
+
+from repro.ilp.reorder import literal_cost_estimate, optimize_clause_order
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_clause, parse_term
+from repro.logic.terms import Var, variables_of
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_program(
+        " ".join(f"big(x{i})." for i in range(50))
+        + " tiny(x0). tiny(x1)."
+        + " link(x0, x1). link(x1, x2)."
+    )
+    return kb
+
+
+class TestOrdering:
+    def test_selective_literal_first(self, kb):
+        c = parse_clause("p(X) :- big(X), tiny(X).")
+        out = optimize_clause_order(kb, c)
+        assert [l.functor for l in out.body] == ["tiny", "big"]
+
+    def test_same_literals(self, kb):
+        c = parse_clause("p(X) :- big(X), tiny(X), link(X, Y).")
+        out = optimize_clause_order(kb, c)
+        assert sorted(map(str, out.body)) == sorted(map(str, c.body))
+
+    def test_bound_inputs_preferred(self, kb):
+        # link(Y, Z) has unbound Y initially; link(X, Y) is bound via head
+        c = parse_clause("p(X) :- link(Y, Z), link(X, Y).")
+        out = optimize_clause_order(kb, c)
+        assert str(out.body[0]) == "link(X, Y)"
+
+    def test_guarded_literals_wait_for_bindings(self, kb):
+        c = parse_clause("p(X) :- Y > 1, link(X, Y).")
+        out = optimize_clause_order(kb, c)
+        assert out.body[-1].functor == ">"
+
+    def test_negation_scheduled_after_bindings(self, kb):
+        c = parse_clause("p(X) :- \\+ tiny(Y), link(X, Y).")
+        out = optimize_clause_order(kb, c)
+        assert out.body[0].functor == "link"
+
+    def test_empty_body(self, kb):
+        c = parse_clause("p(a).")
+        assert optimize_clause_order(kb, c) == c
+
+
+class TestSemanticsPreserved:
+    def test_same_coverage(self, kb):
+        from repro.ilp.coverage import coverage_bitset
+
+        eng = Engine(kb)
+        examples = [parse_term(f"p(x{i})") for i in range(5)]
+        for src in (
+            "p(X) :- big(X), tiny(X).",
+            "p(X) :- big(X), link(X, Y), tiny(Y).",
+            "p(X) :- link(X, Y), \\+ tiny(Y).",
+        ):
+            c = parse_clause(src)
+            out = optimize_clause_order(kb, c)
+            assert coverage_bitset(eng, c, examples) == coverage_bitset(eng, out, examples)
+
+    def test_fewer_ops_on_selective_rule(self, kb):
+        from repro.ilp.coverage import coverage_bitset
+
+        eng = Engine(kb)
+        examples = [parse_term(f"p(x{i})") for i in range(50)]
+        c = parse_clause("p(X) :- big(Y), tiny(Y), link(X, Y).")
+        before = eng.total_ops
+        coverage_bitset(eng, c, examples)
+        cost_plain = eng.total_ops - before
+        out = optimize_clause_order(kb, c)
+        before = eng.total_ops
+        coverage_bitset(eng, out, examples)
+        cost_reordered = eng.total_ops - before
+        assert cost_reordered < cost_plain
+
+
+class TestCostEstimate:
+    def test_unbound_penalised(self, kb):
+        lit = parse_term("link(A, B)")
+        cheap = literal_cost_estimate(kb, lit, set(variables_of(lit)))
+        costly = literal_cost_estimate(kb, lit, set())
+        assert cheap < costly
+
+    def test_store_size_breaks_ties(self, kb):
+        bound = {Var("X")}
+        big = literal_cost_estimate(kb, parse_term("big(X)"), bound)
+        tiny = literal_cost_estimate(kb, parse_term("tiny(X)"), bound)
+        assert tiny < big
+
+
+class TestEndToEnd:
+    def test_mdie_with_reorder_same_theory_fewer_ops(self):
+        from repro.datasets import make_dataset
+        from repro.ilp.mdie import mdie
+
+        ds = make_dataset("trains", seed=3, scale="small")
+        plain = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=3)
+        fast = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config.replace(reorder_body=True), seed=3)
+        assert list(plain.theory) == list(fast.theory)
+        assert fast.ops <= plain.ops

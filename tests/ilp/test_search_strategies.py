@@ -1,0 +1,92 @@
+"""Tests for the pluggable learn_rule search strategies."""
+
+import pytest
+
+from repro.ilp.bottom import build_bottom
+from repro.ilp.config import ILPConfig
+from repro.ilp.search import learn_rule
+from repro.ilp.store import ExampleStore
+from repro.logic.parser import parse_clause
+
+STRATEGIES = ("bfs", "best_first", "beam")
+
+
+@pytest.fixture
+def bottom(family_engine, family_modes, family_config, family_pos):
+    return build_bottom(family_pos[0], family_engine, family_modes, family_config)
+
+
+@pytest.fixture
+def store(family_pos, family_neg):
+    return ExampleStore(family_pos, family_neg)
+
+
+TARGET = parse_clause("daughter(A, B) :- parent(B, A), female(A).")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestAllStrategies:
+    def test_finds_target(self, family_engine, bottom, store, family_config, strategy):
+        cfg = family_config.replace(search_strategy=strategy)
+        res = learn_rule(family_engine, bottom, store, cfg, width=None)
+        assert any(er.clause == TARGET for er in res.good), strategy
+
+    def test_respects_node_budget(self, family_engine, bottom, store, family_config, strategy):
+        cfg = family_config.replace(search_strategy=strategy, max_nodes=7)
+        res = learn_rule(family_engine, bottom, store, cfg, width=None)
+        assert res.nodes_generated <= 7
+        assert res.exhausted
+
+    def test_good_rules_valid(self, family_engine, bottom, store, family_config, strategy):
+        cfg = family_config.replace(search_strategy=strategy)
+        res = learn_rule(family_engine, bottom, store, cfg, width=None)
+        for er in res.good:
+            assert er.stats.pos >= cfg.min_pos
+            assert er.stats.neg <= cfg.noise
+
+    def test_deterministic(self, family_engine, bottom, store, family_config, strategy):
+        cfg = family_config.replace(search_strategy=strategy)
+        a = learn_rule(family_engine, bottom, store, cfg, width=None)
+        b = learn_rule(family_engine, bottom, store, cfg, width=None)
+        assert [e.clause for e in a.good] == [e.clause for e in b.good]
+
+
+class TestStrategyDifferences:
+    def test_best_first_reaches_target_in_fewer_nodes(self, family_engine, bottom, store, family_config):
+        """Best-first should find the target rule at least as fast as BFS
+        on this problem (the good prefix scores above siblings)."""
+
+        def nodes_to_target(strategy):
+            for budget in (5, 10, 20, 40, 80, 160, 320, 640):
+                cfg = family_config.replace(search_strategy=strategy, max_nodes=budget)
+                res = learn_rule(family_engine, bottom, store, cfg, width=None)
+                if any(er.clause == TARGET for er in res.good):
+                    return budget
+            return 10_000
+
+        assert nodes_to_target("best_first") <= nodes_to_target("bfs")
+
+    def test_beam_width_one_narrows_search(self, family_engine, bottom, store, family_config):
+        narrow = family_config.replace(search_strategy="beam", beam_width=1)
+        wide = family_config.replace(search_strategy="beam", beam_width=10)
+        rn = learn_rule(family_engine, bottom, store, narrow, width=None)
+        rw = learn_rule(family_engine, bottom, store, wide, width=None)
+        assert rn.nodes_generated <= rw.nodes_generated
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError, match="search_strategy"):
+            ILPConfig(search_strategy="dfs")
+
+    def test_invalid_beam_width(self):
+        with pytest.raises(ValueError, match="beam_width"):
+            ILPConfig(beam_width=0)
+
+
+class TestMdieWithStrategies:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_covering_loop_works(self, family_kb, family_pos, family_neg, family_modes, family_config, strategy):
+        from repro.ilp.mdie import mdie
+
+        cfg = family_config.replace(search_strategy=strategy)
+        res = mdie(family_kb, family_pos, family_neg, family_modes, cfg, seed=1)
+        assert res.uncovered == 0

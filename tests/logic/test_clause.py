@@ -1,0 +1,90 @@
+"""Unit tests for Clause and Theory."""
+
+import pytest
+
+from repro.logic.clause import Clause, Theory, head_indicator
+from repro.logic.parser import parse_clause
+from repro.logic.terms import Const, Var, atom
+from repro.logic.unify import unify
+
+
+class TestClause:
+    def test_fact(self):
+        c = Clause(atom("p", "a"))
+        assert c.is_fact
+        assert len(c) == 1
+        assert str(c) == "p(a)."
+
+    def test_nonground_headonly_not_fact(self):
+        assert not Clause(atom("p", "X")).is_fact
+
+    def test_str_rule(self):
+        c = parse_clause("p(X) :- q(X).")
+        assert str(c) == "p(X) :- q(X)."
+
+    def test_equality_and_hash(self):
+        a = parse_clause("p(X) :- q(X).")
+        b = parse_clause("p(X) :- q(X).")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_length_counts_head(self):
+        assert len(parse_clause("p(X) :- q(X), r(X).")) == 3
+
+    def test_indicator(self):
+        assert parse_clause("p(a, b).").indicator == ("p", 2)
+        assert head_indicator(Const("halt")) == ("halt", 0)
+
+    def test_variables_order(self):
+        c = parse_clause("p(X, Y) :- q(Y, Z).")
+        assert [v.name for v in c.variables()] == ["X", "Y", "Z"]
+
+    def test_rename_apart_preserves_sharing(self):
+        c = parse_clause("p(X) :- q(X, Y), r(Y).")
+        r = c.rename_apart()
+        assert r != c
+        # head var == first body literal var after renaming
+        assert r.head.args[0] == r.body[0].args[0]
+        assert r.body[0].args[1] == r.body[1].args[0]
+        # and the renamed clause unifies with the original
+        assert unify(r.head, c.head) is not None
+
+    def test_substitute(self):
+        c = parse_clause("p(X) :- q(X).")
+        s = {Var("X"): Const("a")}
+        assert c.substitute(s) == parse_clause("p(a) :- q(a).")
+
+    def test_with_extra_literal(self):
+        c = parse_clause("p(X) :- q(X).")
+        c2 = c.with_extra_literal(atom("r", "X"))
+        assert c2.body == (atom("q", "X"), atom("r", "X"))
+        assert c.body == (atom("q", "X"),)  # original untouched
+
+    def test_head_cannot_be_var(self):
+        with pytest.raises(TypeError):
+            Clause(Var("X"))
+
+
+class TestTheory:
+    def test_ordering_preserved(self):
+        t = Theory()
+        a = parse_clause("p(a).")
+        b = parse_clause("p(b).")
+        t.add(a)
+        t.add(b)
+        assert list(t) == [a, b]
+        assert t[0] == a
+
+    def test_len_and_total_literals(self):
+        t = Theory([parse_clause("p(X) :- q(X)."), parse_clause("r(a).")])
+        assert len(t) == 2
+        assert t.total_literals() == 3
+
+    def test_str(self):
+        t = Theory([parse_clause("p(a).")])
+        assert str(t) == "p(a)."
+
+    def test_equality(self):
+        t1 = Theory([parse_clause("p(a).")])
+        t2 = Theory([parse_clause("p(a).")])
+        assert t1 == t2

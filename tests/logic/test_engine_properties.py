@@ -1,0 +1,95 @@
+"""Property-based tests of the SLD engine over randomly generated graph
+knowledge bases: soundness and consistency invariants that must hold for
+any database content."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.engine import Engine, QueryBudget
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.logic.terms import atom, is_ground
+
+
+@st.composite
+def graph_kb(draw):
+    """A small random edge/2 database plus its node set."""
+    n = draw(st.integers(2, 6))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    kb = KnowledgeBase()
+    for a, b in edges:
+        kb.add_fact(atom("edge", f"n{a}", f"n{b}"))
+    kb.add_program(
+        "path(X, Y) :- edge(X, Y)."
+        "path(X, Z) :- edge(X, Y), path(Y, Z)."
+    )
+    return kb, n, edges
+
+
+@given(graph_kb())
+@settings(max_examples=80, deadline=None)
+def test_solutions_are_ground_and_sound(data):
+    """Every enumerated edge solution is a ground fact of the database."""
+    kb, n, edges = data
+    eng = Engine(kb, QueryBudget(max_depth=8, max_ops=50_000))
+    facts = {(str(a.args[0]), str(a.args[1])) for a in kb.facts_for(("edge", 2))}
+    for sol in eng.solve(parse_term("edge(X, Y)")):
+        assert is_ground(sol)
+        assert (str(sol.args[0]), str(sol.args[1])) in facts
+
+
+@given(graph_kb())
+@settings(max_examples=60, deadline=None)
+def test_path_solutions_reachable(data):
+    """Every path/2 answer corresponds to real reachability in the graph."""
+    kb, n, edges = data
+    eng = Engine(kb, QueryBudget(max_depth=10, max_ops=100_000))
+    # compute reachability in plain Python
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+
+    def reachable(src):
+        seen, stack = set(), [src]
+        while stack:
+            x = stack.pop()
+            for y in adj.get(x, ()):
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return seen
+
+    for sol in eng.solve(parse_term("path(X, Y)"), limit=200):
+        a = int(str(sol.args[0])[1:])
+        b = int(str(sol.args[1])[1:])
+        assert b in reachable(a), f"engine claimed unreachable path n{a}->n{b}"
+
+
+@given(graph_kb())
+@settings(max_examples=60, deadline=None)
+def test_prove_iff_some_solution(data):
+    """prove() agrees with solve() producing at least one answer."""
+    kb, n, _ = data
+    eng = Engine(kb, QueryBudget(max_depth=8, max_ops=50_000))
+    for i in range(n):
+        goal = parse_term(f"edge(n{i}, X)")
+        assert eng.prove(goal) == (next(iter(eng.solve(goal, limit=1)), None) is not None)
+
+
+@given(graph_kb(), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_limit_monotone(data, k):
+    """Raising the solution limit never yields fewer answers."""
+    kb, _, _ = data
+    eng = Engine(kb, QueryBudget(max_depth=8, max_ops=50_000))
+    goal = parse_term("edge(X, Y)")
+    few = list(eng.solve(goal, limit=k))
+    more = list(eng.solve(goal, limit=k + 3))
+    assert len(more) >= len(few)
+    assert more[: len(few)] == few  # same enumeration order (determinism)

@@ -1,0 +1,92 @@
+"""Round-trip tests for Prolog-text serialization."""
+
+import pytest
+
+from repro.logic.clause import Theory
+from repro.logic.io import (
+    clause_to_prolog,
+    examples_to_prolog,
+    kb_to_prolog,
+    load_problem,
+    read_examples,
+    read_program,
+    save_problem,
+    theory_to_prolog,
+)
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_clause, parse_term
+
+
+class TestClauseRoundtrip:
+    def test_fact(self):
+        c = parse_clause("p(a, 3).")
+        assert read_program(clause_to_prolog(c)) == [c]
+
+    def test_rule(self):
+        c = parse_clause("p(X) :- q(X, Y), r(Y).")
+        assert read_program(clause_to_prolog(c)) == [c]
+
+    def test_negative_numbers(self):
+        c = parse_clause("w(e1, -2.5).")
+        assert read_program(clause_to_prolog(c)) == [c]
+
+
+class TestTheoryRoundtrip:
+    def test_with_header(self):
+        th = Theory([parse_clause("p(X) :- q(X)."), parse_clause("p(a).")])
+        text = theory_to_prolog(th, header="learned\ntheory")
+        assert text.startswith("% learned")
+        assert read_program(text) == list(th)
+
+
+class TestKbRoundtrip:
+    def test_facts_and_rules(self):
+        kb = KnowledgeBase()
+        kb.add_program("p(a). p(b). bond(m, a1, a2, 7). q(X) :- p(X).")
+        text = kb_to_prolog(kb)
+        kb2 = KnowledgeBase()
+        for c in read_program(text):
+            kb2.add_clause(c)
+        assert kb2.stats() == kb.stats()
+        assert {str(f) for f in kb2.facts_for(("p", 1))} == {"p(a)", "p(b)"}
+
+
+class TestExamples:
+    def test_roundtrip(self):
+        ex = [parse_term("active(m1)"), parse_term("active(m2)")]
+        assert read_examples(examples_to_prolog(ex)) == ex
+
+    def test_rule_rejected(self):
+        with pytest.raises(ValueError, match="rule"):
+            read_examples("p(X) :- q(X).")
+
+
+class TestProblemFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.ilp.modes import ModeSet
+
+        kb = KnowledgeBase()
+        kb.add_program("parent(a, b). parent(b, c). female(a).")
+        pos = [parse_term("gp(a, c)")]
+        neg = [parse_term("gp(c, a)")]
+        modes = ModeSet(["modeh(1, gp(+p, +p))", "modeb(*, parent(+p, -p))"])
+        save_problem(tmp_path / "prob", kb, pos, neg, modes=list(modes))
+
+        kb2, pos2, neg2, mode_strs = load_problem(tmp_path / "prob")
+        assert kb2.stats() == kb.stats()
+        assert pos2 == pos and neg2 == neg
+        ms2 = ModeSet(mode_strs)
+        assert len(ms2) == 2
+        ms2.validate()
+
+    def test_dataset_export_learnable(self, tmp_path):
+        """A bundled dataset survives the file round-trip and stays
+        learnable."""
+        from repro.datasets import make_dataset
+        from repro.ilp import ModeSet, mdie
+
+        ds = make_dataset("trains", seed=1, scale="small", n_trains=12)
+        save_problem(tmp_path / "t", ds.kb, ds.pos, ds.neg, modes=list(ds.modes))
+        kb2, pos2, neg2, mode_strs = load_problem(tmp_path / "t")
+        res = mdie(kb2, pos2, neg2, ModeSet(mode_strs), ds.config, seed=1)
+        assert len(res.theory) >= 1

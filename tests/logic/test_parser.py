@@ -1,0 +1,158 @@
+"""Unit tests for the Prolog-ish parser."""
+
+import pytest
+
+from repro.logic.clause import Clause
+from repro.logic.parser import (
+    ParseError,
+    parse_clause,
+    parse_program,
+    parse_term,
+    term_to_str,
+)
+from repro.logic.terms import Const, Struct, Var, atom
+
+
+class TestTerms:
+    def test_const(self):
+        assert parse_term("abc") == Const("abc")
+
+    def test_int(self):
+        assert parse_term("42") == Const(42)
+
+    def test_negative_int(self):
+        assert parse_term("-42") == Const(-42)
+
+    def test_float(self):
+        assert parse_term("3.25") == Const(3.25)
+
+    def test_negative_float(self):
+        assert parse_term("-3.25") == Const(-3.25)
+
+    def test_var(self):
+        assert parse_term("Xyz") == Var("Xyz")
+
+    def test_anonymous_var_is_fresh(self):
+        t = parse_term("p(_, _)")
+        assert t.args[0] != t.args[1]
+
+    def test_compound(self):
+        assert parse_term("p(a, B, 3)") == atom("p", "a", "B", 3)
+
+    def test_nested(self):
+        t = parse_term("f(g(a), h(X, b))")
+        assert t == Struct("f", (atom("g", "a"), atom("h", "X", "b")))
+
+    def test_quoted_atom(self):
+        assert parse_term("'hello world'") == Const("hello world")
+
+    def test_quoted_functor(self):
+        t = parse_term("'my pred'(a)")
+        assert t.functor == "my pred"
+
+    def test_star_atom(self):
+        assert parse_term("modeb(*, p(+t))").args[0] == Const("*")
+
+
+class TestLists:
+    def test_empty(self):
+        assert parse_term("[]") == Const("[]")
+
+    def test_proper(self):
+        t = parse_term("[a, b]")
+        assert t == Struct(".", (Const("a"), Struct(".", (Const("b"), Const("[]")))))
+
+    def test_cons_tail(self):
+        t = parse_term("[a|T]")
+        assert t == Struct(".", (Const("a"), Var("T")))
+
+    def test_roundtrip_str(self):
+        assert term_to_str(parse_term("[a, b, c]")) == "[a, b, c]"
+        assert term_to_str(parse_term("[a|T]")) == "[a|T]"
+
+
+class TestOperators:
+    def test_arith_precedence(self):
+        # 2 + 3 * 4 = +(2, *(3, 4))
+        t = parse_term("2 + 3 * 4")
+        assert t.functor == "+"
+        assert t.args[1].functor == "*"
+
+    def test_left_assoc(self):
+        # 10 - 3 - 2 = -(-(10, 3), 2)
+        t = parse_term("10 - 3 - 2")
+        assert t.functor == "-"
+        assert t.args[0].functor == "-"
+
+    def test_parens(self):
+        t = parse_term("2 * (3 + 4)")
+        assert t.functor == "*"
+        assert t.args[1].functor == "+"
+
+    def test_comparison(self):
+        t = parse_term("X =< Y")
+        assert t == Struct("=<", (Var("X"), Var("Y")))
+
+    def test_is(self):
+        t = parse_term("X is Y + 1")
+        assert t.functor == "is"
+
+    def test_mode_placemarkers(self):
+        t = parse_term("p(+a, -b, #c)")
+        assert t.args[0] == Struct("+", (Const("a"),))
+        assert t.args[1] == Struct("-", (Const("b"),))
+        assert t.args[2] == Struct("#", (Const("c"),))
+
+    def test_negation_prefix(self):
+        t = parse_term("\\+ p(a)")
+        assert t == Struct("\\+", (atom("p", "a"),))
+
+
+class TestClauses:
+    def test_fact(self):
+        c = parse_clause("p(a).")
+        assert c == Clause(atom("p", "a"))
+
+    def test_rule(self):
+        c = parse_clause("p(X) :- q(X), r(X, Y).")
+        assert c.head == atom("p", "X")
+        assert c.body == (atom("q", "X"), atom("r", "X", "Y"))
+
+    def test_body_flattening(self):
+        c = parse_clause("p :- a, b, c, d.")
+        assert len(c.body) == 4
+
+    def test_program(self):
+        prog = parse_program(
+            """
+            % a comment
+            p(a).  /* block
+                      comment */
+            p(b).
+            q(X) :- p(X).
+            """
+        )
+        assert len(prog) == 3
+        assert prog[2].body == (atom("p", "X"),)
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(a)")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_term("p(a")
+
+    def test_bad_char(self):
+        with pytest.raises(ParseError):
+            parse_term("p(@)")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_term("p(a) q")
+
+    def test_error_mentions_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("p(a).\nq(@).")

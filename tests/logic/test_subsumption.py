@@ -1,0 +1,116 @@
+"""Unit + property tests for θ-subsumption."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.clause import Clause
+from repro.logic.parser import parse_clause
+from repro.logic.subsumption import (
+    reduce_clause,
+    strictly_more_general,
+    subsume_equivalent,
+    theta_subsumes,
+)
+from repro.logic.terms import Const, Struct, Var
+
+
+class TestThetaSubsumes:
+    def test_identity(self):
+        c = parse_clause("p(X) :- q(X).")
+        assert theta_subsumes(c, c)
+
+    def test_generalisation(self):
+        g = parse_clause("p(X) :- q(X, Y).")
+        s = parse_clause("p(a) :- q(a, b), r(a).")
+        assert theta_subsumes(g, s)
+        assert not theta_subsumes(s, g)
+
+    def test_head_mismatch(self):
+        assert not theta_subsumes(parse_clause("p(a)."), parse_clause("p(b)."))
+
+    def test_empty_body_subsumes_everything_same_head(self):
+        g = parse_clause("p(X).")
+        s = parse_clause("p(a) :- q(a), r(b).")
+        assert theta_subsumes(g, s)
+
+    def test_shared_variable_constraint(self):
+        g = parse_clause("p(X) :- q(X, X).")
+        s1 = parse_clause("p(a) :- q(a, a).")
+        s2 = parse_clause("p(a) :- q(a, b).")
+        assert theta_subsumes(g, s1)
+        assert not theta_subsumes(g, s2)
+
+    def test_multi_literal_matching_needs_backtracking(self):
+        # First candidate match for q(X,Y) must be revised to satisfy r(Y).
+        g = parse_clause("p(X) :- q(X, Y), r(Y).")
+        s = parse_clause("p(a) :- q(a, b), q(a, c), r(c).")
+        assert theta_subsumes(g, s)
+
+    def test_longer_can_subsume_shorter(self):
+        # classic: C with repeated literals subsumes its reduction
+        c = parse_clause("p(X) :- q(X, Y), q(X, Z).")
+        d = parse_clause("p(X) :- q(X, Y).")
+        assert theta_subsumes(c, d)
+        assert theta_subsumes(d, c)
+        assert subsume_equivalent(c, d)
+
+    def test_strictly_more_general(self):
+        g = parse_clause("p(X) :- q(X, Y).")
+        s = parse_clause("p(X) :- q(X, Y), r(Y).")
+        assert strictly_more_general(g, s)
+        assert not strictly_more_general(s, g)
+
+
+class TestReduce:
+    def test_removes_redundant_literal(self):
+        c = parse_clause("p(X) :- q(X, Y), q(X, Z).")
+        assert len(reduce_clause(c).body) == 1
+
+    def test_keeps_needed_literals(self):
+        c = parse_clause("p(X) :- q(X, Y), r(Y).")
+        assert reduce_clause(c) == c
+
+    def test_reduction_is_equivalent(self):
+        c = parse_clause("p(X) :- q(X, A), q(X, B), q(X, C), r(C).")
+        r = reduce_clause(c)
+        assert subsume_equivalent(c, r)
+        assert len(r.body) <= len(c.body)
+
+
+# ---- property-based: refinement chains are generality chains ----------------
+
+_preds = ("q", "r", "s")
+
+
+@st.composite
+def _clause_chain(draw):
+    """A clause and an extension of it by extra literals."""
+    head = Struct("p", (Var("X"),))
+    n = draw(st.integers(0, 3))
+    body = []
+    vars_ = [Var("X")]
+    for i in range(n):
+        pred = draw(st.sampled_from(_preds))
+        v = Var(f"V{i}")
+        body.append(Struct(pred, (draw(st.sampled_from(vars_)), v)))
+        vars_.append(v)
+    extra_pred = draw(st.sampled_from(_preds))
+    extra = Struct(extra_pred, (draw(st.sampled_from(vars_)), Const("k")))
+    return Clause(head, tuple(body)), Clause(head, tuple(body) + (extra,))
+
+
+@given(_clause_chain())
+@settings(max_examples=100, deadline=None)
+def test_adding_literal_specialises(pair):
+    """C θ-subsumes C + extra literal (the refinement invariant)."""
+    general, special = pair
+    assert theta_subsumes(general, special)
+
+
+@given(_clause_chain())
+@settings(max_examples=100, deadline=None)
+def test_subsumption_transitive_along_chain(pair):
+    general, special = pair
+    head_only = Clause(general.head, ())
+    assert theta_subsumes(head_only, general)
+    assert theta_subsumes(head_only, special)

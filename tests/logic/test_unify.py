@@ -1,0 +1,198 @@
+"""Unit + property tests for unification and matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.terms import Const, Struct, Var, atom
+from repro.logic.unify import (
+    match,
+    occurs_in,
+    rename_apart,
+    resolve,
+    undo_trail,
+    unify,
+    unify_trail,
+    walk,
+)
+
+
+class TestWalk:
+    def test_unbound(self):
+        assert walk(Var("X"), {}) == Var("X")
+
+    def test_chain(self):
+        s = {Var("X"): Var("Y"), Var("Y"): Const("a")}
+        assert walk(Var("X"), s) == Const("a")
+
+    def test_self_binding_terminates(self):
+        s = {Var("X"): Var("X")}
+        assert walk(Var("X"), s) == Var("X")
+
+    def test_nonvar_passthrough(self):
+        assert walk(Const("a"), {Var("X"): Const("b")}) == Const("a")
+
+
+class TestUnify:
+    def test_var_const(self):
+        s = unify(Var("X"), Const("a"))
+        assert s == {Var("X"): Const("a")}
+
+    def test_symmetric(self):
+        s = unify(Const("a"), Var("X"))
+        assert s == {Var("X"): Const("a")}
+
+    def test_const_mismatch(self):
+        assert unify(Const("a"), Const("b")) is None
+
+    def test_functor_mismatch(self):
+        assert unify(atom("p", "a"), atom("q", "a")) is None
+
+    def test_arity_mismatch(self):
+        assert unify(atom("p", "a"), atom("p", "a", "b")) is None
+
+    def test_deep(self):
+        s = unify(atom("p", "X", "a"), atom("p", "b", "Y"))
+        assert resolve(atom("p", "X", "a"), s) == atom("p", "b", "a")
+
+    def test_shared_var(self):
+        # p(X, X) with p(a, b) must fail
+        assert unify(atom("p", "X", "X"), atom("p", "a", "b")) is None
+        assert unify(atom("p", "X", "X"), atom("p", "a", "a")) is not None
+
+    def test_var_var_then_bind(self):
+        s = unify(atom("p", "X", "X"), atom("p", "Y", "a"))
+        assert resolve(Var("Y"), s) == Const("a")
+
+    def test_occurs_check(self):
+        x = Var("X")
+        t = Struct("f", (x,))
+        assert unify(x, t, occurs_check=True) is None
+        # without occurs check it binds (standard Prolog behaviour)
+        assert unify(x, t) is not None
+
+    def test_does_not_mutate_input(self):
+        base = {Var("Z"): Const("c")}
+        s = unify(Var("X"), Const("a"), base)
+        assert base == {Var("Z"): Const("c")}
+        assert s[Var("X")] == Const("a")
+
+
+class TestUnifyTrail:
+    def test_undo_restores(self):
+        subst, trail = {}, []
+        ok = unify_trail(atom("p", "X", "Y"), atom("p", "a", "b"), subst, trail)
+        assert ok and len(subst) == 2
+        undo_trail(subst, trail, 0)
+        assert subst == {}
+
+    def test_partial_undo(self):
+        subst, trail = {}, []
+        assert unify_trail(Var("X"), Const("a"), subst, trail)
+        mark = len(trail)
+        assert unify_trail(Var("Y"), Const("b"), subst, trail)
+        undo_trail(subst, trail, mark)
+        assert subst == {Var("X"): Const("a")}
+
+
+class TestMatch:
+    def test_one_way(self):
+        # match binds pattern vars only
+        s = match(atom("p", "X"), atom("p", "a"))
+        assert s[Var("X")] == Const("a")
+
+    def test_ground_target_var_fails(self):
+        # pattern constant cannot match different ground value
+        assert match(atom("p", "a"), atom("p", "b")) is None
+
+    def test_consistent_repeat(self):
+        assert match(atom("p", "X", "X"), atom("p", "a", "b")) is None
+        assert match(atom("p", "X", "X"), atom("p", "a", "a")) is not None
+
+    def test_match_against_var_target(self):
+        # target vars are treated as opaque constants
+        s = match(atom("p", "X"), atom("p", "Y"))
+        assert s[Var("X")] == Var("Y")
+
+
+class TestRenameApart:
+    def test_shared_mapping(self):
+        m = {}
+        a = rename_apart(atom("p", "X", "Y"), m)
+        b = rename_apart(atom("q", "X"), m)
+        assert a.args[0] == b.args[0]  # X renamed consistently
+        assert a.args[0] != Var("X")
+
+    def test_ground_unchanged(self):
+        t = atom("p", "a", 1)
+        assert rename_apart(t) == t
+
+
+class TestOccursIn:
+    def test_direct(self):
+        assert occurs_in(Var("X"), Struct("f", (Var("X"),)), {})
+
+    def test_through_binding(self):
+        s = {Var("Y"): Struct("f", (Var("X"),))}
+        assert occurs_in(Var("X"), Var("Y"), s)
+
+    def test_absent(self):
+        assert not occurs_in(Var("X"), atom("f", "a"), {})
+
+
+# ---- property-based tests -------------------------------------------------
+
+_consts = st.sampled_from([Const("a"), Const("b"), Const(0), Const(1)])
+_vars = st.sampled_from([Var("X"), Var("Y"), Var("Z")])
+
+
+def _terms(depth: int = 2):
+    base = st.one_of(_consts, _vars)
+    return st.recursive(
+        base,
+        lambda kids: st.builds(
+            lambda args: Struct("f", tuple(args)), st.lists(kids, min_size=1, max_size=3)
+        ),
+        max_leaves=8,
+    )
+
+
+@given(_terms())
+@settings(max_examples=200, deadline=None)
+def test_unify_reflexive(t):
+    """Every term unifies with itself."""
+    assert unify(t, t) is not None
+
+
+@given(_terms(), _terms())
+@settings(max_examples=200, deadline=None)
+def test_unify_symmetric_success(t1, t2):
+    """unify(a,b) succeeds iff unify(b,a) succeeds."""
+    assert (unify(t1, t2) is None) == (unify(t2, t1) is None)
+
+
+@given(_terms(), _terms())
+@settings(max_examples=200, deadline=None)
+def test_unifier_is_a_solution(t1, t2):
+    """Applying the returned substitution makes both terms syntactically
+    equal — for occurs-check unification (without the check, a cyclic
+    binding like X = f(X) has no finite solved form to compare)."""
+    s = unify(t1, t2, occurs_check=True)
+    if s is not None:
+        assert resolve(t1, s) == resolve(t2, s)
+
+
+@given(_terms(), _terms())
+@settings(max_examples=200, deadline=None)
+def test_occurs_check_only_restricts(t1, t2):
+    """Whenever occurs-check unification succeeds, plain unification does."""
+    if unify(t1, t2, occurs_check=True) is not None:
+        assert unify(t1, t2) is not None
+
+
+@given(_terms())
+@settings(max_examples=200, deadline=None)
+def test_rename_apart_preserves_shape(t):
+    """Renaming preserves structure and ground subterms."""
+    r = rename_apart(t)
+    assert unify(t, r) is not None

@@ -1,0 +1,80 @@
+"""Shared fixtures for the parallel-algorithm tests: an extended family
+problem large enough to partition over up to 4 workers."""
+
+import pytest
+
+from repro.ilp.config import ILPConfig
+from repro.ilp.modes import ModeSet
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+
+
+@pytest.fixture
+def kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_program(
+        """
+        parent(ann, mary). parent(ann, tom). parent(tom, eve). parent(tom, ian).
+        parent(sue, bob). parent(bob, joan). parent(eve, kim). parent(mary, liz).
+        parent(liz, pat). parent(pat, rob). parent(kim, amy). parent(amy, ben).
+        parent(joan, cal). parent(cal, dee). parent(dee, eli). parent(ben, fay).
+        female(ann). female(mary). female(eve). female(sue). female(joan).
+        female(kim). female(liz). female(pat). female(amy). female(dee). female(fay).
+        male(tom). male(ian). male(bob). male(rob). male(ben). male(cal). male(eli).
+        """
+    )
+    return kb
+
+
+@pytest.fixture
+def pos():
+    return [
+        parse_term(s)
+        for s in (
+            "daughter(mary, ann)",
+            "daughter(eve, tom)",
+            "daughter(joan, bob)",
+            "daughter(kim, eve)",
+            "daughter(liz, mary)",
+            "daughter(pat, liz)",
+            "daughter(amy, kim)",
+            "daughter(dee, cal)",
+            "daughter(fay, ben)",
+        )
+    ]
+
+
+@pytest.fixture
+def neg():
+    return [
+        parse_term(s)
+        for s in (
+            "daughter(tom, ann)",
+            "daughter(ian, tom)",
+            "daughter(eve, ann)",
+            "daughter(ann, mary)",
+            "daughter(bob, sue)",
+            "daughter(rob, pat)",
+            "daughter(ben, amy)",
+            "daughter(cal, joan)",
+            "daughter(eli, dee)",
+        )
+    ]
+
+
+@pytest.fixture
+def modes() -> ModeSet:
+    return ModeSet(
+        [
+            "modeh(1, daughter(+person, +person))",
+            "modeb(*, parent(+person, -person))",
+            "modeb(*, parent(-person, +person))",
+            "modeb(1, female(+person))",
+            "modeb(1, male(+person))",
+        ]
+    )
+
+
+@pytest.fixture
+def config() -> ILPConfig:
+    return ILPConfig(min_pos=1, noise=0, max_clause_length=3, var_depth=2, max_nodes=400)

@@ -1,0 +1,56 @@
+"""Tests for the coverage-parallel baseline (§6 related work)."""
+
+import pytest
+
+from repro.cluster.message import Tag
+from repro.ilp.theory import accuracy
+from repro.logic.engine import Engine
+from repro.parallel.coverage_parallel import run_coverage_parallel
+from repro.parallel.p2mdie import run_p2mdie
+
+
+class TestBaselineLearning:
+    def test_learns(self, kb, pos, neg, modes, config):
+        res = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=8, seed=3)
+        assert res.uncovered == 0
+        eng = Engine(kb, config.engine_budget())
+        assert accuracy(eng, res.theory, pos, neg) == 100.0
+
+    def test_deterministic(self, kb, pos, neg, modes, config):
+        a = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=4, seed=3)
+        b = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=4, seed=3)
+        assert list(a.theory) == list(b.theory)
+        assert a.seconds == b.seconds
+
+    def test_invalid_batch_size(self, kb, pos, neg, modes, config):
+        from repro.parallel.coverage_parallel import CoverageParallelMaster
+
+        with pytest.raises(ValueError):
+            CoverageParallelMaster(2, kb, pos, neg, modes, config, batch_size=0)
+
+    def test_max_epochs(self, kb, pos, neg, modes, config):
+        res = run_coverage_parallel(kb, pos, neg, modes, config, p=2, seed=3, max_epochs=1)
+        assert res.epochs <= 1
+
+
+class TestGranularityEffect:
+    def test_fine_grain_more_rounds_than_coarse(self, kb, pos, neg, modes, config):
+        """batch_size=1 (Konstantopoulos) must send many more evaluate
+        rounds than batch_size=32 (Graham et al.)."""
+        fine = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=1, seed=3, max_epochs=1)
+        coarse = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=32, seed=3, max_epochs=1)
+        assert fine.comm.messages > coarse.comm.messages
+
+    def test_fine_grain_slower(self, kb, pos, neg, modes, config):
+        """Latency-bound fine-grained evaluation is slower — the paper's
+        explanation for Konstantopoulos' poor results."""
+        fine = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=1, seed=3, max_epochs=2)
+        coarse = run_coverage_parallel(kb, pos, neg, modes, config, p=2, batch_size=32, seed=3, max_epochs=2)
+        assert fine.seconds > coarse.seconds
+
+    def test_p2mdie_beats_fine_grained_baseline(self, kb, pos, neg, modes, config):
+        """The paper's headline comparison: pipelined data-parallelism
+        outperforms fine-grained coverage parallelism."""
+        p2 = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        base = run_coverage_parallel(kb, pos, neg, modes, config, p=3, batch_size=1, seed=3)
+        assert p2.seconds < base.seconds

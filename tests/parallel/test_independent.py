@@ -1,0 +1,73 @@
+"""Tests for the independent-learning baseline (Matsui-style, §6)."""
+
+import pytest
+
+from repro.cluster.message import Tag
+from repro.ilp.theory import accuracy, confusion
+from repro.logic.engine import Engine
+from repro.parallel.independent import run_independent
+from repro.parallel.p2mdie import run_p2mdie
+
+
+class TestIndependentLearning:
+    def test_learns_with_enough_local_data(self):
+        # Independent learning needs partitions large enough that local
+        # consistency approximates global consistency; the trains problem
+        # at p=2 qualifies.
+        from repro.datasets import make_dataset
+
+        ds = make_dataset("trains", seed=5, scale="small")
+        res = run_independent(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=2, seed=5)
+        eng = Engine(ds.kb, ds.config.engine_budget())
+        majority = 100.0 * max(ds.n_pos, ds.n_neg) / (ds.n_pos + ds.n_neg)
+        assert accuracy(eng, res.theory, ds.pos, ds.neg) >= majority
+        assert len(res.theory) >= 1
+
+    def test_tiny_partitions_expose_quality_problem(self, kb, pos, neg, modes, config):
+        """The paper's §1 motivation for pipelining: 'training on small
+        subsets of the whole data might reduce the quality of learning'.
+        With 3 positives per worker, locally-consistent rules are globally
+        inconsistent and the merge filter (rightly) rejects them — so
+        independent learning covers strictly less than P²-MDIE."""
+        ind = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        p2 = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        assert p2.uncovered < max(ind.uncovered, 1) or len(p2.theory) > len(ind.theory)
+
+    def test_single_epoch(self, kb, pos, neg, modes, config):
+        res = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        assert res.epochs == 1
+
+    def test_deterministic(self, kb, pos, neg, modes, config):
+        a = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        b = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        assert list(a.theory) == list(b.theory)
+        assert a.seconds == b.seconds
+
+    def test_consistency_enforced_globally(self, kb, pos, neg, modes, config):
+        # local rules may cover remote negatives; the global filter must
+        # keep the final theory consistent within the noise allowance
+        res = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        eng = Engine(kb, config.engine_budget())
+        rep = confusion(eng, res.theory, pos, neg)
+        assert rep.fp <= config.noise
+
+    def test_no_pipeline_messages(self, kb, pos, neg, modes, config):
+        res = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        assert Tag.LEARN_RULE not in res.comm.bytes_by_tag
+
+
+class TestVersusP2:
+    def test_less_learning_communication(self, kb, pos, neg, modes, config):
+        """Independent learning never streams rules between workers."""
+        ind = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        p2 = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        ind_stream = ind.comm.bytes_by_tag.get(Tag.LEARN_RULE, 0)
+        p2_stream = p2.comm.bytes_by_tag.get(Tag.LEARN_RULE, 0)
+        assert ind_stream == 0 and p2_stream > 0
+
+    def test_p2_covers_at_least_as_much(self, kb, pos, neg, modes, config):
+        """The pipeline's cross-subset validation should not cover fewer
+        positives than purely local learning."""
+        ind = run_independent(kb, pos, neg, modes, config, p=3, seed=3)
+        p2 = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        assert p2.uncovered <= ind.uncovered + 2

@@ -1,0 +1,114 @@
+"""Integration tests for the P²-MDIE algorithm (Figs. 5-7)."""
+
+import pytest
+
+from repro.cluster.message import Tag
+from repro.ilp.mdie import mdie
+from repro.ilp.theory import accuracy, confusion
+from repro.logic.engine import Engine
+from repro.parallel.p2mdie import run_p2mdie, sequential_seconds
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_learns_at_any_p(self, kb, pos, neg, modes, config, p):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=p, seed=3)
+        assert res.uncovered == 0
+        eng = Engine(kb, config.engine_budget())
+        assert accuracy(eng, res.theory, pos, neg) == 100.0
+
+    def test_consistency_preserved(self, kb, pos, neg, modes, config):
+        # noise=0: learned theory must cover no negatives (global check)
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        eng = Engine(kb, config.engine_budget())
+        rep = confusion(eng, res.theory, pos, neg)
+        assert rep.fp == 0
+
+    def test_deterministic(self, kb, pos, neg, modes, config):
+        a = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=9)
+        b = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=9)
+        assert list(a.theory) == list(b.theory)
+        assert a.seconds == b.seconds
+        assert a.comm.bytes_total == b.comm.bytes_total
+        assert a.epochs == b.epochs
+
+    def test_different_seeds_may_differ(self, kb, pos, neg, modes, config):
+        a = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=1)
+        b = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=2)
+        # not asserting inequality of theories (they may coincide), but the
+        # runs must both be valid and the partitioning differs
+        assert a.uncovered == 0 and b.uncovered == 0
+
+    def test_speedup_positive(self, kb, pos, neg, modes, config):
+        seq = mdie(kb, pos, neg, modes, config, seed=3)
+        par = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        assert sequential_seconds(seq) / par.seconds > 1.0
+
+
+class TestWidth:
+    def test_width_limits_message_size(self, kb, pos, neg, modes, config):
+        wide = run_p2mdie(kb, pos, neg, modes, config, p=3, width=None, seed=3)
+        narrow = run_p2mdie(kb, pos, neg, modes, config, p=3, width=1, seed=3)
+        wide_rules = wide.comm.bytes_by_tag.get(Tag.LEARN_RULE, 0)
+        narrow_rules = narrow.comm.bytes_by_tag.get(Tag.LEARN_RULE, 0)
+        assert narrow_rules < wide_rules
+
+    def test_nolimit_default_from_config(self, kb, pos, neg, modes, config):
+        cfg = config.replace(pipeline_width=None)
+        res = run_p2mdie(kb, pos, neg, modes, cfg, p=2, seed=3)
+        assert res.uncovered == 0
+
+
+class TestArtifacts:
+    def test_epoch_logs(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        assert res.epochs == len(res.epoch_logs)
+        accepted = [c for log in res.epoch_logs for c in log.accepted]
+        assert accepted == list(res.theory)
+        covered = sum(log.pos_covered for log in res.epoch_logs)
+        assert covered == len(pos) - res.uncovered
+
+    def test_comm_tags_present(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        tags = set(res.comm.bytes_by_tag)
+        assert Tag.LOAD_EXAMPLES in tags
+        assert Tag.START_PIPELINE in tags
+        assert Tag.RULES in tags
+        assert Tag.EVALUATE in tags
+        assert Tag.STOP in tags
+
+    def test_trace_recorded_on_request(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, record_trace=True)
+        assert res.trace
+        ranks = {iv.rank for iv in res.trace}
+        assert {1, 2, 3} <= ranks
+
+    def test_clocks_below_makespan(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+        assert max(res.clocks) == pytest.approx(res.seconds)
+
+    def test_max_epochs_bound(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, max_epochs=1)
+        assert res.epochs <= 1
+
+
+class TestEdgeCases:
+    def test_more_workers_than_examples(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos[:3], neg[:3], modes, config, p=6, seed=3)
+        # some workers have no data; run must still terminate cleanly
+        assert res.epochs >= 1
+
+    def test_stall_terminates(self, kb, pos, neg, modes, config):
+        # impossible min_pos: no rule is ever good; stall detector must fire
+        cfg = config.replace(min_pos=len(pos) + 1)
+        res = run_p2mdie(kb, pos, neg, modes, cfg, p=3, seed=3, stall_limit=2)
+        assert len(res.theory) == 0
+        assert res.uncovered == len(pos)
+
+    def test_p1_single_worker_pipeline(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=1, seed=3)
+        assert res.uncovered == 0
+
+    def test_invalid_p(self, kb, pos, neg, modes, config):
+        with pytest.raises(ValueError):
+            run_p2mdie(kb, pos, neg, modes, config, p=0, seed=3)

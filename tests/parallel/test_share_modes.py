@@ -1,0 +1,39 @@
+"""Tests for the two data-distribution modes (§4.1): shared filesystem vs
+shipping the data in messages."""
+
+import pytest
+
+from repro.cluster.message import Tag
+from repro.ilp.theory import accuracy
+from repro.logic.engine import Engine
+from repro.parallel.p2mdie import run_p2mdie
+
+
+class TestMessagesMode:
+    def test_learns_identically(self, kb, pos, neg, modes, config):
+        fs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="shared_fs")
+        msgs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="messages")
+        # same partitions, same searches → identical theories & epochs
+        assert list(fs.theory) == list(msgs.theory)
+        assert fs.epochs == msgs.epochs
+
+    def test_ships_more_startup_bytes(self, kb, pos, neg, modes, config):
+        fs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="shared_fs")
+        msgs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="messages")
+        fs_load = fs.comm.bytes_by_tag.get(Tag.LOAD_EXAMPLES, 0)
+        msg_load = msgs.comm.bytes_by_tag.get(Tag.LOAD_EXAMPLES, 0)
+        assert msg_load > 10 * fs_load  # whole KB + subsets vs tiny ids
+
+    def test_startup_cost_slows_run(self, kb, pos, neg, modes, config):
+        fs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="shared_fs")
+        msgs = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="messages")
+        assert msgs.seconds >= fs.seconds
+
+    def test_invalid_mode_rejected(self, kb, pos, neg, modes, config):
+        with pytest.raises(ValueError, match="share_mode"):
+            run_p2mdie(kb, pos, neg, modes, config, p=2, seed=3, share_mode="carrier_pigeon")
+
+    def test_quality_preserved(self, kb, pos, neg, modes, config):
+        res = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3, share_mode="messages")
+        eng = Engine(kb, config.engine_budget())
+        assert accuracy(eng, res.theory, pos, neg) == 100.0

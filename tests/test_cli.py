@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_learn_defaults(self):
+        args = build_parser().parse_args(["learn", "trains"])
+        assert args.p == 1
+        assert args.width == 10
+
+    def test_width_nolimit(self):
+        args = build_parser().parse_args(["learn", "trains", "--width", "nolimit"])
+        assert args.width is None
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn", "nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestLearn:
+    def test_sequential(self, capsys):
+        assert main(["learn", "trains", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "eastbound" in out
+        assert "training-accuracy" in out
+
+    def test_parallel(self, capsys):
+        assert main(["learn", "trains", "--p", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "p2-mdie" in out
+        assert "comm=" in out
+
+
+class TestTrace:
+    def test_renders_gantt(self, capsys):
+        assert main(["trace", "trains", "--p", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rank 1" in out
+        assert "busy fractions" in out
+
+
+class TestTables:
+    def test_table1_only(self, capsys):
+        assert main(["tables", "--which", "1", "--datasets", "trains"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_small_matrix(self, capsys):
+        rc = main(
+            [
+                "tables",
+                "--which", "4,5",
+                "--datasets", "trains",
+                "--folds", "2",
+                "--ps", "2",
+                "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Table 5" in out
+
+
+class TestExport:
+    def test_writes_problem_files(self, tmp_path, capsys):
+        assert main(["export", "trains", str(tmp_path / "out"), "--seed", "1"]) == 0
+        assert (tmp_path / "out" / "bk.pl").exists()
+        assert (tmp_path / "out" / "pos.f").exists()
+        assert (tmp_path / "out" / "neg.n").exists()
+        assert (tmp_path / "out" / "modes.pl").exists()
+        # exported problem is re-loadable
+        from repro.ilp.modes import ModeSet
+        from repro.logic.io import load_problem
+
+        kb, pos, neg, modes = load_problem(tmp_path / "out")
+        assert pos and neg
+        ModeSet(modes).validate()

@@ -1,0 +1,69 @@
+"""Cross-module integration tests: datasets → learning → evaluation.
+
+These are the 'does the whole reproduction hang together' checks: each
+synthetic dataset must be learnable by both algorithms with better-than-
+chance training accuracy and matching quality between sequential and
+parallel runs.
+"""
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.ilp import accuracy, mdie
+from repro.logic import Engine
+from repro.parallel import run_p2mdie, sequential_seconds
+
+
+@pytest.mark.parametrize("name", ("trains", "mesh", "pyrimidines"))
+def test_sequential_beats_chance(name):
+    ds = make_dataset(name, seed=5, scale="small")
+    res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=5)
+    eng = Engine(ds.kb, ds.config.engine_budget())
+    acc = accuracy(eng, res.theory, ds.pos, ds.neg)
+    majority = 100.0 * max(ds.n_pos, ds.n_neg) / (ds.n_pos + ds.n_neg)
+    assert acc > majority, f"{name}: {acc:.1f}% <= majority {majority:.1f}%"
+
+
+@pytest.mark.parametrize("name", ("trains", "mesh"))
+def test_parallel_quality_close_to_sequential(name):
+    ds = make_dataset(name, seed=5, scale="small")
+    eng = Engine(ds.kb, ds.config.engine_budget())
+    seq = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=5)
+    seq_acc = accuracy(eng, seq.theory, ds.pos, ds.neg)
+    par = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, seed=5)
+    par_acc = accuracy(eng, par.theory, ds.pos, ds.neg)
+    assert par_acc >= seq_acc - 12.0, f"{name}: parallel {par_acc} vs seq {seq_acc}"
+
+
+def test_speedup_and_epoch_reduction_on_mesh():
+    """The paper's two headline effects on one dataset end-to-end."""
+    ds = make_dataset("mesh", seed=5, scale="small")
+    seq = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=5)
+    seq_t = sequential_seconds(seq)
+    par4 = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=10, seed=5)
+    assert seq_t / par4.seconds > 1.0
+    assert par4.epochs < seq.epochs
+
+
+def test_width_constrained_moves_less_data():
+    ds = make_dataset("mesh", seed=5, scale="small")
+    wide = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=None, seed=5)
+    narrow = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=4, width=2, seed=5)
+    assert narrow.comm.bytes_total < wide.comm.bytes_total
+
+
+def test_full_determinism_across_algorithms():
+    """One seed pins the entire stack: dataset bytes, theories, timings."""
+    def roundtrip():
+        ds = make_dataset("trains", seed=9, scale="small")
+        seq = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=9)
+        par = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, seed=9)
+        return (
+            [str(c) for c in seq.theory],
+            seq.ops,
+            [str(c) for c in par.theory],
+            par.seconds,
+            par.comm.bytes_total,
+        )
+
+    assert roundtrip() == roundtrip()

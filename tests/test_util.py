@@ -1,0 +1,81 @@
+"""Tests for the shared utilities (rng, formatting)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fmt import fmt_float, fmt_int, fmt_mbytes, render_table
+from repro.util.rng import RngStream, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_types(self):
+        assert derive_seed(0, ("x", 1)) != derive_seed(0, ("x", 2))
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_collision_resistance_smoke(self, a, b):
+        if a != b:
+            assert derive_seed(a, "k") != derive_seed(b, "k")
+
+
+class TestMakeRng:
+    def test_same_stream(self):
+        assert make_rng(7, "x").random() == make_rng(7, "x").random()
+
+    def test_independent_streams(self):
+        assert make_rng(7, "x").random() != make_rng(7, "y").random()
+
+
+class TestRngStream:
+    def test_child_paths(self):
+        root = RngStream(seed=1)
+        a = root.child("part")
+        b = root.child("part")
+        assert a.rng.random() == b.rng.random()
+
+    def test_nested_children_differ(self):
+        root = RngStream(seed=1)
+        assert root.child("a").rng.random() != root.child("a", "b").rng.random()
+
+    def test_passthroughs(self):
+        s = RngStream(seed=3).child("t")
+        xs = [1, 2, 3, 4]
+        s.shuffle(xs)
+        assert sorted(xs) == [1, 2, 3, 4]
+        assert s.choice([1]) == 1
+        assert 0 <= s.randint(0, 5) <= 5
+        assert 0.0 <= s.random() < 1.0
+        assert 1.0 <= s.uniform(1.0, 2.0) <= 2.0
+        assert len(s.sample(range(10), 3)) == 3
+        s.gauss(0, 1)  # no exception
+
+
+class TestFmt:
+    def test_fmt_int_thousands(self):
+        assert fmt_int(3231) == "3,231"
+        assert fmt_int(999.6) == "1,000"
+
+    def test_fmt_float(self):
+        assert fmt_float(3.14159, 2) == "3.14"
+
+    def test_fmt_mbytes(self):
+        assert fmt_mbytes(1024 * 1024 * 33) == "33"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].index("bb") == lines[1].index("2")
+        assert lines[0].index("bb") == lines[2].index("4")
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"-"}
