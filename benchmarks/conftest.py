@@ -7,7 +7,10 @@ session and shared across bench modules.  Scale knobs:
   ``paper`` (Table 1 cardinalities; budget an hour+);
 * ``REPRO_FOLDS``    — cross-validation folds (default 3 small / 5 paper);
 * ``REPRO_DATASETS`` — comma-separated subset of
-  ``carcinogenesis,mesh,pyrimidines``.
+  ``carcinogenesis,mesh,pyrimidines``;
+* ``REPRO_BACKEND``  — execution substrate for parallel cells
+  (``sim``/``local``/``mpi``; default ``sim``).  Under ``sim`` times are
+  virtual seconds; under the real backends they are wall-clock.
 
 Each bench prints the corresponding paper table and writes it to
 ``benchmarks/output/`` so EXPERIMENTS.md can reference the artifacts.
@@ -29,6 +32,7 @@ DATASET_NAMES = tuple(
     os.environ.get("REPRO_DATASETS", "carcinogenesis,mesh,pyrimidines").split(",")
 )
 SEED = int(os.environ.get("REPRO_SEED", "0"))
+BACKEND = os.environ.get("REPRO_BACKEND", "sim")
 PS = (2, 4, 8)
 WIDTHS = (None, 10)
 
@@ -56,6 +60,7 @@ def matrix() -> MatrixResult:
         k_folds=FOLDS,
         scale=SCALE,
         seed=SEED,
+        backend=BACKEND,
     )
 
 

@@ -1,0 +1,109 @@
+"""Pluggable execution backends for the parallel strategies.
+
+The master/worker generators in :mod:`repro.parallel` yield syscalls to
+whichever :class:`~repro.backend.base.Backend` drives them:
+
+=========  ===============================================  ==============
+name       substrate                                        ``seconds``
+=========  ===============================================  ==============
+``sim``    discrete-event VirtualCluster (deterministic)    virtual time
+``local``  real ``multiprocessing`` processes over pipes    wall clock
+``mpi``    real MPI communicator via mpi4py                 wall clock
+=========  ===============================================  ==============
+
+Use :func:`make_backend` to build one by name, or
+:func:`resolve_backend` when accepting either a name or a ready instance
+(the pattern every ``run_*`` front-end uses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.backend.base import (
+    Backend,
+    BackendError,
+    BackendRun,
+    BackendTimeoutError,
+    BackendUnavailableError,
+    ExecutionContext,
+    drive,
+)
+from repro.backend.local import LocalContext, LocalProcessBackend
+from repro.backend.sim import SimBackend
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendRun",
+    "BackendTimeoutError",
+    "BackendUnavailableError",
+    "ExecutionContext",
+    "drive",
+    "SimBackend",
+    "LocalContext",
+    "LocalProcessBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+    "resolve_backend",
+]
+
+#: names accepted by :func:`make_backend` (and the CLI's ``--backend``).
+BACKEND_NAMES = ("sim", "local", "mpi")
+
+
+def make_backend(
+    name: str,
+    *,
+    network=None,
+    cost_model=None,
+    record_trace: bool = False,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
+) -> Backend:
+    """Build a backend by registry name.
+
+    Substrate-specific options are applied where they make sense and
+    ignored elsewhere (``network``/``cost_model`` only shape the sim;
+    ``timeout``/``start_method`` only the local backend).
+    """
+    if name == "sim":
+        from repro.cluster.costmodel import DEFAULT_COST_MODEL
+        from repro.cluster.network import FAST_ETHERNET
+
+        return SimBackend(
+            network=network if network is not None else FAST_ETHERNET,
+            cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
+            record_trace=record_trace,
+        )
+    if name == "local":
+        return LocalProcessBackend(
+            record_trace=record_trace, timeout=timeout, start_method=start_method
+        )
+    if name == "mpi":
+        from repro.backend.mpi import MPIBackend
+
+        return MPIBackend(record_trace=record_trace)
+    raise ValueError(f"unknown backend {name!r}; known: {BACKEND_NAMES}")
+
+
+def resolve_backend(
+    backend: Union[Backend, str, None],
+    *,
+    network=None,
+    cost_model=None,
+    record_trace: bool = False,
+    timeout: Optional[float] = None,
+) -> Backend:
+    """Accept a Backend instance, a registry name, or None (→ sim)."""
+    if backend is None:
+        backend = "sim"
+    if isinstance(backend, Backend):
+        return backend
+    return make_backend(
+        backend,
+        network=network,
+        cost_model=cost_model,
+        record_trace=record_trace,
+        timeout=timeout,
+    )

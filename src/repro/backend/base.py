@@ -1,0 +1,146 @@
+"""Execution-backend protocol: one algorithm, many substrates.
+
+Every parallel strategy in :mod:`repro.parallel` is written as a set of
+:class:`~repro.cluster.process.SimProcess` generators that ``yield``
+syscalls (send / bcast / recv / compute) to whatever is driving them.
+A *backend* supplies that driver:
+
+* :class:`~repro.backend.sim.SimBackend` — the discrete-event
+  :class:`~repro.cluster.cluster.VirtualCluster` (deterministic virtual
+  time, the paper's evaluation substrate);
+* :class:`~repro.backend.local.LocalProcessBackend` — real
+  ``multiprocessing`` processes with pipe transport and wall-clock time;
+* :class:`~repro.backend.mpi.MPIBackend` — a real MPI communicator via
+  mpi4py (when installed).
+
+Because the master/worker generators only ever touch the
+:class:`ExecutionContext` surface, the *same* code learns the *same*
+theory on every substrate; only the timing/communication measurements
+change meaning (virtual seconds vs. wall-clock seconds).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.cluster.process import ComputeInterval, SimProcess
+from repro.cluster.scheduler import CommStats
+
+__all__ = [
+    "Backend",
+    "BackendRun",
+    "BackendError",
+    "BackendTimeoutError",
+    "BackendUnavailableError",
+    "ExecutionContext",
+    "drive",
+]
+
+
+class BackendError(RuntimeError):
+    """A backend failed to execute the process set."""
+
+
+class BackendTimeoutError(BackendError):
+    """The run exceeded the backend's wall-clock timeout (likely deadlock)."""
+
+
+class BackendUnavailableError(BackendError):
+    """The backend's substrate is not usable on this host (e.g. no mpi4py)."""
+
+
+@runtime_checkable
+class ExecutionContext(Protocol):
+    """The per-rank surface a :class:`SimProcess` generator runs against.
+
+    Implementations provide the four syscall *constructors* (whose return
+    values the process ``yield``\\ s) plus rank/size introspection.  The sim
+    backend's :class:`~repro.cluster.process.ProcContext` and the real
+    backends' contexts all satisfy this protocol, which is what makes the
+    master/worker code backend-agnostic.
+    """
+
+    rank: int
+
+    def send(self, dst: int, payload: object, tag: str): ...
+
+    def bcast(self, payload: object, tag: str, dsts: Optional[Iterable[int]] = None): ...
+
+    def recv(self, src: Optional[int] = None, tag: Optional[str] = None): ...
+
+    def compute(self, ops: int, label: str = "compute"): ...
+
+    @property
+    def n_procs(self) -> int: ...
+
+
+@dataclass
+class BackendRun:
+    """Artifacts of one completed execution, whatever the substrate.
+
+    ``seconds`` is virtual time under :class:`SimBackend` and real
+    wall-clock time under the real backends; ``comm`` always carries the
+    same pickled-payload-size accounting, so Table 4-style communication
+    numbers are directly comparable across substrates.
+    """
+
+    #: makespan: virtual seconds (sim) or wall-clock seconds (local/mpi).
+    seconds: float
+    comm: CommStats
+    #: final per-rank clocks, rank order.
+    clocks: list[float] = field(default_factory=list)
+    trace: list[ComputeInterval] = field(default_factory=list)
+    #: final process objects in rank order.  For in-process backends these
+    #: are the very objects passed in; for multi-process backends they are
+    #: the children's final states shipped back — read run artifacts
+    #: (learned theory, epoch logs, ...) from here, never from the inputs.
+    procs: list[SimProcess] = field(default_factory=list)
+
+    def proc(self, rank: int) -> SimProcess:
+        for p in self.procs:
+            if p.rank == rank:
+                return p
+        raise KeyError(f"no process with rank {rank}")
+
+    @property
+    def makespan(self) -> float:
+        return self.seconds
+
+    @property
+    def mbytes(self) -> float:
+        return self.comm.mbytes_total
+
+
+class Backend(ABC):
+    """Executes a set of :class:`SimProcess` ranks to completion."""
+
+    #: registry name ("sim", "local", "mpi").
+    name: str = "?"
+
+    @abstractmethod
+    def run(self, procs: Sequence[SimProcess]) -> BackendRun:
+        """Run all ranks to completion and return the merged artifacts."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+def drive(proc: SimProcess, ctx) -> None:
+    """Drive one process generator against an immediate-mode context.
+
+    ``ctx`` must expose ``execute(op)`` performing one syscall and
+    returning the value the generator is resumed with (a
+    :class:`~repro.cluster.message.Message` for receives, ``None``
+    otherwise).  Used by the real backends; the sim backend's scheduler
+    interleaves generators itself.
+    """
+    gen = proc.run(ctx)
+    result = None
+    try:
+        while True:
+            op = gen.send(result)
+            result = ctx.execute(op)
+    except StopIteration:
+        return

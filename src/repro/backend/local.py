@@ -1,0 +1,416 @@
+"""LocalProcessBackend: run the generators on real OS processes.
+
+Each rank becomes one ``multiprocessing`` process; ranks are connected by
+a full mesh of duplex pipes.  The same master/worker generators that run
+in virtual time on :class:`~repro.backend.sim.SimBackend` run here
+unmodified — ``compute`` syscalls become (traced) no-ops because real
+CPUs charge themselves, and ``seconds`` in the returned
+:class:`~repro.backend.base.BackendRun` is genuine wall-clock time.
+
+Transport notes
+---------------
+* **Non-blocking sends.**  The simulated model (paper §2.2) makes sends
+  non-blocking; a naive ``Connection.send`` is not (it blocks once the OS
+  pipe buffer fills), which can deadlock a ring of mutually-sending
+  ranks.  Every rank therefore owns a background *sender thread* draining
+  an unbounded queue, so the generator thread never blocks on a send and
+  always stays available to receive.
+* **Blocking receives** poll all peer connections with
+  ``multiprocessing.connection.wait``; non-matching arrivals are parked
+  in a local mailbox, mirroring the scheduler's matching rules.
+* **Accounting** uses the same pickled-payload sizing and
+  :class:`~repro.cluster.scheduler.CommStats` as the simulation, so
+  communication volumes are directly comparable across substrates.
+* **Timeouts.**  The parent supervises children with an optional
+  wall-clock ``timeout``; on expiry every child is terminated and
+  :class:`~repro.backend.base.BackendTimeoutError` is raised — the
+  safety net for transport or protocol deadlocks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+import traceback
+from multiprocessing.connection import Connection, wait
+from typing import Optional, Sequence
+
+from repro.backend.base import Backend, BackendError, BackendRun, BackendTimeoutError, drive
+from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.process import (
+    BcastOp,
+    ComputeInterval,
+    ComputeOp,
+    RecvOp,
+    SendOp,
+    SimProcess,
+)
+from repro.cluster.scheduler import CommStats
+
+__all__ = ["LocalProcessBackend", "LocalContext"]
+
+_SENDER_STOP = object()
+
+
+class LocalContext:
+    """Immediate-mode execution context for one rank (runs in the child).
+
+    Satisfies :class:`~repro.backend.base.ExecutionContext`; its
+    ``execute`` method performs each yielded syscall for real.
+    """
+
+    def __init__(self, rank: int, n_procs: int, peers: dict[int, Connection], record_trace: bool = False):
+        self.rank = rank
+        self._n_procs = n_procs
+        self._peers = peers
+        self._live_conns = list(peers.values())
+        self.record_trace = record_trace
+        self.stats = CommStats()
+        self.trace: list[ComputeInterval] = []
+        self._mailbox: list[Message] = []
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._last_mark = 0.0
+        self._send_error: Optional[BaseException] = None
+        self._outq: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._sender = threading.Thread(target=self._sender_loop, daemon=True)
+        self._sender.start()
+
+    # -- syscall constructors (same surface as ProcContext) ---------------------
+    def send(self, dst: int, payload: object, tag: str) -> SendOp:
+        return SendOp(dst, payload, tag)
+
+    def bcast(self, payload: object, tag: str, dsts=None) -> BcastOp:
+        if dsts is None:
+            dsts = [r for r in range(self.n_procs) if r != self.rank]
+        return BcastOp(tuple(dsts), payload, tag)
+
+    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> RecvOp:
+        return RecvOp(src, tag)
+
+    def compute(self, ops: int, label: str = "compute") -> ComputeOp:
+        return ComputeOp(int(ops), label)
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Wall-clock seconds since this rank started."""
+        return time.perf_counter() - self._t0
+
+    @property
+    def n_procs(self) -> int:
+        return self._n_procs
+
+    def reset_clock(self) -> None:
+        self._t0 = time.perf_counter()
+        self._last_mark = 0.0
+
+    # -- execution ---------------------------------------------------------------
+    def execute(self, op):
+        """Perform one syscall; returns a Message for receives."""
+        if isinstance(op, SendOp):
+            self._post(op.dst, op.payload, op.tag)
+            return None
+        if isinstance(op, BcastOp):
+            for dst in op.dsts:
+                self._post(dst, op.payload, op.tag)
+            return None
+        if isinstance(op, RecvOp):
+            return self._recv(op)
+        if isinstance(op, ComputeOp):
+            # Real CPU time has already passed between yields; just trace it.
+            now = self.clock
+            if self.record_trace:
+                self.trace.append(ComputeInterval(self.rank, self._last_mark, now, op.label))
+            self._last_mark = now
+            return None
+        raise TypeError(f"rank {self.rank} yielded non-syscall {op!r}")
+
+    def _post(self, dst: int, payload: object, tag: str) -> None:
+        if self._send_error is not None:
+            raise BackendError(f"rank {self.rank}: send failed") from self._send_error
+        if dst == self.rank:
+            raise ValueError(f"rank {self.rank} sending to itself")
+        if dst not in self._peers:
+            raise ValueError(f"send to unknown rank {dst}")
+        nbytes = payload_nbytes(payload)
+        now = self.clock
+        self._seq += 1
+        self.stats.record(
+            Message(
+                src=self.rank,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+                send_time=now,
+                arrival_time=now,
+                seq=self._seq,
+            )
+        )
+        self._outq.put((dst, (self.rank, tag, payload, nbytes)))
+
+    def _sender_loop(self) -> None:
+        while True:
+            item = self._outq.get()
+            if item is _SENDER_STOP:
+                return
+            dst, wire = item
+            try:
+                self._peers[dst].send(wire)
+            except BaseException as exc:  # surfaced on the next send/close
+                self._send_error = exc
+                return
+
+    def _recv(self, spec: RecvOp) -> Message:
+        while True:
+            for i, m in enumerate(self._mailbox):
+                if spec.matches(m):
+                    return self._mailbox.pop(i)
+            if not self._live_conns:
+                raise BackendError(
+                    f"rank {self.rank}: receive {spec} can never be satisfied "
+                    "(all peers exited, mailbox has no match)"
+                )
+            for conn in wait(self._live_conns):
+                try:
+                    src, tag, payload, nbytes = conn.recv()
+                except (EOFError, OSError):
+                    # Peer exited; buffered data was drained first, so
+                    # nothing is lost — stop watching this connection.
+                    self._live_conns.remove(conn)
+                    continue
+                self._seq += 1
+                now = self.clock
+                self._mailbox.append(
+                    Message(
+                        src=src,
+                        dst=self.rank,
+                        tag=tag,
+                        payload=payload,
+                        nbytes=nbytes,
+                        send_time=now,
+                        arrival_time=now,
+                        seq=self._seq,
+                    )
+                )
+
+    def close(self) -> None:
+        """Flush and stop the sender thread; surface any send failure."""
+        self._outq.put(_SENDER_STOP)
+        self._sender.join(timeout=30.0)
+        if self._send_error is not None:
+            raise BackendError(f"rank {self.rank}: send failed") from self._send_error
+
+
+def _child_main(proc: SimProcess, n_procs: int, peers: dict, inherited, result_conn, barrier, record_trace: bool) -> None:
+    """Entry point of one rank's OS process."""
+    # Close pipe ends belonging to other ranks.  Under 'fork' every child
+    # inherits the whole mesh; if these stayed open, a peer's exit would
+    # never surface as EOF in _recv (some process would always hold the
+    # other end of its pipes).
+    for conn in inherited:
+        conn.close()
+    try:
+        ctx = LocalContext(proc.rank, n_procs, peers, record_trace=record_trace)
+        barrier.wait()
+        ctx.reset_clock()
+        drive(proc, ctx)
+        elapsed = ctx.clock
+        ctx.close()
+        result_conn.send(("ok", proc.rank, proc, ctx.stats, elapsed, ctx.trace))
+    except BaseException as exc:
+        try:
+            result_conn.send(("error", proc.rank, repr(exc), traceback.format_exc()))
+        except BaseException:  # pragma: no cover - result pipe gone
+            pass
+    finally:
+        result_conn.close()
+
+
+class LocalProcessBackend(Backend):
+    """Real parallel execution on the local host via ``multiprocessing``.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock budget for the whole run, in seconds.  ``None`` (the
+        default) falls back to the ``REPRO_LOCAL_TIMEOUT`` environment
+        variable, or waits forever when that is unset too.  Set it to
+        convert deadlocks into
+        :class:`~repro.backend.base.BackendTimeoutError`.
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``fork`` where
+        available (cheap — no re-import, no argument pickling), falling
+        back to the platform default otherwise.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        record_trace: bool = False,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.record_trace = record_trace
+        if timeout is None:
+            env = os.environ.get("REPRO_LOCAL_TIMEOUT")
+            timeout = float(env) if env else None
+        self.timeout = timeout
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else None
+        self.start_method = start_method
+
+    def run(self, procs: Sequence[SimProcess]) -> BackendRun:
+        ordered = sorted(procs, key=lambda p: p.rank)
+        n = len(ordered)
+        ranks = [p.rank for p in ordered]
+        if ranks != list(range(n)):
+            raise ValueError(f"ranks must be contiguous 0..{n - 1}, got {ranks}")
+        mpctx = mp.get_context(self.start_method)
+
+        # Full mesh of duplex pipes + one result pipe per rank.
+        ends: dict[int, dict[int, Connection]] = {r: {} for r in ranks}
+        for i in ranks:
+            for j in ranks:
+                if i < j:
+                    a, b = mpctx.Pipe(duplex=True)
+                    ends[i][j] = a
+                    ends[j][i] = b
+        result_parent: dict[int, Connection] = {}
+        result_child: dict[int, Connection] = {}
+        for r in ranks:
+            result_parent[r], result_child[r] = mpctx.Pipe(duplex=False)
+        barrier = mpctx.Barrier(n)
+
+        def _foreign_ends(rank: int) -> list[Connection]:
+            """Every transport end that is not this rank's own."""
+            return [c for r in ranks if r != rank for c in ends[r].values()] + [
+                result_child[r] for r in ranks if r != rank
+            ]
+
+        children = [
+            mpctx.Process(
+                target=_child_main,
+                args=(
+                    p,
+                    n,
+                    ends[p.rank],
+                    _foreign_ends(p.rank),
+                    result_child[p.rank],
+                    barrier,
+                    self.record_trace,
+                ),
+                name=f"repro-rank{p.rank}",
+                daemon=True,
+            )
+            for p in ordered
+        ]
+        for c in children:
+            c.start()
+        # Parent keeps no transport ends open: close ours so EOFs propagate.
+        for r in ranks:
+            result_child[r].close()
+            for conn in ends[r].values():
+                conn.close()
+
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        results: dict[int, tuple] = {}
+        pending = {result_parent[r]: r for r in ranks}
+        child_by_rank = {p.rank: c for p, c in zip(ordered, children)}
+        failure: Optional[BackendError] = None
+
+        def _take(conn, rank, block_ok: bool) -> None:
+            nonlocal failure
+            try:
+                if not block_ok and not conn.poll(1.0):
+                    code = child_by_rank[rank].exitcode
+                    failure = BackendError(
+                        f"rank {rank} died without reporting a result (exitcode {code})"
+                    )
+                    return
+                msg = conn.recv()
+            except (EOFError, OSError):
+                failure = BackendError(f"rank {rank} died without reporting a result")
+                return
+            del pending[conn]
+            if msg[0] == "error":
+                _, _, err, tb = msg
+                failure = BackendError(f"rank {rank} failed: {err}\n{tb}")
+            else:
+                results[rank] = msg
+
+        try:
+            while pending and failure is None:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise BackendTimeoutError(
+                        f"local backend timed out after {self.timeout}s with "
+                        f"ranks {sorted(pending.values())} still running "
+                        "(transport or protocol deadlock?)"
+                    )
+                # Watch result pipes plus the sentinels of still-pending
+                # children, so a rank dying hard (no result message) is
+                # noticed immediately rather than at the timeout.
+                sentinel_ranks = {child_by_rank[r].sentinel: r for r in pending.values()}
+                ready = wait(list(pending) + list(sentinel_ranks), timeout=remaining)
+                if not ready:
+                    raise BackendTimeoutError(
+                        f"local backend timed out after {self.timeout}s with "
+                        f"ranks {sorted(pending.values())} still running "
+                        "(transport or protocol deadlock?)"
+                    )
+                conn_ready = [x for x in ready if x in pending]
+                for conn in conn_ready:
+                    _take(conn, pending[conn], block_ok=True)
+                    if failure is not None:
+                        break
+                if not conn_ready and failure is None:
+                    # Only sentinels fired: the child exited; its result may
+                    # still be in flight, so give the pipe a short grace poll.
+                    for s in ready:
+                        rank = sentinel_ranks.get(s)
+                        if rank is not None and rank in pending.values():
+                            _take(result_parent[rank], rank, block_ok=False)
+                            if failure is not None:
+                                break
+        finally:
+            if pending or failure is not None:
+                for c in children:
+                    if c.is_alive():
+                        c.terminate()
+            for c in children:
+                c.join(timeout=10.0)
+                if c.is_alive():  # pragma: no cover - last resort
+                    c.kill()
+                    c.join()
+            for conn in result_parent.values():
+                conn.close()
+        if failure is not None:
+            raise failure
+
+        comm = CommStats()
+        clocks: list[float] = []
+        trace: list[ComputeInterval] = []
+        final_procs: list[SimProcess] = []
+        for r in ranks:
+            _, _, proc, stats, elapsed, rtrace = results[r]
+            final_procs.append(proc)
+            clocks.append(elapsed)
+            trace.extend(rtrace)
+            comm.merge(stats)
+        trace.sort(key=lambda iv: (iv.start, iv.rank))
+        return BackendRun(
+            seconds=max(clocks) if clocks else 0.0,
+            comm=comm,
+            clocks=clocks,
+            trace=trace,
+            procs=final_procs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalProcessBackend(timeout={self.timeout}, start_method={self.start_method!r})"

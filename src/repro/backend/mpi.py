@@ -1,0 +1,169 @@
+"""MPIBackend: run the generators on a real MPI communicator (mpi4py).
+
+Rebases :class:`~repro.cluster.mpi_backend.MPIContext` onto the backend
+protocol.  MPI execution is SPMD: *every* rank of an ``mpiexec`` launch
+calls :meth:`MPIBackend.run` with the same process list; each rank drives
+only its own generator, then final process states and communication
+statistics are gathered to rank 0, which assembles the complete
+:class:`~repro.backend.base.BackendRun`.  Non-root ranks receive a run
+carrying only their own artifacts (``procs`` empty) — harness code should
+act on the result only where ``backend.is_root`` is true.
+
+mpi4py is imported lazily; constructing the backend on a host without it
+raises :class:`~repro.backend.base.BackendUnavailableError` so callers can
+fall back cleanly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.backend.base import Backend, BackendRun, BackendUnavailableError
+from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.process import BcastOp, ComputeInterval, ComputeOp, RecvOp, SendOp, SimProcess
+from repro.cluster.scheduler import CommStats
+
+__all__ = ["MPIBackend"]
+
+
+class _AccountingMPIContext:
+    """Wrap MPIContext.execute with CommStats accounting and wall timing."""
+
+    def __init__(self, inner, record_trace: bool):
+        self._inner = inner
+        self.rank = inner.rank
+        self.n_procs = inner.n_procs
+        self.record_trace = record_trace
+        self.stats = CommStats()
+        self.trace: list[ComputeInterval] = []
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._last_mark = 0.0
+
+    # syscall constructors delegate to the rebased MPIContext
+    def send(self, dst, payload, tag):
+        return self._inner.send(dst, payload, tag)
+
+    def bcast(self, payload, tag, dsts=None):
+        return self._inner.bcast(payload, tag, dsts)
+
+    def recv(self, src=None, tag=None):
+        return self._inner.recv(src, tag)
+
+    def compute(self, ops, label="compute"):
+        return self._inner.compute(ops, label)
+
+    @property
+    def clock(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _account(self, dst: int, payload: object, tag: str) -> None:
+        self._seq += 1
+        now = self.clock
+        self.stats.record(
+            Message(
+                src=self.rank,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                nbytes=payload_nbytes(payload),
+                send_time=now,
+                arrival_time=now,
+                seq=self._seq,
+            )
+        )
+
+    def execute(self, op):
+        if isinstance(op, SendOp):
+            self._account(op.dst, op.payload, op.tag)
+        elif isinstance(op, BcastOp):
+            for dst in op.dsts:
+                self._account(dst, op.payload, op.tag)
+        elif isinstance(op, ComputeOp):
+            now = self.clock
+            if self.record_trace:
+                self.trace.append(ComputeInterval(self.rank, self._last_mark, now, op.label))
+            self._last_mark = now
+        return self._inner.execute(op)
+
+
+class MPIBackend(Backend):
+    """Real distributed-memory execution through mpi4py."""
+
+    name = "mpi"
+
+    def __init__(self, comm=None, record_trace: bool = False):
+        from repro.cluster.mpi_backend import mpi_available
+
+        if comm is None and not mpi_available():
+            raise BackendUnavailableError(
+                "mpi4py is not installed; install it (and launch under mpiexec) "
+                "to use the 'mpi' backend, or use 'sim'/'local'"
+            )
+        self._comm = comm
+        self.record_trace = record_trace
+
+    @property
+    def is_root(self) -> bool:
+        return self._resolved_comm().Get_rank() == 0
+
+    def _resolved_comm(self):
+        if self._comm is None:
+            from mpi4py import MPI
+
+            self._comm = MPI.COMM_WORLD
+        return self._comm
+
+    def run(self, procs: Sequence[SimProcess]) -> BackendRun:
+        from repro.backend.base import drive
+        from repro.cluster.mpi_backend import MPIContext
+
+        comm = self._resolved_comm()
+        ordered = sorted(procs, key=lambda p: p.rank)
+        if [p.rank for p in ordered] != list(range(len(ordered))):
+            raise ValueError(
+                f"ranks must be contiguous 0..{len(ordered) - 1}, "
+                f"got {[p.rank for p in ordered]}"
+            )
+        if len(ordered) != comm.Get_size():
+            raise ValueError(
+                f"{len(ordered)} ranks requested but communicator has size "
+                f"{comm.Get_size()}; launch with a matching -n"
+            )
+        ctx = _AccountingMPIContext(MPIContext(comm), record_trace=self.record_trace)
+        proc = ordered[ctx.rank]
+        t0 = time.perf_counter()
+        drive(proc, ctx)
+        elapsed = time.perf_counter() - t0
+
+        gathered = comm.gather((proc, ctx.stats, elapsed, ctx.trace), root=0)
+        # Every SPMD rank returns through the same front-end code, which
+        # reads run artifacts from the rank-0 process — so broadcast rank
+        # 0's final state to everyone.
+        root_proc = comm.bcast(gathered[0][0] if ctx.rank == 0 else None, root=0)
+        if ctx.rank != 0:
+            return BackendRun(
+                seconds=elapsed,
+                comm=ctx.stats,
+                clocks=[elapsed],
+                trace=ctx.trace,
+                procs=[root_proc],
+            )
+        comm_stats = CommStats()
+        clocks: list[float] = []
+        trace: list[ComputeInterval] = []
+        final_procs: list[SimProcess] = []
+        for p, stats, dt, rtrace in gathered:
+            final_procs.append(p)
+            clocks.append(dt)
+            trace.extend(rtrace)
+            comm_stats.merge(stats)
+        trace.sort(key=lambda iv: (iv.start, iv.rank))
+        return BackendRun(
+            seconds=max(clocks) if clocks else 0.0,
+            comm=comm_stats,
+            clocks=clocks,
+            trace=trace,
+            procs=final_procs,
+        )

@@ -1,0 +1,54 @@
+"""SimBackend: the discrete-event VirtualCluster behind the backend protocol.
+
+This is the default substrate — deterministic virtual time over the
+paper's network/cost models, unchanged from the original
+:class:`~repro.cluster.cluster.VirtualCluster` stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backend.base import Backend, BackendRun
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.network import FAST_ETHERNET, NetworkModel
+from repro.cluster.process import SimProcess
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """Deterministic simulation: virtual clocks, modelled network."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        network: NetworkModel = FAST_ETHERNET,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        record_trace: bool = False,
+    ):
+        self.network = network
+        self.cost_model = cost_model
+        self.record_trace = record_trace
+
+    def run(self, procs: Sequence[SimProcess]) -> BackendRun:
+        ordered = sorted(procs, key=lambda p: p.rank)
+        cluster = VirtualCluster(
+            ordered,
+            network=self.network,
+            cost_model=self.cost_model,
+            record_trace=self.record_trace,
+        )
+        run = cluster.run()
+        return BackendRun(
+            seconds=run.makespan,
+            comm=run.comm,
+            clocks=run.clocks,
+            trace=run.trace,
+            procs=ordered,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimBackend(network={self.network!r})"

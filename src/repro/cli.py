@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.backend import BACKEND_NAMES, BackendUnavailableError
 from repro.datasets import DATASETS, make_dataset
 from repro.experiments.runner import run_matrix
 from repro.experiments.tables import (
@@ -37,6 +38,19 @@ def _parse_width(s: str):
     return None if s in ("nolimit", "none") else int(s)
 
 
+def _add_backend_arg(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="sim",
+        help="execution substrate for parallel runs: 'sim' = deterministic "
+        "discrete-event simulation in virtual time (default), 'local' = real "
+        "multiprocessing workers with wall-clock timing, 'mpi' = real MPI "
+        "cluster via mpi4py (launch under mpiexec). The learned theory is "
+        "identical across backends for the same seed/config.",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -47,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--width", type=_parse_width, default=10, help="pipeline width or 'nolimit'")
     learn.add_argument("--seed", type=int, default=0)
     learn.add_argument("--scale", choices=("small", "paper"), default="small")
+    _add_backend_arg(learn)
 
     tables = sub.add_parser("tables", help="run the evaluation matrix and print paper tables")
     tables.add_argument("--which", default="2,3,4,5,6", help="comma-separated table numbers (1-6)")
@@ -55,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--ps", default="2,4,8")
     tables.add_argument("--seed", type=int, default=0)
     tables.add_argument("--scale", choices=("small", "paper"), default="small")
+    _add_backend_arg(tables)
 
     trace = sub.add_parser("trace", help="render one epoch's pipeline activity (Figs. 3-4)")
     trace.add_argument("dataset", choices=sorted(DATASETS))
@@ -62,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--width", type=_parse_width, default=10)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--scale", choices=("small", "paper"), default="small")
+    _add_backend_arg(trace)
 
     export = sub.add_parser("export", help="write a dataset as Aleph-style Prolog files")
     export.add_argument("dataset", choices=sorted(DATASETS))
@@ -81,7 +98,8 @@ def _cmd_learn(args) -> int:
         theory = res.theory
     else:
         res = run_p2mdie(
-            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width, seed=args.seed
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
+            seed=args.seed, backend=args.backend,
         )
         seconds = res.seconds
         extra = (
@@ -92,7 +110,8 @@ def _cmd_learn(args) -> int:
     acc = accuracy(engine, theory, ds.pos, ds.neg)
     print(theory_to_prolog(theory, header=f"learned by {'mdie' if args.p == 1 else 'p2-mdie'}"))
     print(extra)
-    print(f"% virtual-time={seconds:.1f}s training-accuracy={acc:.1f}%")
+    time_label = "virtual-time" if args.p == 1 or args.backend == "sim" else "wall-time"
+    print(f"% {time_label}={seconds:.1f}s training-accuracy={acc:.1f}%")
     return 0
 
 
@@ -105,7 +124,8 @@ def _cmd_tables(args) -> int:
         print(table1_datasets(datasets) + "\n")
     if which - {1}:
         matrix = run_matrix(
-            dataset_names=names, ps=ps, k_folds=args.folds, scale=args.scale, seed=args.seed
+            dataset_names=names, ps=ps, k_folds=args.folds, scale=args.scale,
+            seed=args.seed, backend=args.backend,
         )
         renderers = {
             2: table2_speedup,
@@ -123,7 +143,7 @@ def _cmd_trace(args) -> int:
     ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
     res = run_p2mdie(
         ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
-        seed=args.seed, record_trace=True, max_epochs=1,
+        seed=args.seed, record_trace=True, max_epochs=1, backend=args.backend,
     )
     print(render_gantt(res.trace, width=100, t_end=res.seconds))
     occ = occupancy(res.trace, res.seconds)
@@ -146,7 +166,11 @@ def main(argv=None) -> int:
         "trace": _cmd_trace,
         "export": _cmd_export,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BackendUnavailableError as exc:
+        print(f"repro: backend unavailable: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

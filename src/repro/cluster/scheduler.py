@@ -58,6 +58,16 @@ class CommStats:
         key = (msg.src, msg.dst)
         self.bytes_by_link[key] = self.bytes_by_link.get(key, 0) + msg.nbytes
 
+    def merge(self, other: "CommStats") -> None:
+        """Fold another rank's accounting into this one (real backends
+        collect per-rank stats and merge them into the global view)."""
+        self.messages += other.messages
+        self.bytes_total += other.bytes_total
+        for tag, b in other.bytes_by_tag.items():
+            self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + b
+        for link, b in other.bytes_by_link.items():
+            self.bytes_by_link[link] = self.bytes_by_link.get(link, 0) + b
+
     @property
     def mbytes_total(self) -> float:
         return self.bytes_total / (1024.0 * 1024.0)

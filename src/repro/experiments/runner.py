@@ -11,8 +11,9 @@ speedups are ratios of commensurable virtual times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.backend import Backend
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.datasets.base import Dataset, make_dataset
@@ -94,8 +95,15 @@ def run_cell(
     network: NetworkModel = FAST_ETHERNET,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     max_epochs: Optional[int] = None,
+    backend: Union[Backend, str, None] = None,
 ) -> RunRecord:
-    """Run one algorithm configuration on one fold."""
+    """Run one algorithm configuration on one fold.
+
+    ``backend`` selects the execution substrate for the parallel runs
+    (``p > 1``); the sequential baseline always runs in-process and its
+    ``seconds`` stay virtual, so only compare speedups within one
+    substrate.
+    """
     if p == 1:
         res = mdie(ds.kb, list(fold.train_pos), list(fold.train_neg), ds.modes, ds.config, seed=seed, max_epochs=max_epochs)
         theory: Theory = res.theory
@@ -116,6 +124,7 @@ def run_cell(
             network=network,
             cost_model=cost_model,
             max_epochs=max_epochs,
+            backend=backend,
         )
         theory = res.theory
         seconds = res.seconds
@@ -149,11 +158,13 @@ def run_matrix(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     include_sequential: bool = True,
     max_epochs: Optional[int] = None,
+    backend: Union[Backend, str, None] = None,
 ) -> MatrixResult:
     """Run the full evaluation matrix of §5.
 
     The sequential baseline (p=1) is run once per fold and shared by both
     width configurations, mirroring the '-' cells in Tables 3/6.
+    ``backend`` applies to every parallel cell (see :func:`run_cell`).
     """
     out = MatrixResult()
     for name in dataset_names:
@@ -166,6 +177,6 @@ def run_matrix(
             for width in widths:
                 for p in ps:
                     out.records.append(
-                        run_cell(ds, fold, p=p, width=width, seed=seed, network=network, cost_model=cost_model, max_epochs=max_epochs)
+                        run_cell(ds, fold, p=p, width=width, seed=seed, network=network, cost_model=cost_model, max_epochs=max_epochs, backend=backend)
                     )
     return out

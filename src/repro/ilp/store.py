@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.ilp.coverage import CoverageStats, coverage_bitset, popcount
+from repro.ilp.reorder import optimize_clause_order
 from repro.logic.clause import Clause
 from repro.logic.engine import Engine
 from repro.logic.terms import Term
@@ -37,6 +38,8 @@ class ExampleStore:
         self.alive: int = (1 << len(self.pos)) - 1
         # clause -> (pos_bits over full pos list, neg_bits)
         self._cache: dict[Clause, tuple[int, int]] = {}
+        self._hits = 0
+        self._misses = 0
 
     # -- liveness ---------------------------------------------------------------
     @property
@@ -73,21 +76,36 @@ class ExampleStore:
         """
         cached = self._cache.get(rule)
         if cached is None:
+            self._misses += 1
             to_eval = rule
             if self.reorder_body and rule.body:
-                from repro.ilp.reorder import optimize_clause_order
-
                 to_eval = optimize_clause_order(engine.kb, rule)
             pb = coverage_bitset(engine, to_eval, self.pos)
             nb = coverage_bitset(engine, to_eval, self.neg)
             self._cache[rule] = (pb, nb)
         else:
+            self._hits += 1
             pb, nb = cached
         live = pb & self.alive
         return CoverageStats(pos=popcount(live), neg=popcount(nb), pos_bits=live, neg_bits=nb)
 
+    # -- cache effectiveness (reported by the benchmark suite) -------------------
     def cache_size(self) -> int:
         return len(self._cache)
 
+    def cache_hits(self) -> int:
+        """Evaluations answered from the cache since construction."""
+        return self._hits
+
+    def cache_misses(self) -> int:
+        """Evaluations that had to run the engine since construction."""
+        return self._misses
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluations served from cache (0.0 when unused)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
     def clear_cache(self) -> None:
+        """Drop cached bitsets (counters are preserved)."""
         self._cache.clear()

@@ -21,9 +21,9 @@ tasks, only ``evaluate`` and ``mark_covered``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.cluster.cluster import VirtualCluster
+from repro.backend import Backend, resolve_backend
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.message import Tag
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
@@ -193,6 +193,7 @@ def run_coverage_parallel(
     network: NetworkModel = FAST_ETHERNET,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     max_epochs: Optional[int] = None,
+    backend: Union[Backend, str, None] = None,
 ) -> P2Result:
     """Run the coverage-parallel baseline; returns the same artifact type
     as :func:`repro.parallel.p2mdie.run_p2mdie` so harness code can compare
@@ -212,14 +213,16 @@ def run_coverage_parallel(
         max_epochs=max_epochs,
     )
     workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
-    run = VirtualCluster([master, *workers], network=network, cost_model=cost_model).run()
+    bk = resolve_backend(backend, network=network, cost_model=cost_model)
+    run = bk.run([master, *workers])
+    final = run.proc(0)
     return P2Result(
-        theory=master.theory,
-        epochs=master.epochs,
-        seconds=run.makespan,
+        theory=final.theory,
+        epochs=final.epochs,
+        seconds=run.seconds,
         comm=run.comm,
-        uncovered=max(master.remaining, 0),
-        epoch_logs=master.epoch_logs,
+        uncovered=max(final.remaining, 0),
+        epoch_logs=final.epoch_logs,
         clocks=run.clocks,
         trace=run.trace,
     )

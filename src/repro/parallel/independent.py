@@ -18,9 +18,9 @@ whole data might reduce the quality of learning").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.cluster.cluster import VirtualCluster
+from repro.backend import Backend, resolve_backend
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.message import Tag
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
@@ -185,6 +185,7 @@ def run_independent(
     seed: int = 0,
     network: NetworkModel = FAST_ETHERNET,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    backend: Union[Backend, str, None] = None,
 ) -> P2Result:
     """Run the independent-learning baseline; same artifact type as
     :func:`repro.parallel.p2mdie.run_p2mdie` for direct comparison."""
@@ -193,14 +194,16 @@ def run_independent(
     shared = SharedProblem(kb, partitions, modes, config)
     master = IndependentMaster(n_workers=p, total_pos=len(pos), config=config, width=width)
     workers = [IndependentWorker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
-    run = VirtualCluster([master, *workers], network=network, cost_model=cost_model).run()
+    bk = resolve_backend(backend, network=network, cost_model=cost_model)
+    run = bk.run([master, *workers])
+    final = run.proc(0)
     return P2Result(
-        theory=master.theory,
-        epochs=master.epochs,
-        seconds=run.makespan,
+        theory=final.theory,
+        epochs=final.epochs,
+        seconds=run.seconds,
         comm=run.comm,
-        uncovered=max(master.remaining, 0),
-        epoch_logs=master.epoch_logs,
+        uncovered=max(final.remaining, 0),
+        epoch_logs=final.epoch_logs,
         clocks=run.clocks,
         trace=run.trace,
     )

@@ -13,9 +13,9 @@ pairing it with a sequential :func:`repro.ilp.mdie.mdie` run via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.cluster.cluster import ClusterRun, VirtualCluster
+from repro.backend import Backend, BackendRun, resolve_backend
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL, OpsCostModel
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ComputeInterval
@@ -115,6 +115,7 @@ def run_p2mdie(
     stall_limit: int = 3,
     repartition_each_epoch: bool = False,
     share_mode: str = "shared_fs",
+    backend: Union[Backend, str, None] = None,
 ) -> P2Result:
     """Run p2-mdie(E+, E-, B, C, p, w) — the paper's Fig. 5 entry point.
 
@@ -127,6 +128,12 @@ def run_p2mdie(
     their subsets from a distributed filesystem) or ``"messages"`` (the
     §4.1 fallback: the master ships background knowledge and example
     subsets over the network at start-up).
+    ``backend`` selects the execution substrate: a
+    :class:`~repro.backend.Backend` instance or a name (``"sim"``,
+    ``"local"``, ``"mpi"``); ``None`` means the simulated cluster built
+    from ``network``/``cost_model``.  On a real backend ``seconds`` is
+    wall-clock time and the learned theory is identical to the sim's for
+    the same seed/config (backend parity).
     """
     if p < 1:
         raise ValueError("p must be >= 1")
@@ -157,20 +164,21 @@ def run_p2mdie(
         ship_data=ship_data,
     )
     workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
-    cluster = VirtualCluster(
-        [master, *workers],
-        network=network,
-        cost_model=cost_model,
-        record_trace=record_trace,
+    bk = resolve_backend(
+        backend, network=network, cost_model=cost_model, record_trace=record_trace
     )
-    run: ClusterRun = cluster.run()
+    run: BackendRun = bk.run([master, *workers])
+    # Read the master's run artifacts from the backend's returned process
+    # state: on multi-process backends the local ``master`` object was
+    # never mutated (rank 0 ran in a child process).
+    final = run.proc(0)
     return P2Result(
-        theory=master.theory,
-        epochs=master.epochs,
-        seconds=run.makespan,
+        theory=final.theory,
+        epochs=final.epochs,
+        seconds=run.seconds,
         comm=run.comm,
-        uncovered=max(master.remaining, 0),
-        epoch_logs=master.epoch_logs,
+        uncovered=max(final.remaining, 0),
+        epoch_logs=final.epoch_logs,
         clocks=run.clocks,
         trace=run.trace,
     )

@@ -1,0 +1,42 @@
+"""CLI `--backend` flag: acceptance check for the backend layer.
+
+`repro learn <ds> --p 2 --backend local` must print the same learned
+theory as `--backend sim` (only the timing lines may differ).
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _theory_lines(out: str) -> list[str]:
+    """The printed Prolog clauses (every non-comment, non-blank line)."""
+    return [ln for ln in out.splitlines() if ln.strip() and not ln.startswith("%")]
+
+
+def _learn(capsys, dataset: str, backend: str) -> str:
+    rc = main(["learn", dataset, "--p", "2", "--seed", "0", "--backend", backend])
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("dataset", ["trains", "krki"])
+def test_learn_local_matches_sim(capsys, dataset):
+    sim_out = _learn(capsys, dataset, "sim")
+    loc_out = _learn(capsys, dataset, "local")
+    assert _theory_lines(sim_out) == _theory_lines(loc_out)
+    assert _theory_lines(sim_out), "no theory printed"
+    assert "wall-time" in loc_out and "virtual-time" in sim_out
+
+
+def test_backend_flag_help_documented():
+    subparsers = build_parser()._subparsers._group_actions[0].choices
+    for name in ("learn", "tables", "trace"):
+        text = subparsers[name].format_help()
+        assert "--backend" in text
+        assert "sim" in text and "local" in text and "mpi" in text
+
+
+def test_backend_flag_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["learn", "trains", "--p", "2", "--backend", "imaginary"])

@@ -1,0 +1,195 @@
+"""Pipe-transport regression tests for LocalProcessBackend.
+
+Covers the failure modes a real message-passing substrate adds over the
+simulation: OS pipe-buffer backpressure (ring deadlock), protocol
+deadlock (timeout + cleanup), child crashes, and accounting parity.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.backend import (
+    BackendError,
+    BackendTimeoutError,
+    LocalProcessBackend,
+    SimBackend,
+)
+from repro.cluster.process import SimProcess
+
+
+class Ping(SimProcess):
+    def run(self, ctx):
+        yield ctx.send(1, "ping", tag="t")
+        msg = yield ctx.recv(src=1)
+        self.got = msg.payload
+        yield ctx.compute(10, label="work")
+
+
+class Pong(SimProcess):
+    def run(self, ctx):
+        msg = yield ctx.recv(src=0)
+        yield ctx.send(0, msg.payload + "-pong", tag="t")
+
+
+class Hang(SimProcess):
+    """Blocks forever on a receive nothing will satisfy."""
+
+    def run(self, ctx):
+        yield ctx.recv(tag="never")
+
+
+class BulkExchanger(SimProcess):
+    """Sends a large volume to its peer *before* receiving anything.
+
+    Each payload is far bigger than the OS pipe buffer, and both ranks
+    send first: with naive blocking ``Connection.send`` both block with
+    full buffers and the run deadlocks.  The sender-thread transport must
+    survive this.
+    """
+
+    N_MSGS = 24
+    PAYLOAD = b"x" * 262_144  # 256 KiB each, ~6 MiB per direction
+
+    def run(self, ctx):
+        peer = 1 - self.rank
+        for i in range(self.N_MSGS):
+            yield ctx.send(peer, (i, self.PAYLOAD), tag="bulk")
+        self.received = 0
+        for _ in range(self.N_MSGS):
+            msg = yield ctx.recv(src=peer, tag="bulk")
+            self.received += 1
+            assert msg.payload[1] == self.PAYLOAD
+
+
+class RingForwarder(SimProcess):
+    """Rank r sends to (r+1) % n and receives from (r-1) % n, bulk-first."""
+
+    N_MSGS = 8
+    PAYLOAD = b"y" * 262_144
+
+    def __init__(self, rank, n):
+        super().__init__(rank)
+        self.n = n
+
+    def run(self, ctx):
+        nxt = (self.rank + 1) % self.n
+        prv = (self.rank - 1) % self.n
+        for i in range(self.N_MSGS):
+            yield ctx.send(nxt, (i, self.PAYLOAD), tag="ring")
+        self.received = 0
+        for _ in range(self.N_MSGS):
+            yield ctx.recv(src=prv, tag="ring")
+            self.received += 1
+
+
+class Crasher(SimProcess):
+    def run(self, ctx):
+        yield ctx.compute(1)
+        raise ValueError("boom in child")
+
+
+class BadDest(SimProcess):
+    def run(self, ctx):
+        yield ctx.send(99, "x", tag="t")
+
+
+class Solo(SimProcess):
+    def run(self, ctx):
+        yield ctx.compute(5)
+        self.done = True
+
+
+def _no_repro_children():
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leftovers = [c for c in mp.active_children() if c.name.startswith("repro-rank")]
+        if not leftovers:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestHappyPath:
+    def test_ping_pong(self):
+        run = LocalProcessBackend(timeout=30).run([Ping(0), Pong(1)])
+        assert run.proc(0).got == "ping-pong"
+        assert run.comm.messages == 2
+        assert len(run.clocks) == 2
+        assert run.seconds == max(run.clocks) > 0.0
+
+    def test_comm_accounting_matches_sim(self):
+        """Same messages, same pickled sizes — Table 4 numbers carry over."""
+        sim = SimBackend().run([Ping(0), Pong(1)])
+        loc = LocalProcessBackend(timeout=30).run([Ping(0), Pong(1)])
+        assert loc.comm.messages == sim.comm.messages
+        assert loc.comm.bytes_total == sim.comm.bytes_total
+        assert loc.comm.bytes_by_tag == sim.comm.bytes_by_tag
+        assert loc.comm.bytes_by_link == sim.comm.bytes_by_link
+
+    def test_record_trace(self):
+        run = LocalProcessBackend(timeout=30, record_trace=True).run([Ping(0), Pong(1)])
+        assert any(iv.label == "work" and iv.rank == 0 for iv in run.trace)
+
+
+class TestBackpressure:
+    def test_bidirectional_bulk_does_not_deadlock(self):
+        """Regression: sends must not block the generator thread even when
+        both directions exceed the OS pipe buffer."""
+        run = LocalProcessBackend(timeout=120).run([BulkExchanger(0), BulkExchanger(1)])
+        assert run.proc(0).received == BulkExchanger.N_MSGS
+        assert run.proc(1).received == BulkExchanger.N_MSGS
+        assert run.comm.messages == 2 * BulkExchanger.N_MSGS
+
+    def test_ring_bulk_does_not_deadlock(self):
+        n = 4
+        run = LocalProcessBackend(timeout=120).run([RingForwarder(r, n) for r in range(n)])
+        assert all(run.proc(r).received == RingForwarder.N_MSGS for r in range(n))
+
+
+class TestFailureModes:
+    def test_deadlock_times_out_and_cleans_up(self):
+        """Regression: an unsatisfiable receive must end in a timeout error,
+        not a hung parent, and must leave no live children behind."""
+        with pytest.raises(BackendTimeoutError, match="timed out"):
+            LocalProcessBackend(timeout=1.5).run([Hang(0), Hang(1)])
+        assert _no_repro_children(), "timed-out children were not terminated"
+
+    def test_child_exception_propagates(self):
+        with pytest.raises(BackendError, match="boom in child"):
+            LocalProcessBackend(timeout=30).run([Crasher(0), Hang(1)])
+        assert _no_repro_children()
+
+    def test_send_to_unknown_rank(self):
+        with pytest.raises(BackendError, match="unknown rank"):
+            LocalProcessBackend(timeout=30).run([BadDest(0), Hang(1)])
+        assert _no_repro_children()
+
+    def test_recv_from_exited_peer_fails_fast(self):
+        """Regression: a receive that can never be satisfied because every
+        peer already exited must raise promptly (via EOF detection), not
+        hang until the watchdog timeout."""
+        class_exit = Solo(0)  # sends nothing, exits immediately
+        t0 = time.monotonic()
+        with pytest.raises(BackendError, match="never be satisfied"):
+            LocalProcessBackend(timeout=60).run([class_exit, Hang(1)])
+        assert time.monotonic() - t0 < 30, "EOF fail-fast did not trigger"
+        assert _no_repro_children()
+
+    def test_timeout_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCAL_TIMEOUT", "1.5")
+        bk = LocalProcessBackend()
+        assert bk.timeout == 1.5
+        with pytest.raises(BackendTimeoutError):
+            bk.run([Hang(0), Hang(1)])
+        assert _no_repro_children()
+
+    def test_non_contiguous_ranks_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            LocalProcessBackend(timeout=30).run([Ping(0), Pong(2)])
+
+    def test_single_rank(self):
+        run = LocalProcessBackend(timeout=30).run([Solo(0)])
+        assert run.proc(0).done is True
+        assert run.comm.messages == 0

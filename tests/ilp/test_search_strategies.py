@@ -73,6 +73,32 @@ class TestStrategyDifferences:
         rw = learn_rule(family_engine, bottom, store, wide, width=None)
         assert rn.nodes_generated <= rw.nodes_generated
 
+    def test_beam_keeps_node_that_trips_budget(self, monkeypatch):
+        """Regression: the node evaluated in the same iteration the node
+        budget trips used to be dropped before scoring, silently losing a
+        beam survivor."""
+        from types import SimpleNamespace
+
+        from repro.ilp import search as search_mod
+        from repro.ilp.search import _SearchState, _search_beam
+
+        cfg = ILPConfig(min_pos=1, beam_width=5)
+        state = _SearchState(good={}, seen=set())
+
+        def evaluate(rule):
+            state.nodes += 1
+            if state.nodes >= 2:  # budget trips while evaluating "r2"
+                state.exhausted = True
+            return SimpleNamespace(pos=5), float(state.nodes)
+
+        refined = []
+        monkeypatch.setattr(
+            search_mod, "refinements", lambda rule, bottom, config: refined.append(rule) or []
+        )
+        _search_beam(["r1", "r2", "r3"], None, cfg, evaluate, state)
+        assert "r2" in refined, "budget-tripping node was not kept as a survivor"
+        assert "r3" not in refined  # never evaluated: the budget had tripped
+
     def test_invalid_strategy_rejected(self):
         with pytest.raises(ValueError, match="search_strategy"):
             ILPConfig(search_strategy="dfs")
