@@ -106,7 +106,7 @@ def _cmd_learn(args) -> int:
             f"% epochs={res.epochs} comm={res.mbytes:.3f}MB uncovered={res.uncovered}"
         )
         theory = res.theory
-    engine = Engine(ds.kb, ds.config.engine_budget())
+    engine = Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
     acc = accuracy(engine, theory, ds.pos, ds.neg)
     print(theory_to_prolog(theory, header=f"learned by {'mdie' if args.p == 1 else 'p2-mdie'}"))
     print(extra)

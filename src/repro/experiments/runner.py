@@ -131,7 +131,7 @@ def run_cell(
         mbytes = res.mbytes
         epochs = res.epochs
         uncovered = res.uncovered
-    engine = Engine(ds.kb, ds.config.engine_budget())
+    engine = Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
     acc = accuracy(engine, theory, list(fold.test_pos), list(fold.test_neg))
     return RunRecord(
         dataset=ds.name,

@@ -61,6 +61,17 @@ class ILPConfig:
         Apply the selectivity-based body-literal reordering transformation
         before coverage testing (see :mod:`repro.ilp.reorder`); changes
         engine operation counts, never semantics.
+    coverage_inheritance:
+        Exploit specialisation monotonicity: evaluate each refinement only
+        on the examples its parent rule covered (search-side narrowing and
+        master-shipped candidate bitsets).  Identical results, fewer
+        engine operations.
+    coverage_kernel:
+        Which engine kernel coverage testing runs on: ``"new"`` (iterative
+        machine, ground-goal memo, multi-argument indexing), ``"legacy"``
+        (the seed recursive interpreter with first-argument indexing) or
+        None (resolve via the ``REPRO_COVERAGE_KERNEL`` environment
+        variable, defaulting to new).
     search_strategy:
         ``learn_rule`` queue discipline: ``"bfs"`` (the paper's April
         configuration: top-down breadth-first), ``"best_first"``
@@ -84,6 +95,8 @@ class ILPConfig:
     select_seed_randomly: bool = True
     on_uncoverable: str = "skip"
     reorder_body: bool = False
+    coverage_inheritance: bool = True
+    coverage_kernel: Optional[str] = None
     search_strategy: str = "bfs"
     beam_width: int = 5
     engine_max_depth: int = 8
@@ -106,6 +119,8 @@ class ILPConfig:
             raise ValueError("on_uncoverable must be 'skip' or 'memorize'")
         if self.search_strategy not in ("bfs", "best_first", "beam"):
             raise ValueError("search_strategy must be 'bfs', 'best_first' or 'beam'")
+        if self.coverage_kernel not in (None, "new", "legacy"):
+            raise ValueError("coverage_kernel must be 'new', 'legacy' or None")
         if self.beam_width < 1:
             raise ValueError("beam_width must be >= 1")
 

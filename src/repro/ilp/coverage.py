@@ -9,6 +9,15 @@ Coverage over an example list is returned as an **integer bitset** (bit i
 set ⇔ example i covered).  Bitsets make the parallel algorithm's bag
 re-evaluation, global aggregation and ``mark_covered`` steps cheap and
 exact, and they serialize compactly between simulated cluster nodes.
+
+**Coverage inheritance.**  Specialisation is monotone: a refinement
+``R' = R + literal`` can only cover a subset of what ``R`` covers, so a
+candidate mask restricts which examples need testing at all
+(:func:`coverage_eval`'s ``candidates``).  Resource-bounded semantics adds
+one wrinkle: an example the parent failed on *because the query budget ran
+out* is not proven uncovered, so :func:`coverage_eval` also returns an
+``exhausted`` bitset and a sound candidate mask for refinements is
+``covered | exhausted``.
 """
 
 from __future__ import annotations
@@ -19,9 +28,17 @@ from typing import Optional, Sequence
 from repro.logic.clause import Clause
 from repro.logic.engine import Engine
 from repro.logic.terms import Term
-from repro.logic.unify import resolve, unify
+from repro.logic.unify import match, resolve, unify
 
-__all__ = ["covers", "coverage_bitset", "CoverageStats", "popcount", "bitset_from_indices", "indices_from_bitset"]
+__all__ = [
+    "covers",
+    "coverage_bitset",
+    "coverage_eval",
+    "CoverageStats",
+    "popcount",
+    "bitset_from_indices",
+    "indices_from_bitset",
+]
 
 
 def popcount(bits: int) -> int:
@@ -29,7 +46,7 @@ def popcount(bits: int) -> int:
     return bits.bit_count()
 
 
-def bitset_from_indices(indices, n: Optional[int] = None) -> int:
+def bitset_from_indices(indices) -> int:
     out = 0
     for i in indices:
         out |= 1 << i
@@ -37,12 +54,15 @@ def bitset_from_indices(indices, n: Optional[int] = None) -> int:
 
 
 def indices_from_bitset(bits: int):
-    i = 0
+    """Iterate the set-bit positions of ``bits``, ascending.
+
+    Extracts the lowest set bit with ``bits & -bits`` each step, so the
+    cost is proportional to the popcount, not the bit length.
+    """
     while bits:
-        if bits & 1:
-            yield i
-        bits >>= 1
-        i += 1
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
 
 
 def covers(engine: Engine, rule: Clause, example: Term) -> bool:
@@ -63,13 +83,49 @@ def covers(engine: Engine, rule: Clause, example: Term) -> bool:
     return engine.prove(goals)
 
 
-def coverage_bitset(engine: Engine, rule: Clause, examples: Sequence[Term]) -> int:
-    """Bitset of examples covered by ``rule``."""
+def coverage_eval(
+    engine: Engine, rule: Clause, examples: Sequence[Term], candidates: Optional[int] = None
+) -> tuple[int, int]:
+    """(covered bitset, exhausted bitset) of ``rule`` over ``examples``.
+
+    ``candidates`` restricts which examples are tested: bits outside it are
+    assumed (and must be provably) uncovered — callers pass a parent rule's
+    ``covered | exhausted`` mask.  The returned bitsets are always over the
+    full example list.
+    """
     bits = 0
-    for i, e in enumerate(examples):
-        if covers(engine, rule, e):
+    exh = 0
+    # One renaming serves every example: examples are ground, so distinct
+    # examples can never entangle the rule's (fresh) variables.
+    r = rule.rename_apart()
+    head, body = r.head, r.body
+    if candidates is None:
+        indices = range(len(examples))
+    else:
+        indices = indices_from_bitset(candidates)
+    for i in indices:
+        if i >= len(examples):
+            break
+        # Examples are ground, so one-way matching of the head suffices and
+        # the resulting bindings seed the body proof directly.
+        subst = match(head, examples[i])
+        if subst is None:
+            continue
+        if not body:
             bits |= 1 << i
-    return bits
+            continue
+        if engine.prove_body(body, subst):
+            bits |= 1 << i
+        elif engine.last_exhausted:
+            exh |= 1 << i
+    return bits, exh
+
+
+def coverage_bitset(
+    engine: Engine, rule: Clause, examples: Sequence[Term], candidates: Optional[int] = None
+) -> int:
+    """Bitset of examples covered by ``rule``."""
+    return coverage_eval(engine, rule, examples, candidates)[0]
 
 
 @dataclass(frozen=True)

@@ -66,8 +66,8 @@ def mdie(
     ``seed`` drives the random seed-example selection; ``max_epochs`` is an
     optional stopping condition (the paper's "some time limit").
     """
-    engine = Engine(kb, config.engine_budget())
-    store = ExampleStore(pos, neg, reorder_body=config.reorder_body)
+    engine = Engine(kb, config.engine_budget(), kernel=config.coverage_kernel)
+    store = ExampleStore(pos, neg, reorder_body=config.reorder_body, inherit=config.coverage_inheritance)
     rng = make_rng(seed, "mdie")
     theory = Theory()
     log: list = []

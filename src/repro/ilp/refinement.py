@@ -16,7 +16,7 @@ refined *further there* — exactly what the paper's pipeline stages do with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.ilp.bottom import BottomClause
 from repro.ilp.config import ILPConfig
@@ -33,10 +33,17 @@ class SearchRule:
     ``last_index`` is the bottom-body index of the clause's last literal
     (-1 for the bare head).  Refinements only consider strictly larger
     indices, so each subsequence is generated exactly once.
+
+    ``parent`` is the clause this one was refined from (None for roots and
+    pre-lineage rules).  Because specialisation only shrinks coverage, a
+    parent's cached coverage bounds the examples a refinement needs to be
+    tested on — the lineage travels with the rule, including across
+    pipeline stages and in the master's rule bags.
     """
 
     clause: Clause
     last_index: int = -1
+    parent: Optional[Clause] = None
 
     def __len__(self) -> int:
         return len(self.clause.body)
@@ -70,4 +77,4 @@ def refinements(rule: SearchRule, bottom: BottomClause, config: ILPConfig) -> It
     for j in range(rule.last_index + 1, len(bottom.literals)):
         bl = bottom.literals[j]
         if bl.input_vars <= scope:
-            yield SearchRule(rule.clause.with_extra_literal(bl.literal), j)
+            yield SearchRule(rule.clause.with_extra_literal(bl.literal), j, parent=rule.clause)

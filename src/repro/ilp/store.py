@@ -6,18 +6,25 @@ removed; instead an ``alive`` bitmask tracks which are still uncovered.
 Because coverage bitsets are computed over the *full* positive list, cached
 rule evaluations stay valid across ``mark_covered`` steps — only the mask
 changes.  (Negative examples are never removed.)
+
+**Coverage inheritance.**  A refinement can only cover a subset of its
+parent rule's coverage, so when the parent's bitsets are cached, only the
+examples the parent covered (plus those whose parent query merely ran out
+of budget) are re-tested.  As search descends the lattice the per-node work
+shrinks with the parent's coverage — the deeper the rule, the cheaper its
+evaluation.  The same narrowing accepts externally supplied candidate
+masks (the parallel masters ship them alongside rule bags).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.ilp.coverage import CoverageStats, coverage_bitset, popcount
+from repro.ilp.coverage import CoverageStats, coverage_eval, popcount
 from repro.ilp.reorder import optimize_clause_order
 from repro.logic.clause import Clause
 from repro.logic.engine import Engine
-from repro.logic.terms import Term
+from repro.logic.terms import Struct, Term
 
 __all__ = ["ExampleStore"]
 
@@ -30,16 +37,34 @@ class ExampleStore:
     original clause — a pure engine-cost optimisation.
     """
 
-    def __init__(self, pos: Sequence[Term], neg: Sequence[Term], reorder_body: bool = False):
+    def __init__(
+        self,
+        pos: Sequence[Term],
+        neg: Sequence[Term],
+        reorder_body: bool = False,
+        inherit: bool = True,
+    ):
         self.pos: list[Term] = list(pos)
         self.neg: list[Term] = list(neg)
         self.reorder_body = reorder_body
+        #: enable coverage inheritance *and* alive-restricted evaluation;
+        #: False reproduces the seed behaviour exactly (full-list scans).
+        self.inherit = inherit
         #: bitmask over ``self.pos``: bit i set ⇔ example i still uncovered.
         self.alive: int = (1 << len(self.pos)) - 1
-        # clause -> (pos_bits over full pos list, neg_bits)
-        self._cache: dict[Clause, tuple[int, int]] = {}
+        # clause -> (pos_bits, neg_bits, pos_exhausted, neg_exhausted,
+        # pos_scope).  ``pos_scope`` records which positives were in the
+        # evaluation's scope (alive at the time): bits are exact inside it,
+        # unknown outside.  Since liveness normally only shrinks, cached
+        # entries stay valid; if liveness is ever restored (the independent
+        # baseline does), evaluation tops the entry up over the difference.
+        self._cache: dict[Clause, tuple[int, int, int, int, int]] = {}
+        # clause -> its reordered evaluation form (survives clear_cache:
+        # the reordering depends only on the KB, not on coverage state).
+        self._reorder_cache: dict[Clause, Clause] = {}
         self._hits = 0
         self._misses = 0
+        self._inherited = 0
 
     # -- liveness ---------------------------------------------------------------
     @property
@@ -68,26 +93,122 @@ class ExampleStore:
         return newly
 
     # -- evaluation ---------------------------------------------------------------
-    def evaluate(self, engine: Engine, rule: Clause) -> CoverageStats:
+    def evaluate(
+        self,
+        engine: Engine,
+        rule: Clause,
+        parent: Optional[Clause] = None,
+        candidates: Optional[tuple[int, int]] = None,
+    ) -> CoverageStats:
         """Evaluate ``rule`` on this store (alive positives, all negatives).
 
         Results are cached per clause; the cache survives ``kill`` because
         bitsets are over the full example lists.
+
+        ``parent`` names the rule this one refines: if the parent's bitsets
+        are cached, only examples it covered (or whose query exhausted its
+        budget) are tested.  ``candidates`` is an externally supplied
+        ``(pos_mask, neg_mask)`` bound with the same meaning — both sources
+        are intersected when present.
         """
         cached = self._cache.get(rule)
-        if cached is None:
-            self._misses += 1
-            to_eval = rule
-            if self.reorder_body and rule.body:
-                to_eval = optimize_clause_order(engine.kb, rule)
-            pb = coverage_bitset(engine, to_eval, self.pos)
-            nb = coverage_bitset(engine, to_eval, self.neg)
-            self._cache[rule] = (pb, nb)
-        else:
+        if cached is not None:
             self._hits += 1
-            pb, nb = cached
+            pb, nb, pe, ne, scope = cached
+            missing = self.alive & ~scope
+            if missing:
+                # Liveness was restored after this entry was computed: top
+                # it up over the never-tested examples so it is exact again
+                # on the current alive set.
+                to_eval = self._reordered(engine.kb, rule)
+                pb2, pe2 = coverage_eval(engine, to_eval, self.pos, missing)
+                pb |= pb2
+                pe |= pe2
+                scope |= missing
+                self._cache[rule] = (pb, nb, pe, ne, scope)
+        else:
+            self._misses += 1
+            to_eval = self._reordered(engine.kb, rule)
+            if self.inherit:
+                cand_p: Optional[int] = self.alive
+                scope = self.alive
+                if parent is None and rule.body:
+                    # Refinement only ever appends a literal, so the
+                    # lattice parent is always derivable — rules that
+                    # arrive without lineage (master rule bags, pipeline
+                    # seeds) still narrow against a cached parent.
+                    parent = Clause(rule.head, rule.body[:-1])
+            else:
+                cand_p = None
+                scope = (1 << len(self.pos)) - 1
+            cand_n: Optional[int] = None
+            if (
+                self.inherit
+                and (parent is not None or candidates is not None)
+                and self._inherit_ok(engine.kb, rule)
+            ):
+                narrowed = False
+                if candidates is not None:
+                    cp, cn = candidates
+                    cand_p &= cp
+                    cand_n = cn
+                    narrowed = True
+                if parent is not None:
+                    pc = self._cache.get(parent)
+                    if pc is not None:
+                        ppb, pnb, ppe, pne, pscope = pc
+                        # Outside the parent's evaluation scope its verdict
+                        # is unknown (liveness may have been restored since)
+                        # — those examples must stay candidates.
+                        cand_p &= ppb | ppe | ~pscope
+                        nm = pnb | pne
+                        cand_n = nm if cand_n is None else cand_n & nm
+                        narrowed = True
+                if narrowed:
+                    self._inherited += 1
+            pb, pe = coverage_eval(engine, to_eval, self.pos, cand_p)
+            nb, ne = coverage_eval(engine, to_eval, self.neg, cand_n)
+            self._cache[rule] = (pb, nb, pe, ne, scope)
         live = pb & self.alive
         return CoverageStats(pos=popcount(live), neg=popcount(nb), pos_bits=live, neg_bits=nb)
+
+    def cand_masks(self, rule: Clause) -> Optional[tuple[int, int]]:
+        """The sound refinement candidate masks of a cached rule:
+        ``(pos covered|exhausted, neg covered|exhausted)``, or None if the
+        rule was never evaluated here."""
+        cached = self._cache.get(rule)
+        if cached is None:
+            return None
+        pb, nb, pe, ne, _scope = cached
+        return (pb | pe, nb | ne)
+
+    def _reordered(self, kb, rule: Clause) -> Clause:
+        """The evaluation form of ``rule`` (memoized body reordering)."""
+        if not (self.reorder_body and rule.body):
+            return rule
+        out = self._reorder_cache.get(rule)
+        if out is None:
+            out = optimize_clause_order(kb, rule)
+            self._reorder_cache[rule] = out
+        return out
+
+    def _inherit_ok(self, kb, rule: Clause) -> bool:
+        """Is candidate narrowing sound for ``rule``?
+
+        Appended-literal refinement is coverage-monotone as long as the
+        evaluated body order embeds the parent's derivation.  Body
+        reordering may permute rule-defined (depth-consuming) literals
+        ahead of each other, which can *loosen* the depth profile relative
+        to the parent — so with ``reorder_body`` inheritance is only used
+        when every body literal is depth-free (fact-only or builtin).
+        """
+        if not self.reorder_body:
+            return True
+        for lit in rule.body:
+            ind = lit.indicator if isinstance(lit, Struct) else (str(lit), 0)
+            if kb.rules_for(ind):
+                return False
+        return True
 
     # -- cache effectiveness (reported by the benchmark suite) -------------------
     def cache_size(self) -> int:
@@ -106,6 +227,10 @@ class ExampleStore:
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
 
+    def inherited_evals(self) -> int:
+        """Cache misses whose example set was narrowed by inheritance."""
+        return self._inherited
+
     def clear_cache(self) -> None:
-        """Drop cached bitsets (counters are preserved)."""
+        """Drop cached bitsets (counters and reorderings are preserved)."""
         self._cache.clear()

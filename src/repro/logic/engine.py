@@ -17,10 +17,38 @@ engine over a :class:`~repro.logic.knowledge.KnowledgeBase`:
 
 The engine treats negation-as-failure (``\\+``/``not``) soundly for ground
 sub-goals (the only use ILP coverage makes of it).
+
+Two resolution machines are provided:
+
+* ``iterative`` (default) — an explicit goal-stack/choice-point machine.
+  Continuations are shared cons cells, choice points are flat list frames,
+  and backtracking is a loop — no nested-generator resumption on every
+  unification.  It optionally memoizes ground goals over *deterministic*
+  predicates (rule predicates whose dependency closure is negation-free):
+  success observed at remaining depth ``d`` is valid at any depth ``>= d``,
+  failure at depth ``d`` at any depth ``<= d``, so memo answers are exactly
+  what re-running the machine would compute.  The memo is invalidated
+  whenever the knowledge base's ``version`` stamp changes.
+* ``recursive`` — the original nested-generator interpreter, kept as the
+  measurable baseline (``REPRO_COVERAGE_KERNEL=legacy`` or
+  ``Engine(..., kernel="legacy")``) and as the parity oracle for tests.
+
+Solution order, bindings and resource semantics of the iterative machine
+(with memoization disabled) are bit-identical to the recursive machine,
+including the exact sequence of ``total_ops`` charges.  Memoization and
+multi-argument indexing reduce the op count; they never change the set of
+solutions, but — like body reordering — a query that only failed because it
+ran out of budget may now succeed within it.  One further nuance: the
+recursive interpreter lets a subgoal's rule expansions tighten the depth
+budget of the goals *after* it (its own comment calls the tightening
+benign); a memoized ground subgoal consumes no depth from its
+continuation, i.e. the memo restores branch-local depth accounting.  The
+two treatments only differ where the depth bound binds mid-conjunction.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, Optional, Sequence
 
 from repro.logic.builtins import ArithmeticError_, eval_arith, is_builtin
@@ -29,7 +57,13 @@ from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Const, Struct, Term, Var, fresh_var, is_ground
 from repro.logic.unify import Subst, resolve, undo_trail, unify_trail, walk
 
-__all__ = ["Engine", "QueryBudget", "BudgetExceeded"]
+__all__ = ["Engine", "QueryBudget", "BudgetExceeded", "resolve_kernel"]
+
+#: Environment switch for the default coverage kernel: ``new`` (iterative
+#: machine, memo table, multi-argument indexing) or ``legacy`` (the seed
+#: recursive interpreter with first-argument indexing) — the before/after
+#: flag the kernel benchmark flips.
+KERNEL_ENV = "REPRO_COVERAGE_KERNEL"
 
 
 class BudgetExceeded(Exception):
@@ -40,6 +74,14 @@ def _flatten_conj(term: Term) -> tuple[Term, ...]:
     if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
         return _flatten_conj(term.args[0]) + _flatten_conj(term.args[1])
     return (term,)
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve a kernel name: explicit > ``REPRO_COVERAGE_KERNEL`` > new."""
+    k = kernel or os.environ.get(KERNEL_ENV) or "new"
+    if k not in ("new", "legacy"):
+        raise ValueError(f"unknown coverage kernel {k!r} (expected 'new' or 'legacy')")
+    return k
 
 
 class QueryBudget:
@@ -63,15 +105,63 @@ class QueryBudget:
 
 
 class Engine:
-    """SLD resolution over a knowledge base, with resource accounting."""
+    """SLD resolution over a knowledge base, with resource accounting.
 
-    def __init__(self, kb: KnowledgeBase, budget: Optional[QueryBudget] = None):
+    Parameters
+    ----------
+    kernel:
+        ``"new"`` / ``"legacy"`` / None (None resolves via the
+        ``REPRO_COVERAGE_KERNEL`` environment variable, defaulting to new).
+        The kernel only sets defaults for the three fine-grained knobs:
+    machine:
+        ``"iterative"`` or ``"recursive"`` resolution core.
+    memo:
+        Enable the ground-goal memo table (iterative machine only).
+    index:
+        ``"multi"`` (any-bound-argument / composite indexing) or
+        ``"first"`` (seed first-argument indexing).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        budget: Optional[QueryBudget] = None,
+        kernel: Optional[str] = None,
+        machine: Optional[str] = None,
+        memo: Optional[bool] = None,
+        index: Optional[str] = None,
+    ):
+        kernel = resolve_kernel(kernel)
+        legacy = kernel == "legacy"
+        self.kernel = kernel
+        self.machine = machine or ("recursive" if legacy else "iterative")
+        if self.machine not in ("iterative", "recursive"):
+            raise ValueError(f"unknown machine {self.machine!r}")
+        self.memo_enabled = (self.machine == "iterative" and not legacy) if memo is None else memo
+        self.index = index or ("first" if legacy else "multi")
+        if self.index not in ("multi", "first"):
+            raise ValueError(f"unknown index mode {self.index!r}")
         self.kb = kb
         self.budget = budget or QueryBudget()
         #: unification attempts since engine construction (monotonic).
         self.total_ops: int = 0
         #: True iff the most recent query hit its operation budget.
         self.last_exhausted: bool = False
+        # goal -> [min depth success was observed at | None,
+        #          max depth failure was observed at | None]
+        self._memo: dict[Term, list] = {}
+        # goals whose memo proof is currently running: re-dispatches of the
+        # same ground goal inside it must explore normally (recursive
+        # predicates), not re-enter the memo.
+        self._memo_active: set = set()
+        # indicator -> is the predicate's dependency closure negation-free?
+        self._memoizable: dict[tuple, bool] = {}
+        # indicator -> (FactStore, rules) dispatch cache; (None, None) for
+        # builtins.  Cleared with the memo when the KB version moves.
+        self._preds: dict[tuple, tuple] = {}
+        self._kb_version = kb.version
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # -- public query API ----------------------------------------------------
     def solve(self, goals: Term | Sequence[Term], limit: Optional[int] = None) -> Iterator[Term | tuple]:
@@ -91,11 +181,10 @@ class Engine:
         goal_tuple = tuple(flat)
         subst: dict = {}
         trail: list = []
-        self.last_exhausted = False
-        self._query_ops = 0
+        gen = self._start_query(goal_tuple, subst, trail)
         n = 0
         try:
-            for _ in self._solve(goal_tuple, 0, self.budget.max_depth, subst, trail):
+            for _ in gen:
                 if len(goal_tuple) == 1:
                     yield resolve(goal_tuple[0], subst)
                 else:
@@ -112,6 +201,38 @@ class Engine:
             return True
         return False
 
+    def prove_body(self, goals: tuple, subst: dict) -> bool:
+        """Existence of a solution for ``goals`` under initial bindings.
+
+        The coverage hot path: the caller hands over the head-matching
+        substitution instead of pre-resolving every body literal (the
+        machine resolves each goal at dispatch anyway).  Takes ownership
+        of ``subst``.  Same budget/exhaustion semantics as :meth:`prove`.
+        """
+        try:
+            for _ in self._start_query(goals, subst, []):
+                return True
+        except BudgetExceeded:
+            self.last_exhausted = True
+        return False
+
+    def _start_query(self, goals: tuple, subst: dict, trail: list):
+        """Reset per-query state, refresh version-stamped caches, and
+        return the resolution generator for ``goals``."""
+        self.last_exhausted = False
+        self._query_ops = 0
+        if self._kb_version != self.kb.version:
+            self._preds.clear()
+            self._memo.clear()
+            self._memoizable.clear()
+            self._kb_version = self.kb.version
+        if self.machine == "recursive":
+            return self._solve(goals, 0, self.budget.max_depth, subst, trail)
+        cont = None
+        for g in reversed(goals):
+            cont = (g, cont)
+        return self._machine(cont, self.budget.max_depth, subst, trail)
+
     def count_solutions(self, goals: Term | Sequence[Term], limit: Optional[int] = None) -> int:
         """Count distinct solution instances (up to ``limit``)."""
         seen = set()
@@ -121,13 +242,392 @@ class Engine:
                 break
         return len(seen)
 
-    # -- resolution core -------------------------------------------------------
+    # -- shared plumbing -------------------------------------------------------
     def _charge(self, n: int = 1) -> None:
         self.total_ops += n
         self._query_ops += n
         if self._query_ops > self.budget.max_ops:
             raise BudgetExceeded
 
+    def _candidates(self, store, goal: Term) -> list[Term]:
+        if self.index == "multi":
+            return store.candidates(goal)
+        return store.candidates_first(goal)
+
+    # -- iterative machine -------------------------------------------------------
+    #
+    # A continuation is a cons list ``(goal, rest)`` / None; sharing tails
+    # makes saving it in a choice point O(1).  A choice point is a flat
+    # list frame; index 0 is the kind tag:
+    #
+    #   _F_PRED    [tag, trail_mark, cont_rest, depth, goal, facts, fi,
+    #               rules, ri, walked_args]
+    #   _F_BETWEEN [tag, trail_mark, cont_rest, depth, x, hi, next_v]
+    #
+    # The main loop alternates between running the current continuation
+    # forward and pulling the next alternative off the top frame.  A new
+    # frame is entered through the same backtracking code that resumes it
+    # (its first "undo" is a no-op at its own trail mark).
+
+    _F_PRED = 0
+    _F_BETWEEN = 1
+
+    def _machine(self, cont, depth: int, subst: dict, trail: list):
+        """Iterative SLD core; yields once per solution (bindings live in
+        ``subst``).
+
+        Engine substitutions never contain self-bindings (neither
+        ``unify_trail`` nor ``match`` creates them), so variable chains are
+        walked with identity checks only.
+        """
+        frames: list[list] = []
+        backtrack = False
+        max_ops = self.budget.max_ops
+        preds = self._preds
+        subst_get = subst.get
+        trail_append = trail.append
+        while True:
+            if backtrack:
+                if not frames:
+                    return
+                f = frames[-1]
+                mark = f[1]
+                if len(trail) > mark:
+                    undo_trail(subst, trail, mark)
+                if f[0] == Engine._F_PRED:
+                    goal, facts = f[4], f[5]
+                    gargs = f[9]
+                    nargs = len(gargs)
+                    advanced = False
+                    fi = f[6]
+                    nfacts = len(facts)
+                    while fi < nfacts:
+                        fact = facts[fi]
+                        fi += 1
+                        self.total_ops += 1
+                        qo = self._query_ops + 1
+                        self._query_ops = qo
+                        if qo > max_ops:
+                            f[6] = fi
+                            raise BudgetExceeded
+                        # Specialized goal-vs-ground-fact unification: the
+                        # goal's arguments were walked at dispatch, so each
+                        # is an unbound var (modulo bindings made by this
+                        # very loop for repeated vars) or ground.
+                        fargs = fact.args
+                        ok = True
+                        for k in range(nargs):
+                            a = gargs[k]
+                            if type(a) is Var:
+                                nxt = subst_get(a)
+                                while nxt is not None:
+                                    a = nxt
+                                    nxt = subst_get(a) if type(a) is Var else None
+                                if type(a) is Var:
+                                    subst[a] = fargs[k]
+                                    trail_append(a)
+                                    continue
+                            b = fargs[k]
+                            if a is b or a == b:
+                                continue
+                            if type(a) is Struct and unify_trail(a, b, subst, trail):
+                                continue
+                            ok = False
+                            break
+                        if ok:
+                            cont, depth = f[2], f[3]
+                            advanced = True
+                            break
+                        if len(trail) > mark:
+                            undo_trail(subst, trail, mark)
+                    f[6] = fi
+                    if advanced:
+                        backtrack = False
+                        continue
+                    rules = f[7]
+                    if not rules or f[3] <= 0:
+                        # depth bound: silently fail further rule expansion
+                        frames.pop()
+                        continue
+                    while f[8] < len(rules):
+                        rule = rules[f[8]]
+                        f[8] += 1
+                        self._charge()
+                        r = rule.rename_apart()
+                        if unify_trail(goal, r.head, subst, trail):
+                            c = f[2]
+                            for lit in reversed(r.body):
+                                c = (lit, c)
+                            cont, depth = c, f[3] - 1
+                            advanced = True
+                            break
+                        if len(trail) > mark:
+                            undo_trail(subst, trail, mark)
+                    if advanced:
+                        backtrack = False
+                        continue
+                    frames.pop()
+                    continue
+                else:  # _F_BETWEEN
+                    advanced = False
+                    while f[6] <= f[5]:
+                        v = f[6]
+                        f[6] += 1
+                        self._charge()
+                        if unify_trail(f[4], Const(v), subst, trail):
+                            cont, depth = f[2], f[3]
+                            advanced = True
+                            break
+                        if len(trail) > mark:
+                            undo_trail(subst, trail, mark)
+                    if advanced:
+                        backtrack = False
+                        continue
+                    frames.pop()
+                    continue
+
+            if cont is None:
+                yield None
+                backtrack = True
+                continue
+            goal, rest = cont
+            while type(goal) is Var:
+                nxt = subst_get(goal)
+                if nxt is None or nxt == goal:
+                    raise TypeError("unbound variable as goal")
+                goal = nxt
+            if type(goal) is Const:
+                ind = (str(goal), 0)
+                gargs: list = []
+                bound: list[int] = []
+                ground = True
+                changed = False
+            else:
+                ind = goal.indicator
+                gargs = bound = None  # type: ignore[assignment]
+            entry = preds.get(ind)
+            if entry is None:
+                if is_builtin(ind):
+                    entry = preds[ind] = (None, None)
+                else:
+                    entry = preds[ind] = (self.kb.facts_for(ind), self.kb.rules_for(ind))
+            store, rules = entry
+            if store is None:
+                # Builtins are substitution-aware; the goal's arguments
+                # are handed over unresolved.
+                outcome = self._builtin_step(goal, ind, rest, depth, subst, trail, frames)
+                if outcome is _FAIL:
+                    backtrack = True
+                elif outcome is _ENTER_FRAME:
+                    backtrack = True  # pull the first alternative off the new frame
+                else:
+                    cont = outcome
+                continue
+
+            if gargs is None:
+                # Walk each argument once, in place of materializing a
+                # resolved copy of the goal: ``gargs`` are the effective
+                # argument values (unbound Var | ground term | partial
+                # struct), ``bound`` the positions usable as index keys.
+                args = goal.args
+                gargs = list(args)
+                bound = []
+                ground = True
+                changed = False
+                for k in range(len(args)):
+                    a = args[k]
+                    ta = type(a)
+                    if ta is Const:
+                        bound.append(k)
+                        continue
+                    if ta is Var:
+                        nxt = subst_get(a)
+                        while nxt is not None:
+                            a = nxt
+                            nxt = subst_get(a) if type(a) is Var else None
+                        if type(a) is Var:
+                            ground = False
+                            gargs[k] = a
+                            continue
+                    if type(a) is Struct:
+                        a = resolve(a, subst)
+                        if not is_ground(a):
+                            ground = False
+                            gargs[k] = a
+                            if a is not args[k]:
+                                changed = True
+                            continue
+                    gargs[k] = a
+                    if a is not args[k]:
+                        changed = True
+                    bound.append(k)
+
+            if ground:
+                key = Struct(goal.functor, tuple(gargs)) if changed else goal
+                if not rules:
+                    # Ground fast path: a ground goal over a fact-only
+                    # predicate is a set-membership test.
+                    self.total_ops += 1
+                    qo = self._query_ops + 1
+                    self._query_ops = qo
+                    if qo > max_ops:
+                        raise BudgetExceeded
+                    if key in store.fact_set:
+                        cont = rest
+                    else:
+                        backtrack = True
+                    continue
+                if self.memo_enabled and key not in self._memo_active and self._is_memoizable(ind):
+                    if self._memo_prove(key, depth, subst, trail):
+                        cont = rest
+                    else:
+                        backtrack = True
+                    continue
+            if type(goal) is not Struct:
+                facts = store.facts
+            elif self.index == "multi":
+                facts = store.candidates_bound(gargs, bound)
+            else:
+                facts = store.candidates_first_walked(gargs)
+            frames.append([Engine._F_PRED, len(trail), rest, depth, goal, facts, 0, rules, 0, gargs])
+            backtrack = True
+
+    def _builtin_step(self, goal, ind, rest, depth, subst, trail, frames):
+        """One deterministic builtin step.
+
+        Returns the next continuation, ``_FAIL``, or ``_ENTER_FRAME`` after
+        pushing a choice point (``between/3`` with an unbound variable).
+        """
+        self._charge()
+        name = ind[0]
+        if name == "true":
+            return rest
+        if name in ("fail", "false"):
+            return _FAIL
+        args = goal.args if isinstance(goal, Struct) else ()
+        if name == "=":
+            if unify_trail(args[0], args[1], subst, trail):
+                return rest
+            return _FAIL
+        if name == "\\=":
+            mark = len(trail)
+            ok = unify_trail(args[0], args[1], subst, trail)
+            undo_trail(subst, trail, mark)
+            return _FAIL if ok else rest
+        if name in ("==", "\\=="):
+            same = resolve(args[0], subst) == resolve(args[1], subst)
+            return rest if same == (name == "==") else _FAIL
+        if name in ("<", ">", "=<", ">="):
+            try:
+                a = eval_arith(args[0], subst)
+                b = eval_arith(args[1], subst)
+            except ArithmeticError_:
+                return _FAIL
+            ok = {"<": a < b, ">": a > b, "=<": a <= b, ">=": a >= b}[name]
+            return rest if ok else _FAIL
+        if name == "is":
+            try:
+                value = eval_arith(args[1], subst)
+            except ArithmeticError_:
+                return _FAIL
+            if unify_trail(args[0], Const(value), subst, trail):
+                return rest
+            return _FAIL
+        if name in ("\\+", "not"):
+            mark = len(trail)
+            found = self._prove_once((args[0], None), depth, subst, trail)
+            undo_trail(subst, trail, mark)
+            return _FAIL if found else rest
+        if name == "between":
+            try:
+                lo = int(eval_arith(args[0], subst))
+                hi = int(eval_arith(args[1], subst))
+            except ArithmeticError_:
+                return _FAIL
+            x = walk(args[2], subst)
+            if isinstance(x, Const):
+                if isinstance(x.value, int) and lo <= x.value <= hi:
+                    return rest
+                return _FAIL
+            frames.append([Engine._F_BETWEEN, len(trail), rest, depth, x, hi, lo])
+            return _ENTER_FRAME
+        if name == "dif_const":
+            # Succeeds iff both args are (bound to) distinct constants.
+            a = walk(args[0], subst)
+            b = walk(args[1], subst)
+            if isinstance(a, Const) and isinstance(b, Const) and a != b:
+                return rest
+            return _FAIL
+        raise NotImplementedError(f"builtin {ind} not implemented")  # pragma: no cover
+
+    def _prove_once(self, cont, depth: int, subst: dict, trail: list) -> bool:
+        """Run a nested machine to its first solution (shared budget/trail)."""
+        for _ in self._machine(cont, depth, subst, trail):
+            return True
+        return False
+
+    # -- ground-goal memo table ---------------------------------------------------
+    def _is_memoizable(self, ind: tuple) -> bool:
+        """True iff every predicate reachable from ``ind``'s rules is pure
+        and negation-free (negation makes provability non-monotone in the
+        remaining depth, which would break the memo's depth generalisation)."""
+        cached = self._memoizable.get(ind)
+        if cached is not None:
+            return cached
+        ok = True
+        seen: set = set()
+        stack = [ind]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            if cur[0] in ("\\+", "not"):
+                ok = False
+                break
+            if is_builtin(cur):
+                continue
+            for rule in self.kb.rules_for(cur):
+                for lit in rule.body:
+                    stack.append(lit.indicator if isinstance(lit, Struct) else (str(lit), 0))
+        self._memoizable[ind] = ok
+        return ok
+
+    def _memo_prove(self, goal: Term, depth: int, subst: dict, trail: list) -> bool:
+        """Provability of a ground goal, memoized with depth validity.
+
+        Success observed with ``depth`` remaining holds for any remaining
+        depth >= that; a completed failure holds for any depth <= it.
+        Entries between the two bounds are re-proved.
+        """
+        entry = self._memo.get(goal)
+        if entry is not None:
+            s, f = entry
+            if s is not None and depth >= s:
+                self.memo_hits += 1
+                self._charge()
+                return True
+            if f is not None and depth <= f:
+                self.memo_hits += 1
+                self._charge()
+                return False
+        self.memo_misses += 1
+        mark = len(trail)
+        self._memo_active.add(goal)
+        try:
+            found = self._prove_once((goal, None), depth, subst, trail)
+        finally:
+            self._memo_active.discard(goal)
+            undo_trail(subst, trail, mark)
+        if entry is None:
+            entry = self._memo[goal] = [None, None]
+        if found:
+            entry[0] = depth if entry[0] is None else min(entry[0], depth)
+        else:
+            entry[1] = depth if entry[1] is None else max(entry[1], depth)
+        return found
+
+    # -- recursive resolution core (legacy kernel) --------------------------------
     def _solve(self, goals: tuple, i: int, depth: int, subst: dict, trail: list):
         """Solve ``goals[i:]``; yields once per solution (bindings live in
         ``subst``)."""
@@ -135,7 +635,7 @@ class Engine:
             yield None
             return
         # Resolve the whole goal up front: argument variables bound earlier
-        # in the derivation must be visible to the first-argument index
+        # in the derivation must be visible to the argument index
         # (otherwise e.g. elem(G, cl) with G bound would scan every fact).
         goal = resolve(goals[i], subst)
         if isinstance(goal, Var):
@@ -156,7 +656,7 @@ class Engine:
             if goal in store.fact_set:
                 yield from self._solve(goals, i + 1, depth, subst, trail)
             return
-        for fact in store.candidates(goal):
+        for fact in self._candidates(store, goal):
             self._charge()
             mark = len(trail)
             if unify_trail(goal, fact, subst, trail):
@@ -261,3 +761,8 @@ class Engine:
                 yield from self._solve(goals, i + 1, depth, subst, trail)
             return
         raise NotImplementedError(f"builtin {ind} not implemented")  # pragma: no cover
+
+
+#: sentinels returned by :meth:`Engine._builtin_step`.
+_FAIL = object()
+_ENTER_FRAME = object()

@@ -1,10 +1,22 @@
 """Knowledge base: indexed ground facts plus rules.
 
 The background knowledge ``B`` of an ILP problem is a
-:class:`KnowledgeBase`.  Facts are stored per predicate indicator with a
-first-argument index (the dominant access path during coverage testing:
-``bond(m17, A1, A2)`` with the molecule id bound).  Rules are stored per
-indicator in insertion order, Prolog-style.
+:class:`KnowledgeBase`.  Facts are stored per predicate indicator with
+**argument indexes**: any argument position that a goal binds to a ground
+term is an access path.  A single bound position uses its per-position
+index; several bound positions use a composite index over exactly that
+signature — at least as selective as any single-position bucket, so only
+facts matching *all* bound arguments are ever offered for unification.
+Position 0 is indexed eagerly (the dominant access path during coverage
+testing: ``bond(m17, A1, A2)`` with the molecule id bound); every other
+index is built lazily the first time a goal needs it, so e.g.
+``bond(A, m17_a3, B)`` stops scanning the whole store after its first
+occurrence.  Rules are stored per indicator in insertion order,
+Prolog-style.
+
+The base also carries a monotonic ``version`` counter, bumped on every
+mutation — consumers that cache derived results (the engine's ground-goal
+memo table) use it for invalidation.
 """
 
 from __future__ import annotations
@@ -18,18 +30,27 @@ from repro.logic.terms import Const, Struct, Term, Var, is_ground
 
 __all__ = ["FactStore", "KnowledgeBase"]
 
+_EMPTY: list = []
+
 
 class FactStore:
-    """Ground facts of a single predicate, with first-argument indexing."""
+    """Ground facts of a single predicate, with multi-argument indexing."""
 
-    __slots__ = ("indicator", "facts", "by_first", "fact_set")
+    __slots__ = ("indicator", "facts", "fact_set", "_indexes", "_composite")
 
     def __init__(self, indicator: tuple[str, int]):
         self.indicator = indicator
         self.facts: list[Term] = []
-        # first-arg constant -> list of facts (only populated for arity >= 1)
-        self.by_first: dict[object, list[Term]] = defaultdict(list)
         self.fact_set: set[Term] = set()
+        # arg position -> {ground arg term -> facts with that arg, in
+        # insertion order}.  Position 0 is built eagerly, others on demand.
+        self._indexes: dict[int, dict[Term, list[Term]]] = {}
+        # bound-position signature (pos, pos, ...) -> {arg tuple -> facts}:
+        # composite indexes for goals binding several arguments at once,
+        # e.g. bond(a3, C, 2) with (0, 2) bound.
+        self._composite: dict[tuple[int, ...], dict[tuple, list[Term]]] = {}
+        if indicator[1] >= 1:
+            self._indexes[0] = {}
 
     def add(self, fact: Term) -> bool:
         """Add a ground fact; returns False if it was already present."""
@@ -38,17 +59,91 @@ class FactStore:
         self.fact_set.add(fact)
         self.facts.append(fact)
         if isinstance(fact, Struct):
-            first = fact.args[0]
-            if isinstance(first, Const):
-                self.by_first[first.value].append(fact)
+            for pos, index in self._indexes.items():
+                index.setdefault(fact.args[pos], []).append(fact)
+            for sig, index in self._composite.items():
+                key = tuple(fact.args[p] for p in sig)
+                index.setdefault(key, []).append(fact)
         return True
 
+    def _index_on(self, pos: int) -> dict[Term, list[Term]]:
+        """The index for argument position ``pos``, built on first use."""
+        index = self._indexes.get(pos)
+        if index is None:
+            index = {}
+            for fact in self.facts:
+                index.setdefault(fact.args[pos], []).append(fact)
+            self._indexes[pos] = index
+        return index
+
+    def _composite_on(self, sig: tuple[int, ...]) -> dict[tuple, list[Term]]:
+        index = self._composite.get(sig)
+        if index is None:
+            index = {}
+            for fact in self.facts:
+                key = tuple(fact.args[p] for p in sig)
+                index.setdefault(key, []).append(fact)
+            self._composite[sig] = index
+        return index
+
     def candidates(self, goal: Term) -> list[Term]:
-        """Facts possibly unifying with ``goal`` (first-arg indexed)."""
+        """Facts possibly unifying with ``goal``.
+
+        A single bound position uses its per-position index; several bound
+        positions use a composite index over exactly that signature, so
+        only facts matching *all* bound arguments are ever offered for
+        unification.  Bucket order is insertion order, so enumeration
+        order matches a full scan with non-matching facts skipped.
+        """
+        if type(goal) is not Struct:
+            return self.facts
+        args = goal.args
+        bound = [
+            pos
+            for pos in range(len(args))
+            if type(args[pos]) is Const or (type(args[pos]) is Struct and is_ground(args[pos]))
+        ]
+        return self.candidates_bound(list(args), bound)
+
+    def candidates_bound(self, walked: list, bound: list) -> list[Term]:
+        """Like :meth:`candidates`, for a goal the engine already walked.
+
+        ``walked`` holds the effective argument values and ``bound`` the
+        positions holding ground terms — the engine computes both in its
+        per-goal dispatch, so no argument is traversed twice.
+        """
+        n = len(bound)
+        if n == 0:
+            return self.facts
+        if n == 1:
+            p = bound[0]
+            return self._index_on(p).get(walked[p], _EMPTY)
+        if n == len(walked):
+            # Fully bound: exact membership, at most one candidate.
+            key = Struct(self.indicator[0], tuple(walked))
+            return [key] if key in self.fact_set else _EMPTY
+        sig = tuple(bound)
+        key = tuple(walked[p] for p in bound)
+        return self._composite_on(sig).get(key, _EMPTY)
+
+    def candidates_first_walked(self, walked: list) -> list[Term]:
+        """Seed-compatible first-argument retrieval over walked args."""
+        if walked:
+            first = walked[0]
+            if type(first) is Const:
+                return self._index_on(0).get(first, _EMPTY)
+        return self.facts
+
+    def candidates_first(self, goal: Term) -> list[Term]:
+        """Seed-compatible retrieval: first-argument index only.
+
+        Kept as the measurable baseline for the legacy coverage kernel
+        (``REPRO_COVERAGE_KERNEL=legacy``).
+        """
         if isinstance(goal, Struct) and goal.args:
             first = goal.args[0]
             if isinstance(first, Const):
-                return self.by_first.get(first.value, [])
+                return self._index_on(0).get(first, _EMPTY)
         return self.facts
 
     def __len__(self) -> int:
@@ -75,6 +170,8 @@ class KnowledgeBase:
         self._facts: dict[tuple[str, int], FactStore] = {}
         self._rules: dict[tuple[str, int], list[Clause]] = defaultdict(list)
         self.n_facts = 0
+        #: monotonic mutation counter (memo-table invalidation stamp).
+        self.version = 0
         for c in clauses:
             self.add_clause(c)
 
@@ -83,7 +180,7 @@ class KnowledgeBase:
         if clause.is_fact:
             self.add_fact(clause.head)
         else:
-            self._rules[clause.indicator].append(clause)
+            self.add_rule(clause)
 
     def add_fact(self, fact: Term) -> bool:
         if not is_ground(fact):
@@ -95,13 +192,16 @@ class KnowledgeBase:
         added = store.add(fact)
         if added:
             self.n_facts += 1
+            self.version += 1
         return added
 
     def add_rule(self, clause: Clause) -> None:
         self._rules[clause.indicator].append(clause)
+        self.version += 1
 
     def remove_rule(self, clause: Clause) -> None:
         self._rules[clause.indicator].remove(clause)
+        self.version += 1
 
     def add_program(self, src: str) -> None:
         """Parse and add a Prolog-ish program string."""

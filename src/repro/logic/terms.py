@@ -96,21 +96,19 @@ class Struct:
     :func:`atom` enforce this normal form.
     """
 
-    __slots__ = ("functor", "args", "_hash")
+    __slots__ = ("functor", "args", "indicator", "_hash")
 
     def __init__(self, functor: str, args: tuple):
         self.functor = functor
         self.args = args
+        #: the predicate indicator ``(name, arity)`` — precomputed, it is
+        #: read on every engine goal dispatch.
+        self.indicator = (functor, len(args))
         self._hash = hash(("S", functor, args))
 
     @property
     def arity(self) -> int:
         return len(self.args)
-
-    @property
-    def indicator(self) -> tuple[str, int]:
-        """The predicate indicator ``(name, arity)``."""
-        return (self.functor, len(self.args))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Struct({self.functor!r}, {self.args!r})"
@@ -206,5 +204,20 @@ def term_depth(term: Term) -> int:
 
 
 def is_ground(term: Term) -> bool:
-    """True iff ``term`` contains no variables."""
-    return next(variables_of(term), None) is None
+    """True iff ``term`` contains no variables.
+
+    Iterative and generator-free — this sits on the engine's per-goal
+    dispatch path.
+    """
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, Var):
+        return False
+    stack = [term]
+    while stack:
+        for a in stack.pop().args:
+            if isinstance(a, Var):
+                return False
+            if isinstance(a, Struct):
+                stack.append(a)
+    return True

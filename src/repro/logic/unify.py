@@ -50,10 +50,26 @@ def walk(term: Term, subst: Subst) -> Term:
 
 
 def resolve(term: Term, subst: Subst) -> Term:
-    """Apply ``subst`` deeply to ``term`` (a.k.a. ``instantiate``)."""
+    """Apply ``subst`` deeply to ``term`` (a.k.a. ``instantiate``).
+
+    Identity-preserving: when nothing in ``term`` is affected by the
+    substitution (the common case for ground goals on the engine's hot
+    path), the original object is returned instead of an equal copy,
+    skipping re-allocation and re-hashing.
+    """
     term = walk(term, subst)
     if isinstance(term, Struct):
-        return Struct(term.functor, tuple(resolve(a, subst) for a in term.args))
+        args = term.args
+        new_args = None
+        for i, a in enumerate(args):
+            r = resolve(a, subst)
+            if r is not a:
+                if new_args is None:
+                    new_args = list(args)
+                new_args[i] = r
+        if new_args is None:
+            return term
+        return Struct(term.functor, tuple(new_args))
     return term
 
 

@@ -38,7 +38,16 @@ from repro.logic.engine import Engine
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Term
 from repro.parallel.master import EpochLog
-from repro.parallel.messages import EvaluateRequest, EvaluateResult, LoadExamples, MarkCovered, StartPipeline, Stop
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    LoadExamples,
+    MarkCovered,
+    StartPipeline,
+    Stop,
+    per_worker_evaluate_requests,
+    record_candidate_masks,
+)
 from repro.parallel.p2mdie import P2Result, SharedProblem
 from repro.parallel.partition import partition_examples
 from repro.parallel.worker import P2Worker
@@ -74,6 +83,10 @@ class CoverageParallelMaster(SimProcess):
         self.batch_size = batch_size
         self.seed = seed
         self.max_epochs = max_epochs
+        # rank -> {clause -> (pos_cand, neg_cand)} local candidate masks:
+        # every batch rule's parent was evaluated in an earlier round, so
+        # inheritance narrows nearly every remote re-evaluation here.
+        self._worker_cand: dict[int, dict[Clause, tuple[int, int]]] = {}
         # outputs:
         self.theory = Theory()
         self.epoch_logs: list[EpochLog] = []
@@ -86,12 +99,25 @@ class CoverageParallelMaster(SimProcess):
     def _workers(self) -> list[int]:
         return list(range(1, self.n_workers + 1))
 
-    def _eval_round(self, ctx: ProcContext, clauses: list[Clause]):
-        yield ctx.bcast(EvaluateRequest(rules=tuple(clauses)), tag=Tag.EVALUATE, dsts=self._workers())
+    def _eval_round(self, ctx: ProcContext, batch: list[SearchRule]):
+        clauses = [r.clause for r in batch]
+        rules = tuple(clauses)
+        parents: Optional[tuple] = None
+        if self.config.coverage_inheritance:
+            ptuple = tuple(r.parent for r in batch)
+            if any(p is not None for p in ptuple):
+                parents = ptuple
+        requests = per_worker_evaluate_requests(rules, parents, self._workers(), self._worker_cand)
+        if requests is None:
+            yield ctx.bcast(EvaluateRequest(rules=rules), tag=Tag.EVALUATE, dsts=self._workers())
+        else:
+            for k, req in requests.items():
+                yield ctx.send(k, req, tag=Tag.EVALUATE)
         totals = [[0, 0] for _ in clauses]
         for _ in self._workers():
             msg = yield ctx.recv(tag=Tag.RESULT)
             res: EvaluateResult = msg.payload
+            record_candidate_masks(self._worker_cand, clauses, res)
             for i, rs in enumerate(res.stats):
                 totals[i][0] += rs.pos
                 totals[i][1] += rs.neg
@@ -102,7 +128,7 @@ class CoverageParallelMaster(SimProcess):
         for k in self._workers():
             yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
 
-        engine = Engine(self.kb, self.config.engine_budget())
+        engine = Engine(self.kb, self.config.engine_budget(), kernel=self.config.coverage_kernel)
         rng = make_rng(self.seed, "covpar")
         alive = (1 << len(self.pos)) - 1
         failed = 0
@@ -116,6 +142,9 @@ class CoverageParallelMaster(SimProcess):
                 break
             i = rng.choice(idxs) if self.config.select_seed_randomly else idxs[0]
             log = EpochLog(epoch=self.epochs + 1, bag_size=0)
+            # Masks only serve parent->child narrowing within one seed's
+            # search; dropping them per epoch bounds the master's memory.
+            self._worker_cand.clear()
 
             ops0 = engine.total_ops
             try:
@@ -147,7 +176,7 @@ class CoverageParallelMaster(SimProcess):
                     break
                 nodes += len(batch)
                 log.bag_size += len(batch)
-                totals = yield from self._eval_round(ctx, [r.clause for r in batch])
+                totals = yield from self._eval_round(ctx, batch)
                 for r, (pcount, ncount) in zip(batch, totals):
                     score = score_rule(pcount, ncount, len(r.clause.body) + 1, self.config)
                     if r.clause.body and is_good(pcount, ncount, self.config):

@@ -37,6 +37,8 @@ from repro.parallel.messages import (
     Repartition,
     StartPipeline,
     Stop,
+    per_worker_evaluate_requests,
+    record_candidate_masks,
 )
 from repro.util.rng import make_rng
 
@@ -87,6 +89,11 @@ class P2Master(SimProcess):
         self.theory = Theory()
         self.epoch_logs: list[EpochLog] = []
         self.remaining: int = total_pos
+        # coverage-inheritance bookkeeping: rank -> {clause ->
+        # (pos_cand, neg_cand)} local candidate masks reported by each
+        # worker (lineage itself is structural: parent = body minus the
+        # appended last literal).
+        self._worker_cand: dict[int, dict[Clause, tuple[int, int]]] = {}
 
     @property
     def epochs(self) -> int:
@@ -97,12 +104,29 @@ class P2Master(SimProcess):
 
     # -- global evaluation round (Fig. 5 lines 10-11 / 18-19) --------------------
     def _global_eval(self, ctx: ProcContext, clauses: list[Clause]):
-        """Broadcast evaluate(); gather and sum per-worker stats."""
-        yield ctx.bcast(EvaluateRequest(rules=tuple(clauses)), tag=Tag.EVALUATE, dsts=self._workers())
+        """Broadcast evaluate(); gather and sum per-worker stats.
+
+        With coverage inheritance, when the master knows a worker's local
+        candidate masks for a rule's parent (reported in an earlier
+        round), it ships them back so the worker narrows its
+        re-evaluation even on a cold cache — at the price of per-worker
+        (rather than broadcast) requests.
+        """
+        rules = tuple(clauses)
+        parents: Optional[tuple] = None
+        if self.config.coverage_inheritance:
+            parents = tuple(Clause(c.head, c.body[:-1]) if c.body else None for c in clauses)
+        requests = per_worker_evaluate_requests(rules, parents, self._workers(), self._worker_cand)
+        if requests is None:
+            yield ctx.bcast(EvaluateRequest(rules=rules), tag=Tag.EVALUATE, dsts=self._workers())
+        else:
+            for k, req in requests.items():
+                yield ctx.send(k, req, tag=Tag.EVALUATE)
         totals = [[0, 0] for _ in clauses]
         for _ in self._workers():
             msg = yield ctx.recv(tag=Tag.RESULT)
             res: EvaluateResult = msg.payload
+            record_candidate_masks(self._worker_cand, clauses, res)
             for i, rs in enumerate(res.stats):
                 totals[i][0] += rs.pos
                 totals[i][1] += rs.neg
@@ -144,6 +168,9 @@ class P2Master(SimProcess):
             if self.repartition_each_epoch and self.epochs > 0:
                 yield from self._repartition_round(ctx)
             log = EpochLog(epoch=self.epochs + 1, bag_size=0)
+            # Masks only serve narrowing within this epoch's bag rounds;
+            # dropping them per epoch bounds the master's memory.
+            self._worker_cand.clear()
 
             # Lines 6-8: start p pipelines.
             for k in self._workers():
@@ -214,5 +241,8 @@ class P2Master(SimProcess):
         rng = make_rng(self.seed, "repartition", self.epochs)
         parts = partition_examples(pos, neg, self.n_workers, rng)
         yield ctx.compute(len(pos) + len(neg) + 1, label="aggregate")
+        # Candidate masks are in each worker's local example numbering;
+        # repartitioning renumbers everything, so they all expire.
+        self._worker_cand.clear()
         for k, part in zip(self._workers(), parts):
             yield ctx.send(k, Repartition(pos=part.pos, neg=part.neg), tag=Tag.LOAD_EXAMPLES)

