@@ -11,7 +11,8 @@ Runs sequential MDIE twice on the same dataset and seed:
 
 Both runs must learn the identical theory; the benchmark reports engine
 operations and wall-clock seconds plus the speedups, and writes
-``benchmarks/output/BENCH_coverage_kernel.json``.
+``BENCH_coverage_kernel.json`` at the repo root (all ``BENCH_*`` artifacts
+live there so the perf trajectory is trackable PR-over-PR).
 
 Knobs:
 
@@ -41,7 +42,7 @@ DATASET = os.environ.get("REPRO_KERNEL_DATASET", "carcinogenesis")
 SCALE = os.environ.get("REPRO_SCALE", "small")
 SEED = int(os.environ.get("REPRO_SEED", "0"))
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
-OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 VARIANTS = {
     "legacy": dict(coverage_kernel="legacy", coverage_inheritance=False),
@@ -112,8 +113,7 @@ def render(report: dict) -> str:
 
 
 def write_report(report: dict) -> pathlib.Path:
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    out = OUTPUT_DIR / "BENCH_coverage_kernel.json"
+    out = ROOT / "BENCH_coverage_kernel.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     return out
 

@@ -1,0 +1,254 @@
+"""Search-layer benchmark: the PR 2 kernel vs the hash-consed/fingerprinted
+search layer, plus the pickle-vs-wire communication comparison.
+
+Part A — sequential MDIE, run in **subprocesses** so term interning (a
+process-global, import-time switch) is measured honestly:
+
+* ``pr2`` — the PR 2 state of the repo: iterative coverage kernel and
+  coverage inheritance ON, but no term interning (``REPRO_INTERN=0``), no
+  clause fingerprints, no saturation cache;
+* ``new`` — the full search-layer overhaul: interned terms, fingerprint-
+  keyed evaluation caches, saturation cache.
+
+Both variants must learn the identical theory with identical per-epoch
+logs (seed, rule, covered); the report records wall/ops speedups plus a
+``Const`` equality micro-benchmark (satellite: the seed re-derived type
+tags on every compare).
+
+Part B — P²-MDIE on the sim backend at p=4, wire codec off vs on: same
+theory, same message count, and the total ``CommStats`` bytes reduction.
+
+Knobs:
+
+* ``REPRO_SEARCH_DATASET`` — dataset name (default ``carcinogenesis``);
+* ``REPRO_SCALE``          — ``small`` (default) or ``paper``;
+* ``REPRO_SEED``           — RNG seed (default 0);
+* ``REPRO_BENCH_SMOKE=1``  — CI smoke mode: reduced example counts and no
+  speedup/reduction assertions (parity is always asserted).
+
+Writes ``BENCH_search_layer.json`` at the **repo root** (all ``BENCH_*``
+artifacts live there so the perf trajectory is trackable PR-over-PR).
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_search_layer.py``.
+Under the bench suite it runs as an ordinary test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+DATASET = os.environ.get("REPRO_SEARCH_DATASET", "carcinogenesis")
+SCALE = os.environ.get("REPRO_SCALE", "small")
+SEED = int(os.environ.get("REPRO_SEED", "0"))
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_search_layer.json"
+
+#: variant -> (environment, ILPConfig overrides)
+VARIANTS = {
+    "pr2": (
+        {"REPRO_INTERN": "0"},
+        dict(clause_fingerprints=False, saturation_cache=False),
+    ),
+    "new": ({"REPRO_INTERN": "1"}, dict(clause_fingerprints=True, saturation_cache=True)),
+}
+
+
+def _dataset_kwargs() -> dict:
+    if SMOKE:
+        if DATASET == "carcinogenesis":
+            return dict(seed=SEED, n_pos=24, n_neg=20)
+        return dict(seed=SEED, n_pos=24, n_neg=24)
+    return dict(seed=SEED, scale=SCALE)
+
+
+def _const_eq_microbench(n: int = 200_000) -> float:
+    """Seconds for ``n`` constant equality checks (identity fast path when
+    interning is on; precomputed-key compare when off)."""
+    from repro.logic.terms import Const
+
+    a, b, c = Const("c_neg"), Const("c_neg"), Const(7)
+    t0 = time.perf_counter()
+    acc = 0
+    for _ in range(n):
+        if a == b:
+            acc += 1
+        if a == c:
+            acc += 1
+    dt = time.perf_counter() - t0
+    assert acc == n
+    return dt
+
+
+def run_variant(overrides: dict) -> dict:
+    """Run one sequential-MDIE variant in-process; print/return its report."""
+    from repro.datasets import make_dataset
+    from repro.ilp.bottom import saturation_cache_stats
+    from repro.ilp.mdie import mdie
+    from repro.logic.terms import intern_enabled, intern_stats
+
+    ds = make_dataset(DATASET, **_dataset_kwargs())
+    config = ds.config.replace(**overrides)
+    t0 = time.perf_counter()
+    res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, config, seed=SEED)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 4),
+        "ops": res.ops,
+        "epochs": res.epochs,
+        "uncovered": res.uncovered,
+        "theory_size": len(res.theory),
+        "theory": sorted(str(c) for c in res.theory),
+        "log": [(str(s), str(r), c) for s, r, c, _ in res.log],
+        "interned": intern_enabled(),
+        "intern_stats": intern_stats(),
+        "saturation_cache": saturation_cache_stats(),
+        "const_eq_200k_s": round(_const_eq_microbench(), 4),
+        "n_pos": ds.n_pos,
+        "n_neg": ds.n_neg,
+    }
+
+
+def _spawn_variant(name: str) -> dict:
+    env_extra, overrides = VARIANTS[name]
+    env = dict(os.environ, **env_extra)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(pathlib.Path(__file__).resolve()), "--variant", name],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"variant {name} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_wire_comparison() -> dict:
+    """p=4 sim-backend run, pickle accounting vs wire codec."""
+    from repro.datasets import make_dataset
+    from repro.parallel import run_p2mdie
+
+    ds = make_dataset(DATASET, **_dataset_kwargs())
+    out = {}
+    for name, flag in (("pickle", False), ("wire", True)):
+        config = ds.config.replace(wire_codec=flag)
+        t0 = time.perf_counter()
+        res = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, config, p=4, seed=SEED)
+        out[name] = {
+            "wall_s": round(time.perf_counter() - t0, 4),
+            "bytes_total": res.comm.bytes_total,
+            "messages": res.comm.messages,
+            "bytes_by_tag": {k: v for k, v in sorted(res.comm.bytes_by_tag.items())},
+            "theory": sorted(str(c) for c in res.theory),
+            "epochs": res.epochs,
+            "uncovered": res.uncovered,
+        }
+    a, b = out["pickle"], out["wire"]
+    out["reduction_bytes"] = round(a["bytes_total"] / b["bytes_total"], 3) if b["bytes_total"] else float("inf")
+    out["parity"] = (
+        a["theory"] == b["theory"]
+        and a["messages"] == b["messages"]
+        and a["epochs"] == b["epochs"]
+        and a["uncovered"] == b["uncovered"]
+    )
+    return out
+
+
+def run_benchmark() -> dict:
+    pr2 = _spawn_variant("pr2")
+    new = _spawn_variant("new")
+    wire = run_wire_comparison()
+    report = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "seed": SEED,
+        "smoke": SMOKE,
+        "n_pos": new["n_pos"],
+        "n_neg": new["n_neg"],
+        "pr2": pr2,
+        "new": new,
+        "speedup": {
+            "wall": round(pr2["wall_s"] / new["wall_s"], 3) if new["wall_s"] else float("inf"),
+            "ops": round(pr2["ops"] / new["ops"], 3) if new["ops"] else float("inf"),
+            "const_eq": round(pr2["const_eq_200k_s"] / new["const_eq_200k_s"], 3)
+            if new["const_eq_200k_s"]
+            else float("inf"),
+        },
+        "parity": pr2["theory"] == new["theory"]
+        and pr2["epochs"] == new["epochs"]
+        and pr2["uncovered"] == new["uncovered"]
+        and pr2["log"] == new["log"],
+        "wire": wire,
+    }
+    return report
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"Search layer — sequential MDIE on {report['dataset']} "
+        f"({report['n_pos']}+/{report['n_neg']}-, seed {report['seed']}"
+        f"{', smoke' if report['smoke'] else ''})",
+        f"{'variant':>8}  {'wall s':>9}  {'engine ops':>12}  {'epochs':>6}  {'clauses':>7}",
+    ]
+    for name in ("pr2", "new"):
+        r = report[name]
+        lines.append(
+            f"{name:>8}  {r['wall_s']:>9.3f}  {r['ops']:>12}  {r['epochs']:>6}  {r['theory_size']:>7}"
+        )
+    sp = report["speedup"]
+    lines.append(
+        f"speedup: {sp['wall']:.2f}x wall-clock, {sp['ops']:.2f}x engine ops, "
+        f"{sp['const_eq']:.2f}x Const equality"
+    )
+    lines.append(f"parity: {'identical theories+logs' if report['parity'] else 'MISMATCH'}")
+    w = report["wire"]
+    lines.append(
+        f"wire (p=4 sim): {w['pickle']['bytes_total']}B pickle -> "
+        f"{w['wire']['bytes_total']}B wire = {w['reduction_bytes']:.2f}x reduction, "
+        f"{'parity ok' if w['parity'] else 'PARITY MISMATCH'}"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict) -> pathlib.Path:
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return OUT_PATH
+
+
+def check(report: dict) -> None:
+    assert report["parity"], "search-layer parity violated: pr2 and new runs differ"
+    assert report["wire"]["parity"], "wire codec changed learning results or message count"
+    if not SMOKE:
+        sp = report["speedup"]
+        assert sp["wall"] >= 1.5, f"search-layer wall speedup below 1.5x: {sp}"
+        assert report["wire"]["reduction_bytes"] >= 3.0, (
+            f"wire byte reduction below 3x: {report['wire']['reduction_bytes']}"
+        )
+
+
+def test_search_layer():
+    report = run_benchmark()
+    print("\n" + render(report) + "\n")
+    write_report(report)
+    check(report)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--variant":
+        _, overrides = VARIANTS[sys.argv[2]]
+        print(json.dumps(run_variant(overrides)))
+        sys.exit(0)
+    report = run_benchmark()
+    print(render(report))
+    path = write_report(report)
+    print(f"wrote {path}")
+    check(report)

@@ -18,9 +18,12 @@ Transport notes
 * **Blocking receives** poll all peer connections with
   ``multiprocessing.connection.wait``; non-matching arrivals are parked
   in a local mailbox, mirroring the scheduler's matching rules.
-* **Accounting** uses the same pickled-payload sizing and
-  :class:`~repro.cluster.scheduler.CommStats` as the simulation, so
-  communication volumes are directly comparable across substrates.
+* **Accounting** uses the same payload sizing (wire codec when enabled,
+  pickle otherwise) and :class:`~repro.cluster.scheduler.CommStats` as
+  the simulation, so communication volumes are directly comparable
+  across substrates.  Wire-encodable payloads actually travel as their
+  encoded bytes and are decoded on receipt — the accounted bytes are the
+  shipped bytes.
 * **Timeouts.**  The parent supervises children with an optional
   wall-clock ``timeout``; on expiry every child is terminated and
   :class:`~repro.backend.base.BackendTimeoutError` is raised — the
@@ -39,7 +42,7 @@ from multiprocessing.connection import Connection, wait
 from typing import Optional, Sequence
 
 from repro.backend.base import Backend, BackendError, BackendRun, BackendTimeoutError, drive
-from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.message import Message, marshal_payload, payload_nbytes
 from repro.cluster.process import (
     BcastOp,
     ComputeInterval,
@@ -136,7 +139,16 @@ class LocalContext:
             raise ValueError(f"rank {self.rank} sending to itself")
         if dst not in self._peers:
             raise ValueError(f"send to unknown rank {dst}")
-        nbytes = payload_nbytes(payload)
+        # Task payloads ship in the compact wire encoding (when enabled);
+        # the same bytes drive the accounting, so CommStats match the sim
+        # backend exactly.  Unknown payloads fall back to pickled objects.
+        data = marshal_payload(payload)
+        if data is not None:
+            nbytes = len(data)
+            body: object = data
+        else:
+            nbytes = payload_nbytes(payload)
+            body = payload
         now = self.clock
         self._seq += 1
         self.stats.record(
@@ -151,7 +163,7 @@ class LocalContext:
                 seq=self._seq,
             )
         )
-        self._outq.put((dst, (self.rank, tag, payload, nbytes)))
+        self._outq.put((dst, (self.rank, tag, body, nbytes, data is not None)))
 
     def _sender_loop(self) -> None:
         while True:
@@ -177,12 +189,18 @@ class LocalContext:
                 )
             for conn in wait(self._live_conns):
                 try:
-                    src, tag, payload, nbytes = conn.recv()
+                    src, tag, payload, nbytes, encoded = conn.recv()
                 except (EOFError, OSError):
                     # Peer exited; buffered data was drained first, so
                     # nothing is lost — stop watching this connection.
                     self._live_conns.remove(conn)
                     continue
+                if encoded:
+                    # Imported lazily: repro.backend must stay importable
+                    # while repro.parallel (which imports it back) loads.
+                    from repro.parallel.wire import decode as wire_decode
+
+                    payload = wire_decode(payload)
                 self._seq += 1
                 now = self.clock
                 self._mailbox.append(
@@ -206,7 +224,7 @@ class LocalContext:
             raise BackendError(f"rank {self.rank}: send failed") from self._send_error
 
 
-def _child_main(proc: SimProcess, n_procs: int, peers: dict, inherited, result_conn, barrier, record_trace: bool) -> None:
+def _child_main(proc: SimProcess, n_procs: int, peers: dict, inherited, result_conn, barrier, record_trace: bool, wire_enabled: bool) -> None:
     """Entry point of one rank's OS process."""
     # Close pipe ends belonging to other ranks.  Under 'fork' every child
     # inherits the whole mesh; if these stayed open, a peer's exit would
@@ -214,6 +232,13 @@ def _child_main(proc: SimProcess, n_procs: int, peers: dict, inherited, result_c
     # other end of its pipes).
     for conn in inherited:
         conn.close()
+    # Pin the parent's resolved wire-codec setting: under 'spawn' the
+    # parent's in-process override (ILPConfig.wire_codec via
+    # wire.configured) would otherwise be lost and children would fall
+    # back to the REPRO_WIRE environment default.
+    from repro.parallel.wire import set_enabled
+
+    set_enabled(wire_enabled)
     try:
         ctx = LocalContext(proc.rank, n_procs, peers, record_trace=record_trace)
         barrier.wait()
@@ -272,6 +297,9 @@ class LocalProcessBackend(Backend):
         if ranks != list(range(n)):
             raise ValueError(f"ranks must be contiguous 0..{n - 1}, got {ranks}")
         mpctx = mp.get_context(self.start_method)
+        from repro.parallel.wire import enabled as wire_enabled_now
+
+        wire_flag = wire_enabled_now()
 
         # Full mesh of duplex pipes + one result pipe per rank.
         ends: dict[int, dict[int, Connection]] = {r: {} for r in ranks}
@@ -304,6 +332,7 @@ class LocalProcessBackend(Backend):
                     result_child[p.rank],
                     barrier,
                     self.record_trace,
+                    wire_flag,
                 ),
                 name=f"repro-rank{p.rank}",
                 daemon=True,

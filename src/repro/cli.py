@@ -53,9 +53,18 @@ def _add_backend_arg(sub_parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    # Shared by every subcommand: `repro learn ... --profile out.pstats`.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the run with cProfile and write pstats data to PATH "
+        "(inspect with `python -m pstats PATH` or snakeviz)",
+    )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    learn = sub.add_parser("learn", help="learn a theory on a bundled dataset")
+    learn = sub.add_parser("learn", help="learn a theory on a bundled dataset", parents=[common])
     learn.add_argument("dataset", choices=sorted(DATASETS))
     learn.add_argument("--p", type=int, default=1, help="processors (1 = sequential MDIE)")
     learn.add_argument("--width", type=_parse_width, default=10, help="pipeline width or 'nolimit'")
@@ -63,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--scale", choices=("small", "paper"), default="small")
     _add_backend_arg(learn)
 
-    tables = sub.add_parser("tables", help="run the evaluation matrix and print paper tables")
+    tables = sub.add_parser(
+        "tables", help="run the evaluation matrix and print paper tables", parents=[common]
+    )
     tables.add_argument("--which", default="2,3,4,5,6", help="comma-separated table numbers (1-6)")
     tables.add_argument("--datasets", default="carcinogenesis,mesh,pyrimidines")
     tables.add_argument("--folds", type=int, default=3)
@@ -72,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--scale", choices=("small", "paper"), default="small")
     _add_backend_arg(tables)
 
-    trace = sub.add_parser("trace", help="render one epoch's pipeline activity (Figs. 3-4)")
+    trace = sub.add_parser(
+        "trace", help="render one epoch's pipeline activity (Figs. 3-4)", parents=[common]
+    )
     trace.add_argument("dataset", choices=sorted(DATASETS))
     trace.add_argument("--p", type=int, default=3)
     trace.add_argument("--width", type=_parse_width, default=10)
@@ -80,7 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", choices=("small", "paper"), default="small")
     _add_backend_arg(trace)
 
-    export = sub.add_parser("export", help="write a dataset as Aleph-style Prolog files")
+    export = sub.add_parser(
+        "export", help="write a dataset as Aleph-style Prolog files", parents=[common]
+    )
     export.add_argument("dataset", choices=sorted(DATASETS))
     export.add_argument("directory")
     export.add_argument("--seed", type=int, default=0)
@@ -167,6 +182,17 @@ def main(argv=None) -> int:
         "export": _cmd_export,
     }[args.command]
     try:
+        if getattr(args, "profile", None):
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                return handler(args)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
+                print(f"% wrote cProfile stats to {args.profile}", file=sys.stderr)
         return handler(args)
     except BackendUnavailableError as exc:
         print(f"repro: backend unavailable: {exc}", file=sys.stderr)

@@ -1,9 +1,12 @@
 """Messages exchanged between simulated cluster nodes.
 
-Payloads are arbitrary picklable Python objects; the *pickled size* of each
-payload is what the network model charges for and what the Table 4
-communication-volume accounting sums — mirroring LAM/MPI's pickle-like
-marshalling of Prolog terms in the paper's implementation.
+Payloads are arbitrary picklable Python objects; the *marshalled size* of
+each payload is what the network model charges for and what the Table 4
+communication-volume accounting sums.  Task payloads known to the compact
+wire codec (:mod:`repro.parallel.wire`, when enabled) are sized by their
+wire encoding — the bytes the real backends actually ship; anything else
+falls back to pickle, mirroring LAM/MPI's pickle-like marshalling of
+Prolog terms in the paper's implementation.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Message", "payload_nbytes", "Tag"]
+__all__ = ["Message", "payload_nbytes", "marshal_payload", "Tag"]
 
 
 class Tag:
@@ -28,8 +31,28 @@ class Tag:
     STOP = "stop"
 
 
+_wire_encode = None
+
+
+def marshal_payload(payload: object) -> Optional[bytes]:
+    """Wire-codec encoding of ``payload``, or None (disabled/unsupported).
+
+    Imported lazily: the cluster layer must stay importable without the
+    parallel package, and the codec module itself imports message types.
+    """
+    global _wire_encode
+    if _wire_encode is None:
+        from repro.parallel.wire import encode
+
+        _wire_encode = encode
+    return _wire_encode(payload)
+
+
 def payload_nbytes(payload: object) -> int:
-    """Marshalled size of a payload, in bytes."""
+    """Marshalled size of a payload, in bytes (wire codec, else pickle)."""
+    data = marshal_payload(payload)
+    if data is not None:
+        return len(data)
     return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
 

@@ -22,6 +22,7 @@ subsequence of its literals (see :mod:`repro.ilp.refinement`).
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -31,7 +32,14 @@ from repro.logic.clause import Clause
 from repro.logic.engine import Engine
 from repro.logic.terms import Const, Struct, Term, Var, fresh_var
 
-__all__ = ["BottomLiteral", "BottomClause", "build_bottom", "SaturationError"]
+__all__ = [
+    "BottomLiteral",
+    "BottomClause",
+    "build_bottom",
+    "build_bottom_cached",
+    "saturation_cache_stats",
+    "SaturationError",
+]
 
 
 class SaturationError(ValueError):
@@ -112,6 +120,97 @@ def build_bottom(
     """
     head_mode = _match_head_mode(example, modes)
     namer = _VarNamer()
+    return _saturate(example, engine, modes, config, head_mode, namer, max_combos_per_mode)
+
+
+# -- saturation cache --------------------------------------------------------------
+#
+# kb -> modes -> {(kb.version, example, bias/budget key) ->
+# (BottomClause | SaturationError, ops_spent)}.  Both outer levels are
+# weak so discarded problems release their bottoms; the version stamp in
+# the key invalidates on any KB mutation.  Saturation is deterministic in
+# (example, KB, modes, bias, engine budget) — the engine's memo/indexing
+# state changes only op counts, never answers — so a cached bottom is
+# exactly what a re-run would build.  Cached BottomClause objects are
+# shared: callers must treat them as immutable (they already do —
+# refinement only reads).
+#
+# A hit **replays the recorded operation cost** into the engine's counter:
+# the virtual cost model (and hence simulated times, which must be a pure
+# function of the run's inputs) is unchanged — the cache saves wall-clock
+# seconds, not modeled operations.
+_BOTTOM_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_bottom_hits = 0
+_bottom_misses = 0
+
+
+def saturation_cache_stats() -> dict:
+    """Process-wide saturation-cache effectiveness counters."""
+    return {"hits": _bottom_hits, "misses": _bottom_misses}
+
+
+def build_bottom_cached(
+    example: Term,
+    engine: Engine,
+    modes: ModeSet,
+    config: ILPConfig,
+    max_combos_per_mode: int = 2000,
+) -> BottomClause:
+    """Memoized :func:`build_bottom`.
+
+    Repeated saturations of the same seed — retried seeds across worker
+    epochs, cross-validation folds sharing one KB, repeated experiment
+    runs — return the cached bottom clause without consuming engine
+    operations.  Failed saturations (:class:`SaturationError`) are cached
+    too, since retrying them is just as expensive.
+    """
+    global _bottom_hits, _bottom_misses
+    kb = engine.kb
+    per_kb = _BOTTOM_CACHE.get(kb)
+    if per_kb is None:
+        per_kb = _BOTTOM_CACHE[kb] = weakref.WeakKeyDictionary()
+    per_modes = per_kb.get(modes)
+    if per_modes is None:
+        per_modes = per_kb[modes] = {}
+    budget = engine.budget
+    key = (
+        kb.version,
+        example,
+        config.var_depth,
+        config.recall,
+        config.max_bottom_literals,
+        budget.max_depth,
+        budget.max_ops,
+        max_combos_per_mode,
+    )
+    hit = per_modes.get(key)
+    if hit is not None:
+        _bottom_hits += 1
+        obj, ops_spent = hit
+        engine.total_ops += ops_spent
+        if isinstance(obj, SaturationError):
+            raise obj
+        return obj
+    _bottom_misses += 1
+    ops0 = engine.total_ops
+    try:
+        bottom = build_bottom(example, engine, modes, config, max_combos_per_mode)
+    except SaturationError as exc:
+        per_modes[key] = (exc, engine.total_ops - ops0)
+        raise
+    per_modes[key] = (bottom, engine.total_ops - ops0)
+    return bottom
+
+
+def _saturate(
+    example: Term,
+    engine: Engine,
+    modes: ModeSet,
+    config: ILPConfig,
+    head_mode: ModeDecl,
+    namer: "_VarNamer",
+    max_combos_per_mode: int,
+) -> BottomClause:
 
     # (constant value, type) -> variable; shared across the whole clause.
     var_for: dict[tuple[object, str], Var] = {}

@@ -72,6 +72,24 @@ class ILPConfig:
         (the seed recursive interpreter with first-argument indexing) or
         None (resolve via the ``REPRO_COVERAGE_KERNEL`` environment
         variable, defaulting to new).
+    clause_fingerprints:
+        Key evaluation caches and master rule bags by the canonical
+        variant-invariant clause fingerprint
+        (:meth:`repro.logic.clause.Clause.fingerprint`) instead of the
+        literal clause: θ-variant rules share one evaluation and one bag
+        slot.  Identical learned theories (variants have identical
+        coverage by definition), fewer engine operations and messages.
+    saturation_cache:
+        Memoize ``build_bottom`` per (example, KB version, bias): repeated
+        seed saturations — retried seeds across worker epochs,
+        cross-validation folds sharing a KB — reuse the cached bottom
+        clause instead of re-running the engine.
+    wire_codec:
+        Serialize parallel messages with the compact symbol-table wire
+        codec (:mod:`repro.parallel.wire`) instead of raw pickle — both
+        for the communication accounting the paper measures and for the
+        bytes actually shipped by the real backends.  ``None`` resolves
+        via the ``REPRO_WIRE`` environment variable, defaulting to on.
     search_strategy:
         ``learn_rule`` queue discipline: ``"bfs"`` (the paper's April
         configuration: top-down breadth-first), ``"best_first"``
@@ -97,6 +115,9 @@ class ILPConfig:
     reorder_body: bool = False
     coverage_inheritance: bool = True
     coverage_kernel: Optional[str] = None
+    clause_fingerprints: bool = True
+    saturation_cache: bool = True
+    wire_codec: Optional[bool] = None
     search_strategy: str = "bfs"
     beam_width: int = 5
     engine_max_depth: int = 8

@@ -15,7 +15,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.ilp.bottom import BottomClause, SaturationError, build_bottom
+from repro.ilp.bottom import (
+    BottomClause,
+    SaturationError,
+    build_bottom,
+    build_bottom_cached,
+)
 from repro.ilp.config import ILPConfig
 from repro.ilp.modes import ModeSet
 from repro.ilp.search import learn_rule
@@ -67,7 +72,13 @@ def mdie(
     optional stopping condition (the paper's "some time limit").
     """
     engine = Engine(kb, config.engine_budget(), kernel=config.coverage_kernel)
-    store = ExampleStore(pos, neg, reorder_body=config.reorder_body, inherit=config.coverage_inheritance)
+    store = ExampleStore(
+        pos,
+        neg,
+        reorder_body=config.reorder_body,
+        inherit=config.coverage_inheritance,
+        fingerprints=config.clause_fingerprints,
+    )
     rng = make_rng(seed, "mdie")
     theory = Theory()
     log: list = []
@@ -85,8 +96,9 @@ def mdie(
             break
         example = store.pos[i]
         epoch_ops0 = engine.total_ops
+        saturate = build_bottom_cached if config.saturation_cache else build_bottom
         try:
-            bottom = build_bottom(example, engine, modes, config)
+            bottom = saturate(example, engine, modes, config)
         except SaturationError:
             failed_mask |= 1 << i
             continue

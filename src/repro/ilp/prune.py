@@ -19,7 +19,74 @@ from repro.logic.engine import Engine
 from repro.logic.subsumption import reduce_clause
 from repro.logic.terms import Term
 
-__all__ = ["prune_clause", "prune_theory", "drop_redundant_clauses"]
+__all__ = ["prune_clause", "prune_theory", "drop_redundant_clauses", "ClauseBag"]
+
+
+class ClauseBag:
+    """An insertion-ordered candidate-rule bag deduplicating variants.
+
+    The parallel masters collect every pipeline's rules into a bag before
+    global evaluation.  Keying the bag by the order-preserving
+    :meth:`repro.logic.clause.Clause.variant_key` collapses renamed-apart
+    copies of a rule — same literals in the same order, hence
+    charge-for-charge identical resource-bounded coverage — into one slot
+    in O(1), instead of either evaluating both remotely or running
+    pairwise θ-subsumption over the whole bag.  (The order-insensitive
+    fingerprint is deliberately not used here: reordered bodies can
+    exhaust query budgets differently, so their global stats need not
+    coincide.)
+
+    When two variants collide, the **lexicographically smallest** rendering
+    is kept: that is exactly the representative the master's deterministic
+    tie-break (`score desc, length, str`) would end up accepting, so the
+    learned theory is bit-identical to the duplicate-evaluating baseline.
+    ``reported_size`` counts clauses distinct by plain equality — the
+    number the baseline's bag would hold — so epoch logs (Tables 3-5)
+    stay bit-identical too.
+
+    ``fingerprints=False`` degrades to plain clause-equality dedup (the
+    seed behaviour).
+    """
+
+    __slots__ = ("_by_key", "_exact", "_fingerprints")
+
+    def __init__(self, fingerprints: bool = True):
+        self._by_key: dict = {}
+        self._exact: set = set()
+        self._fingerprints = fingerprints
+
+    def _key(self, clause: Clause):
+        return clause.variant_key() if self._fingerprints else clause
+
+    def add(self, clause: Clause) -> None:
+        self._exact.add(clause)
+        key = self._key(clause)
+        prev = self._by_key.get(key)
+        if prev is None:
+            self._by_key[key] = clause
+        elif prev is not clause and str(clause) < str(prev):
+            # Keep the tie-break winner; the slot keeps its bag position.
+            self._by_key[key] = clause
+
+    def discard(self, clause: Clause) -> None:
+        self._by_key.pop(self._key(clause), None)
+
+    def __iter__(self):
+        return iter(list(self._by_key.values()))
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def reported_size(self) -> int:
+        """Bag size by plain clause equality (baseline-log parity)."""
+        return len(self._exact)
+
+    def __contains__(self, clause: Clause) -> bool:
+        return self._key(clause) in self._by_key
+
+    def clauses(self) -> list[Clause]:
+        return list(self._by_key.values())
 
 
 def prune_clause(

@@ -43,6 +43,7 @@ class ExampleStore:
         neg: Sequence[Term],
         reorder_body: bool = False,
         inherit: bool = True,
+        fingerprints: bool = True,
     ):
         self.pos: list[Term] = list(pos)
         self.neg: list[Term] = list(neg)
@@ -50,6 +51,13 @@ class ExampleStore:
         #: enable coverage inheritance *and* alive-restricted evaluation;
         #: False reproduces the seed behaviour exactly (full-list scans).
         self.inherit = inherit
+        #: key the evaluation cache by the order-preserving variant key:
+        #: renamed-apart copies of a rule (same literals, same order) are
+        #: charge-for-charge identical to evaluate, so a variant of an
+        #: evaluated rule is a cache hit instead of a full engine run.
+        #: (The order-*insensitive* fingerprint is deliberately not used:
+        #: body order changes budget-exhaustion behaviour.)
+        self.fingerprints = fingerprints
         #: bitmask over ``self.pos``: bit i set ⇔ example i still uncovered.
         self.alive: int = (1 << len(self.pos)) - 1
         # clause -> (pos_bits, neg_bits, pos_exhausted, neg_exhausted,
@@ -111,7 +119,8 @@ class ExampleStore:
         ``(pos_mask, neg_mask)`` bound with the same meaning — both sources
         are intersected when present.
         """
-        cached = self._cache.get(rule)
+        key = rule.variant_key() if self.fingerprints else rule
+        cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
             pb, nb, pe, ne, scope = cached
@@ -125,7 +134,7 @@ class ExampleStore:
                 pb |= pb2
                 pe |= pe2
                 scope |= missing
-                self._cache[rule] = (pb, nb, pe, ne, scope)
+                self._cache[key] = (pb, nb, pe, ne, scope)
         else:
             self._misses += 1
             to_eval = self._reordered(engine.kb, rule)
@@ -154,7 +163,9 @@ class ExampleStore:
                     cand_n = cn
                     narrowed = True
                 if parent is not None:
-                    pc = self._cache.get(parent)
+                    pc = self._cache.get(
+                        parent.variant_key() if self.fingerprints else parent
+                    )
                     if pc is not None:
                         ppb, pnb, ppe, pne, pscope = pc
                         # Outside the parent's evaluation scope its verdict
@@ -168,7 +179,7 @@ class ExampleStore:
                     self._inherited += 1
             pb, pe = coverage_eval(engine, to_eval, self.pos, cand_p)
             nb, ne = coverage_eval(engine, to_eval, self.neg, cand_n)
-            self._cache[rule] = (pb, nb, pe, ne, scope)
+            self._cache[key] = (pb, nb, pe, ne, scope)
         live = pb & self.alive
         return CoverageStats(pos=popcount(live), neg=popcount(nb), pos_bits=live, neg_bits=nb)
 
@@ -176,7 +187,7 @@ class ExampleStore:
         """The sound refinement candidate masks of a cached rule:
         ``(pos covered|exhausted, neg covered|exhausted)``, or None if the
         rule was never evaluated here."""
-        cached = self._cache.get(rule)
+        cached = self._cache.get(rule.variant_key() if self.fingerprints else rule)
         if cached is None:
             return None
         pb, nb, pe, ne, _scope = cached

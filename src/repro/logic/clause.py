@@ -4,6 +4,33 @@ A :class:`Clause` is a definite Horn clause ``head :- body``.  ILP rules,
 background-knowledge rules, and bottom clauses are all ``Clause`` values.
 A :class:`Theory` is an ordered set of clauses (order matters for
 first-match prediction semantics, as in Prolog-based ILP systems).
+
+Canonical signatures
+--------------------
+Two canonical forms serve two different equivalences:
+
+* :meth:`Clause.variant_key` — **renaming-invariant, order-preserving**:
+  variables are renumbered by first occurrence with body literals in
+  their given order.  Equal keys guarantee the clauses are *alphabetic
+  variants with identical literal order*, which makes them operationally
+  interchangeable: the engine's resource-bounded evaluation is
+  charge-for-charge identical under variable renaming (names affect
+  nothing), so covered **and** budget-exhausted bitsets coincide exactly.
+  This is the key the evaluation caches and master rule bags merge on —
+  O(1) variant dedup that provably cannot change any learned theory.
+* :meth:`Clause.fingerprint` — **renaming- and order-invariant**: body
+  literals are first sorted by a variable-free skeleton key, then
+  variables renumbered in that canonical order.  Equal fingerprints
+  guarantee the clauses are θ-variants (hence subsumption-equivalent);
+  body order is irrelevant to the *logical* generality relation, so this
+  is the fast path for ``subsume_equivalent``.  It must NOT key
+  evaluation caches: under a binding per-query op budget, differently
+  ordered bodies can exhaust differently, so reordered variants are only
+  logically — not operationally — interchangeable.
+
+Both are sound in one direction only: unequal signatures make no claim
+(symmetric-literal ties may keep true variants apart, costing a missed
+dedup, never a wrong merge).
 """
 
 from __future__ import annotations
@@ -32,14 +59,22 @@ def _as_atom(t: Term) -> Term:
 class Clause:
     """A definite Horn clause ``head :- b1, ..., bn`` (facts have n = 0)."""
 
-    __slots__ = ("head", "body", "_hash")
+    __slots__ = ("head", "body", "_hash", "_fp", "_vk")
 
     def __init__(self, head: Term, body: Iterable[Term] = ()):
         self.head = _as_atom(head)
         self.body = tuple(_as_atom(b) for b in body)
         self._hash = hash((self.head, self.body))
+        self._fp: Optional[str] = None
+        self._vk: Optional[str] = None
 
     # -- basic protocol --------------------------------------------------------
+    def __reduce__(self):
+        # Rebuild through the constructor: terms re-intern on unpickle and
+        # the cached fingerprint is not shipped (it is derivable, and
+        # including it would bloat pickled message sizes).
+        return (Clause, (self.head, self.body))
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Clause)
@@ -102,6 +137,116 @@ class Clause:
     def with_extra_literal(self, lit: Term) -> "Clause":
         """Refinement step: append one body literal."""
         return Clause(self.head, self.body + (_as_atom(lit),))
+
+    # -- canonical signatures ----------------------------------------------------
+    def variant_key(self) -> str:
+        """Renaming-invariant, order-preserving signature (module docstring).
+
+        Equal keys ⇒ alphabetic variants with identical literal order ⇒
+        bit-identical resource-bounded evaluation.  Computed once per
+        clause and cached; literal-level skeletons are shared process-wide
+        (refinement reuses the same bottom-literal term objects across
+        thousands of search nodes).
+        """
+        vk = self._vk
+        if vk is None:
+            vk = self._vk = _clause_signature(self.head, self.body, sort_body=False)
+        return vk
+
+    def fingerprint(self) -> str:
+        """Renaming- and order-invariant signature (see module docstring).
+
+        Equal fingerprints ⇒ θ-variants ⇒ subsumption-equivalent.  Safe
+        for logical equivalence checks only — never for evaluation
+        caching (body order matters under query budgets).
+        """
+        fp = self._fp
+        if fp is None:
+            fp = self._fp = _clause_signature(self.head, self.body, sort_body=True)
+        return fp
+
+
+# literal -> (parts, vars, skeleton): ``parts`` are the constant string
+# pieces around each variable occurrence, ``vars`` the variables in
+# occurrence order (with repeats), ``skeleton`` the variable-free rendering
+# used as the canonical sort key.  Keyed by the literal term itself —
+# search nodes share their bottom clause's literal objects, so each
+# distinct literal is rendered once per process.
+_lit_fp_cache: dict = {}
+
+
+def _literal_entry(lit: Term) -> tuple:
+    entry = _lit_fp_cache.get(lit)
+    if entry is not None:
+        return entry
+    tokens: list = []
+    vars_: list[Var] = []
+
+    def go(t: Term) -> None:
+        if type(t) is Var:
+            tokens.append(None)
+            vars_.append(t)
+        elif type(t) is Const:
+            tokens.append(repr(t.value))
+        else:
+            tokens.append(t.functor)
+            tokens.append("(")
+            for i, a in enumerate(t.args):
+                if i:
+                    tokens.append(",")
+                go(a)
+            tokens.append(")")
+
+    go(lit)
+    parts: list[str] = []
+    buf: list[str] = []
+    for tok in tokens:
+        if tok is None:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(tok)
+    parts.append("".join(buf))
+    skeleton = "_".join(parts)
+    entry = (tuple(parts), tuple(vars_), skeleton)
+    if len(_lit_fp_cache) > 65536:
+        _lit_fp_cache.clear()
+    _lit_fp_cache[lit] = entry
+    return entry
+
+
+def _clause_signature(head: Term, body: tuple, sort_body: bool) -> str:
+    hparts, hvars, _ = _literal_entry(head)
+    entries = [_literal_entry(b) for b in body]
+    if sort_body:
+        # Canonical body order: sort by skeleton; the sort is stable, so
+        # literals with identical skeletons keep their original relative
+        # order (such pairs may fingerprint apart across reorderings — a
+        # missed dedup, never a false merge).
+        order = sorted(range(len(body)), key=lambda i: entries[i][2])
+    else:
+        order = range(len(body))
+    num: dict[Var, int] = {}
+    for v in hvars:
+        if v not in num:
+            num[v] = len(num)
+    for i in order:
+        for v in entries[i][1]:
+            if v not in num:
+                num[v] = len(num)
+
+    def render(parts: tuple, vs: tuple) -> str:
+        # Variable indices render as "_<n>": constants render through
+        # ``repr`` (strings quoted), so the bare underscore prefix can
+        # never collide with a constant's rendering.
+        out = [parts[0]]
+        for j, v in enumerate(vs):
+            out.append("_" + str(num[v]))
+            out.append(parts[j + 1])
+        return "".join(out)
+
+    body_r = ";".join(render(entries[i][0], entries[i][1]) for i in order)
+    return render(hparts, hvars) + ":-" + body_r
 
 
 def head_indicator(head: Term) -> tuple[str, int]:

@@ -451,7 +451,7 @@ class Engine:
                             continue
                     if type(a) is Struct:
                         a = resolve(a, subst)
-                        if not is_ground(a):
+                        if not a.ground:
                             ground = False
                             gargs[k] = a
                             if a is not args[k]:

@@ -101,7 +101,7 @@ class FactStore:
         bound = [
             pos
             for pos in range(len(args))
-            if type(args[pos]) is Const or (type(args[pos]) is Struct and is_ground(args[pos]))
+            if type(args[pos]) is Const or (type(args[pos]) is Struct and args[pos].ground)
         ]
         return self.candidates_bound(list(args), bound)
 

@@ -53,14 +53,24 @@ def theta_subsumes(c: Clause, d: Clause) -> bool:
     if subst is None:
         return False
     targets = list(d.body) + [d.head]
-    # Order body literals by how constrained they are.
-    lits = sorted(c.body, key=lambda l: len(_literal_candidates(l, targets)))
+    # Candidate lists depend only on functor/arity — never on the evolving
+    # substitution — so compute each literal's list exactly once (the seed
+    # recomputed them inside every backtracking step) and order literals
+    # by how constrained they are.
+    pairs = sorted(
+        ((lit, _literal_candidates(lit, targets)) for lit in c.body),
+        key=lambda p: len(p[1]),
+    )
+    if pairs and not pairs[0][1]:
+        # Some literal has no match target at all: no θ can exist.
+        return False
 
     def backtrack(i: int, subst: dict) -> bool:
-        if i == len(lits):
+        if i == len(pairs):
             return True
-        for cand in _literal_candidates(lits[i], targets):
-            s2 = match(lits[i], cand, subst)
+        lit, cands = pairs[i]
+        for cand in cands:
+            s2 = match(lit, cand, subst)
             if s2 is not None and backtrack(i + 1, s2):
                 return True
         return False
@@ -69,7 +79,14 @@ def theta_subsumes(c: Clause, d: Clause) -> bool:
 
 
 def subsume_equivalent(c: Clause, d: Clause) -> bool:
-    """Subsumption-equivalence: each clause subsumes the other."""
+    """Subsumption-equivalence: each clause subsumes the other.
+
+    Equal canonical fingerprints short-circuit the NP-complete matcher:
+    they guarantee the clauses are alphabetic variants, and variants are
+    subsumption-equivalent by definition.
+    """
+    if c is d or c == d or c.fingerprint() == d.fingerprint():
+        return True
     return theta_subsumes(c, d) and theta_subsumes(d, c)
 
 
@@ -78,13 +95,32 @@ def strictly_more_general(c: Clause, d: Clause) -> bool:
     return theta_subsumes(c, d) and not theta_subsumes(d, c)
 
 
+# clause -> reduced clause.  Reduction is deterministic and depends only
+# on the clause itself, so results are shared across theory post-processing
+# runs (cross-validation folds re-reduce the same learned rules).
+_reduce_cache: dict[Clause, Clause] = {}
+_REDUCE_CACHE_MAX = 4096
+
+
 def reduce_clause(c: Clause) -> Clause:
     """Plotkin reduction: drop body literals whose removal keeps the clause
     subsumption-equivalent.
 
     The result is a minimal (not necessarily unique) equivalent clause;
     useful for deduplicating rules exchanged along the pipeline.
+    Memoized per clause (bounded cache).
     """
+    hit = _reduce_cache.get(c)
+    if hit is not None:
+        return hit
+    out = _reduce_clause(c)
+    if len(_reduce_cache) >= _REDUCE_CACHE_MAX:
+        _reduce_cache.clear()
+    _reduce_cache[c] = out
+    return out
+
+
+def _reduce_clause(c: Clause) -> Clause:
     body = list(c.body)
     changed = True
     while changed:

@@ -11,11 +11,39 @@ Three immutable term kinds, as in a standard Prolog core:
 
 Terms are immutable, hashable and compare structurally, so they can be used
 as dict keys (substitutions, indices) and set members (coverage caches).
+
+Hash-consing
+------------
+Constants and *ground* compound terms are **interned**: constructing the
+same value twice returns the same object, so equality on the coverage
+kernel's hot paths (fact unification, memo-table probes, ``fact_set``
+membership) degenerates to a pointer comparison.  Three invariants follow:
+
+* every ``Const`` in a process is interned (unpickling re-interns via
+  ``__reduce__``), so two distinct ``Const`` objects are never equal;
+* every *ground* ``Struct`` is interned, so two distinct interned structs
+  are never equal — ``Struct.__eq__`` short-circuits to ``False`` when both
+  sides carry the ``interned`` flag;
+* **interned terms must never be mutated** — they are shared across every
+  clause, index and cache in the process.  (All terms are immutable by
+  construction; the invariant matters if you are tempted to poke at
+  ``args`` through the C API or ``object.__setattr__``.)
+
+Variable-containing structs are *not* interned (renaming-apart creates a
+stream of short-lived variants that would only bloat the table); they still
+precompute their hash and a ``ground`` flag, making :func:`is_ground` O(1)
+for every term.
+
+Interning can be disabled for measurement with ``REPRO_INTERN=0`` in the
+environment (read once at import); all equality fast paths degrade to the
+structural comparison of the seed implementation.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import sys
 from typing import Iterable, Iterator, Union
 
 __all__ = [
@@ -31,9 +59,38 @@ __all__ = [
     "term_size",
     "term_depth",
     "is_ground",
+    "intern_enabled",
+    "intern_stats",
 ]
 
 _fresh_counter = itertools.count()
+
+#: Environment switch for term hash-consing (default on).
+INTERN_ENV = "REPRO_INTERN"
+_INTERN = os.environ.get(INTERN_ENV, "") not in ("0", "off", "false")
+
+_const_table: dict = {}
+_struct_table: dict = {}
+
+# Growth bound: interned terms live for the process lifetime (clearing
+# would be unsound — the fast equality paths assume at most one canonical
+# instance per value).  Past the cap, new distinct terms are simply no
+# longer interned; every equality/matching path keeps a structural
+# fallback, so only the identity fast path degrades.  The caps are far
+# above any bundled workload (paper-scale carcinogenesis stays in the
+# tens of thousands of ground terms).
+_CONST_CAP = 1 << 20
+_STRUCT_CAP = 1 << 20
+
+
+def intern_enabled() -> bool:
+    """Whether term hash-consing is active in this process."""
+    return _INTERN
+
+
+def intern_stats() -> dict:
+    """Sizes of the process-wide intern tables (debugging/benchmarks)."""
+    return {"consts": len(_const_table), "structs": len(_struct_table)}
 
 
 class Var:
@@ -56,20 +113,48 @@ class Var:
         return self.name
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Var) and other.name == self.name
+        if self is other:
+            return True
+        return type(other) is Var and other.name == self.name
 
     def __hash__(self) -> int:
         return self._hash
 
 
 class Const:
-    """An atomic constant: symbol, integer or float."""
+    """An atomic constant: symbol, integer or float.
 
-    __slots__ = ("value", "_hash")
+    Always interned: the constructor returns the canonical instance for a
+    given ``(type, value)`` pair, and unpickling re-interns, so equal
+    constants are identical within a process.  ``1``, ``1.0`` and ``True``
+    are distinct constants (the key carries the concrete type, so no type
+    tags are re-derived per comparison — the seed's ``__eq__`` called
+    ``type()`` twice on every candidate fact argument).
+    """
+
+    __slots__ = ("value", "_key", "_hash")
+
+    def __new__(cls, value: Union[str, int, float]):
+        key = (value.__class__, value)
+        if _INTERN:
+            self = _const_table.get(key)
+            if self is not None:
+                return self
+        self = object.__new__(cls)
+        self.value = value
+        self._key = key
+        self._hash = hash(key)
+        if _INTERN and len(_const_table) < _CONST_CAP:
+            _const_table[key] = self
+        return self
 
     def __init__(self, value: Union[str, int, float]):
-        self.value = value
-        self._hash = hash(("C", value))
+        # All initialisation happens in __new__ (it may return a cached
+        # instance that must not be re-initialised).
+        pass
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Const({self.value!r})"
@@ -78,12 +163,13 @@ class Const:
         return str(self.value)
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, Const)
-            and other.value == self.value
-            # 1 == 1.0 in Python; keep int/float constants distinct.
-            and type(other.value) is type(self.value)
-        )
+        if self is other:
+            return True
+        # With interning on, equal-but-distinct constants cannot exist; the
+        # structural fallback keeps REPRO_INTERN=0 (and hash collisions)
+        # correct.  ``_key`` carries the concrete value type, keeping
+        # int/float/bool constants distinct without per-call type checks.
+        return type(other) is Const and other._key == self._key
 
     def __hash__(self) -> int:
         return self._hash
@@ -94,17 +180,56 @@ class Struct:
 
     Zero-arity atoms are represented as :class:`Const`; the parser and
     :func:`atom` enforce this normal form.
+
+    ``ground`` (no variables anywhere) is computed at construction, making
+    :func:`is_ground` O(1).  Ground structs are interned (see module
+    docstring); ``interned`` marks the canonical instances, letting
+    equality short-circuit to identity in both directions.
     """
 
-    __slots__ = ("functor", "args", "indicator", "_hash")
+    __slots__ = ("functor", "args", "indicator", "ground", "interned", "_hash")
 
-    def __init__(self, functor: str, args: tuple):
+    def __new__(cls, functor: str, args: tuple):
+        ground = True
+        for a in args:
+            ta = type(a)
+            if ta is Const:
+                continue
+            if ta is Struct and a.ground:
+                continue
+            ground = False
+            break
+        if _INTERN and ground:
+            key = (functor, args)
+            self = _struct_table.get(key)
+            if self is not None:
+                return self
+            self = object.__new__(cls)
+            if len(_struct_table) < _STRUCT_CAP:
+                functor = sys.intern(functor)
+                self.interned = True
+                _struct_table[(functor, args)] = self
+            else:
+                self.interned = False
+        else:
+            self = object.__new__(cls)
+            self.interned = False
         self.functor = functor
         self.args = args
+        self.ground = ground
         #: the predicate indicator ``(name, arity)`` — precomputed, it is
         #: read on every engine goal dispatch.
         self.indicator = (functor, len(args))
         self._hash = hash(("S", functor, args))
+        return self
+
+    def __init__(self, functor: str, args: tuple):
+        # All initialisation happens in __new__ (it may return a cached
+        # instance that must not be re-initialised).
+        pass
+
+    def __reduce__(self):
+        return (Struct, (self.functor, self.args))
 
     @property
     def arity(self) -> int:
@@ -117,9 +242,15 @@ class Struct:
         return f"{self.functor}({', '.join(map(str, self.args))})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Struct:
+            return False
+        if self.interned and other.interned:
+            # Both canonical: distinct objects are guaranteed unequal.
+            return False
         return (
-            isinstance(other, Struct)
-            and other._hash == self._hash
+            other._hash == self._hash
             and other.functor == self.functor
             and other.args == self.args
         )
@@ -174,7 +305,7 @@ def variables_of(term: Term) -> Iterator[Var]:
         t = stack.pop()
         if isinstance(t, Var):
             yield t
-        elif isinstance(t, Struct):
+        elif isinstance(t, Struct) and not t.ground:
             stack.extend(reversed(t.args))
 
 
@@ -206,18 +337,11 @@ def term_depth(term: Term) -> int:
 def is_ground(term: Term) -> bool:
     """True iff ``term`` contains no variables.
 
-    Iterative and generator-free — this sits on the engine's per-goal
-    dispatch path.
+    O(1): groundness is precomputed at construction for every term kind.
     """
-    if isinstance(term, Const):
+    t = type(term)
+    if t is Const:
         return True
-    if isinstance(term, Var):
-        return False
-    stack = [term]
-    while stack:
-        for a in stack.pop().args:
-            if isinstance(a, Var):
-                return False
-            if isinstance(a, Struct):
-                stack.append(a)
-    return True
+    if t is Struct:
+        return term.ground
+    return False

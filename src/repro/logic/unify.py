@@ -59,6 +59,9 @@ def resolve(term: Term, subst: Subst) -> Term:
     """
     term = walk(term, subst)
     if isinstance(term, Struct):
+        if term.ground:
+            # Ground terms cannot be affected by any substitution.
+            return term
         args = term.args
         new_args = None
         for i, a in enumerate(args):
@@ -81,7 +84,7 @@ def occurs_in(var: Var, term: Term, subst: Subst) -> bool:
         if isinstance(t, Var):
             if t == var:
                 return True
-        elif isinstance(t, Struct):
+        elif isinstance(t, Struct) and not t.ground:
             stack.extend(t.args)
     return False
 
@@ -132,6 +135,10 @@ def unify_trail(t1: Term, t2: Term, subst: Subst, trail: list, occurs_check: boo
             if a != b:
                 return False
         elif isinstance(a, Struct) and isinstance(b, Struct):
+            if a.interned and b.interned:
+                # Both canonical ground terms and not identical (the
+                # ``a is b`` fast path above) — they cannot unify.
+                return False
             if a.functor != b.functor or len(a.args) != len(b.args):
                 return False
             stack.extend(zip(a.args, b.args))
@@ -151,20 +158,34 @@ def match(pattern: Term, ground: Term, subst: Optional[Subst] = None) -> Optiona
 
     Used for θ-subsumption and fact retrieval, where the right-hand side
     must be treated as fixed (its variables are constants for matching
-    purposes).
+    purposes).  Bindings map pattern variables directly to target terms:
+    a variable already bound must re-match an *equal* target term — its
+    binding is never chased as a substitution chain, which would let a
+    pattern variable bound to a target variable be silently rebound (the
+    target side is fixed, so that would be unsound; θ-subsumption compares
+    clauses that may share variable names).
     """
     out: dict = dict(subst) if subst else {}
     stack = [(pattern, ground)]
     while stack:
         p, g = stack.pop()
-        p = walk(p, out)
         if isinstance(p, Var):
-            out[p] = g
+            bound = out.get(p)
+            if bound is None:
+                out[p] = g
+            elif not (bound is g or bound == g):
+                return None
             continue
         if isinstance(p, Const):
             if p != g:
                 return None
             continue
+        if p.ground:
+            # Ground pattern subterm: pure equality, no bindings to record
+            # (Struct.__eq__ already short-circuits canonical instances).
+            if p is g or p == g:
+                continue
+            return None
         if not isinstance(g, Struct) or p.functor != g.functor or len(p.args) != len(g.args):
             return None
         stack.extend(zip(p.args, g.args))
@@ -185,7 +206,7 @@ def rename_apart(term: Term, mapping: Optional[dict] = None, prefix: str = "_R")
             if t not in mapping:
                 mapping[t] = fresh_var(prefix)
             return mapping[t]
-        if isinstance(t, Struct):
+        if isinstance(t, Struct) and not t.ground:
             return Struct(t.functor, tuple(go(a) for a in t.args))
         return t
 

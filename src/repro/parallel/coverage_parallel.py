@@ -28,7 +28,7 @@ from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.message import Tag
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ProcContext, SimProcess
-from repro.ilp.bottom import SaturationError, build_bottom
+from repro.ilp.bottom import SaturationError, build_bottom, build_bottom_cached
 from repro.ilp.config import ILPConfig
 from repro.ilp.heuristics import is_good, score_rule
 from repro.ilp.modes import ModeSet
@@ -48,6 +48,7 @@ from repro.parallel.messages import (
     per_worker_evaluate_requests,
     record_candidate_masks,
 )
+from repro.parallel import wire
 from repro.parallel.p2mdie import P2Result, SharedProblem
 from repro.parallel.partition import partition_examples
 from repro.parallel.worker import P2Worker
@@ -147,8 +148,9 @@ class CoverageParallelMaster(SimProcess):
             self._worker_cand.clear()
 
             ops0 = engine.total_ops
+            saturate = build_bottom_cached if self.config.saturation_cache else build_bottom
             try:
-                bottom = build_bottom(self.pos[i], engine, self.modes, self.config)
+                bottom = saturate(self.pos[i], engine, self.modes, self.config)
             except SaturationError:
                 bottom = None
             yield ctx.compute(engine.total_ops - ops0, label="saturate")
@@ -243,7 +245,8 @@ def run_coverage_parallel(
     )
     workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
     bk = resolve_backend(backend, network=network, cost_model=cost_model)
-    run = bk.run([master, *workers])
+    with wire.configured(config.wire_codec):
+        run = bk.run([master, *workers])
     final = run.proc(0)
     return P2Result(
         theory=final.theory,

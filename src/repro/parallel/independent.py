@@ -25,10 +25,11 @@ from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.message import Tag
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ProcContext, SimProcess
-from repro.ilp.bottom import SaturationError, build_bottom
+from repro.ilp.bottom import SaturationError, build_bottom, build_bottom_cached
 from repro.ilp.config import ILPConfig
 from repro.ilp.heuristics import is_good, score_rule
 from repro.ilp.modes import ModeSet
+from repro.ilp.prune import ClauseBag
 from repro.ilp.search import learn_rule
 from repro.logic.clause import Clause, Theory
 from repro.logic.knowledge import KnowledgeBase
@@ -43,6 +44,7 @@ from repro.parallel.messages import (
     StartPipeline,
     Stop,
 )
+from repro.parallel import wire
 from repro.parallel.p2mdie import P2Result, SharedProblem
 from repro.parallel.partition import partition_examples
 from repro.parallel.worker import P2Worker
@@ -71,8 +73,9 @@ class IndependentWorker(P2Worker):
             if not idxs:
                 break
             i = self._rng.choice(idxs) if self.config.select_seed_randomly else idxs[0]
+            saturate = build_bottom_cached if self.config.saturation_cache else build_bottom
             try:
-                bottom = build_bottom(self.store.pos[i], self.engine, self.modes, self.config)
+                bottom = saturate(self.store.pos[i], self.engine, self.modes, self.config)
             except SaturationError:
                 failed |= 1 << i
                 continue
@@ -130,21 +133,21 @@ class IndependentMaster(SimProcess):
             yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
         for k in self._workers():
             yield ctx.send(k, StartPipeline(width=self.width), tag=Tag.START_PIPELINE)
-        bag: dict[Clause, None] = {}
+        bag = ClauseBag(self.config.clause_fingerprints)
         for _ in self._workers():
             msg = yield ctx.recv(tag=Tag.RULES)
             for sr in msg.payload.rules:
-                bag.setdefault(sr.clause)
-        log = EpochLog(epoch=1, bag_size=len(bag))
+                bag.add(sr.clause)
+        log = EpochLog(epoch=1, bag_size=bag.reported_size)
 
         if bag:
-            clauses = list(bag)
+            clauses = bag.clauses()
             totals = yield from self._global_eval(ctx, clauses)
             stats = dict(zip(clauses, totals))
-            for c in list(bag):
+            for c in bag:
                 p, n = stats[c]
                 if not is_good(p, n, self.config):
-                    del bag[c]
+                    bag.discard(c)
             while bag:
                 best = min(
                     bag,
@@ -154,7 +157,7 @@ class IndependentMaster(SimProcess):
                         str(c),
                     ),
                 )
-                del bag[best]
+                bag.discard(best)
                 self.theory.add(best)
                 log.accepted.append(best)
                 covered = stats[best][0]
@@ -163,13 +166,13 @@ class IndependentMaster(SimProcess):
                 yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=self._workers())
                 if not bag:
                     break
-                clauses = list(bag)
+                clauses = bag.clauses()
                 totals = yield from self._global_eval(ctx, clauses)
                 stats = dict(zip(clauses, totals))
-                for c in list(bag):
+                for c in bag:
                     p, n = stats[c]
                     if not is_good(p, n, self.config):
-                        del bag[c]
+                        bag.discard(c)
         self.epoch_logs.append(log)
         yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
 
@@ -195,7 +198,8 @@ def run_independent(
     master = IndependentMaster(n_workers=p, total_pos=len(pos), config=config, width=width)
     workers = [IndependentWorker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
     bk = resolve_backend(backend, network=network, cost_model=cost_model)
-    run = bk.run([master, *workers])
+    with wire.configured(config.wire_codec):
+        run = bk.run([master, *workers])
     final = run.proc(0)
     return P2Result(
         theory=final.theory,

@@ -25,6 +25,7 @@ from repro.cluster.message import Tag
 from repro.cluster.process import ProcContext, SimProcess
 from repro.ilp.config import ILPConfig
 from repro.ilp.heuristics import is_good, score_rule
+from repro.ilp.prune import ClauseBag
 from repro.logic.clause import Clause, Theory
 from repro.parallel.messages import (
     EvaluateRequest,
@@ -134,14 +135,14 @@ class P2Master(SimProcess):
         yield ctx.compute(len(clauses) + 1, label="aggregate")
         return [(p, n) for p, n in totals]
 
-    def _drop_not_good(self, bag: dict, stats: dict) -> None:
+    def _drop_not_good(self, bag: ClauseBag, stats: dict) -> None:
         """Fig. 5 lines 20-21: discard rules that stopped being good."""
-        for clause in list(bag):
+        for clause in bag:
             p, n = stats[clause]
             if not is_good(p, n, self.config):
-                del bag[clause]
+                bag.discard(clause)
 
-    def _pick_best(self, bag: dict, stats: dict) -> Clause:
+    def _pick_best(self, bag: ClauseBag, stats: dict) -> Clause:
         """Fig. 5 line 13: best rule by global-coverage heuristic."""
 
         def key(clause: Clause):
@@ -175,18 +176,19 @@ class P2Master(SimProcess):
             # Lines 6-8: start p pipelines.
             for k in self._workers():
                 yield ctx.send(k, StartPipeline(width=self.width), tag=Tag.START_PIPELINE)
-            # Line 9: collect every pipeline's rules.
-            bag: dict[Clause, None] = {}
+            # Line 9: collect every pipeline's rules (renamed-apart
+            # variants collapse to one bag slot via their variant key).
+            bag = ClauseBag(self.config.clause_fingerprints)
             for _ in self._workers():
                 msg = yield ctx.recv(tag=Tag.RULES)
                 rules: PipelineRules = msg.payload
                 for sr in rules.rules:
-                    bag.setdefault(sr.clause)
-            log.bag_size = len(bag)
+                    bag.add(sr.clause)
+            log.bag_size = bag.reported_size
 
             if bag:
                 # Lines 10-11: global evaluation of the whole bag.
-                clauses = list(bag)
+                clauses = bag.clauses()
                 totals = yield from self._global_eval(ctx, clauses)
                 stats = dict(zip(clauses, totals))
                 self._drop_not_good(bag, stats)
@@ -194,7 +196,7 @@ class P2Master(SimProcess):
                 # Lines 12-22: consume the bag.
                 while bag:
                     best = self._pick_best(bag, stats)
-                    del bag[best]
+                    bag.discard(best)
                     self.theory.add(best)
                     log.accepted.append(best)
                     covered = stats[best][0]
@@ -203,7 +205,7 @@ class P2Master(SimProcess):
                     yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=self._workers())
                     if not bag:
                         break
-                    clauses = list(bag)
+                    clauses = bag.clauses()
                     totals = yield from self._global_eval(ctx, clauses)
                     stats = dict(zip(clauses, totals))
                     self._drop_not_good(bag, stats)

@@ -2,7 +2,9 @@
 
 These are the paper's worker tasks (Fig. 6) plus the inter-stage pipeline
 message (Fig. 7 line 17).  All payloads are plain picklable dataclasses;
-their pickled size is what the Table 4 communication accounting charges.
+their marshalled size — the compact wire encoding of
+:mod:`repro.parallel.wire` when enabled, their pickled size otherwise —
+is what the Table 4 communication accounting charges.
 
 Design note: per §4.1 the training data itself is *not* shipped — "we
 assumed ... the data can be shared by all processors, through a

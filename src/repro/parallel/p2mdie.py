@@ -26,6 +26,7 @@ from repro.ilp.modes import ModeSet
 from repro.logic.clause import Theory
 from repro.logic.knowledge import KnowledgeBase
 from repro.logic.terms import Term
+from repro.parallel import wire
 from repro.parallel.master import EpochLog, P2Master
 from repro.parallel.partition import Partition, partition_examples
 from repro.parallel.worker import P2Worker
@@ -167,7 +168,8 @@ def run_p2mdie(
     bk = resolve_backend(
         backend, network=network, cost_model=cost_model, record_trace=record_trace
     )
-    run: BackendRun = bk.run([master, *workers])
+    with wire.configured(config.wire_codec):
+        run: BackendRun = bk.run([master, *workers])
     # Read the master's run artifacts from the backend's returned process
     # state: on multi-process backends the local ``master`` object was
     # never mutated (rank 0 ran in a child process).

@@ -1,0 +1,600 @@
+"""Compact wire codec for the parallel task messages.
+
+The paper's communication accounting (Table 4) charges for every
+marshalled byte, and the real backends ship those bytes for real — so the
+wire format is a first-class perf surface.  Pickling a task payload spends
+most of its bytes on protocol scaffolding: class paths, attribute names,
+per-object frames.  This codec replaces it with a purpose-built binary
+format:
+
+* **per-message symbol table** — every string (functor, symbol constant,
+  variable name) is emitted once and referenced by varint index.  A
+  ``PipelineTask`` carrying a 60-literal bottom clause repeats each
+  predicate name and variable dozens of times; all repeats collapse to
+  one-or-two-byte references.
+* **struct-packed scalars** — LEB128 varints for sizes/ids, zigzag varints
+  for signed and arbitrary-precision integers, 8-byte IEEE doubles for
+  floats, minimal big-endian byte strings for coverage **bitsets**.
+* **structural layouts** per message type (one tag byte), with terms,
+  clauses, search rules and bottom clauses encoded by shape — no
+  per-object headers.
+
+Messages are self-contained (the symbol table travels with the message),
+so byte counts are a pure function of the payload — deterministic across
+runs, processes and hash seeds (variable *sets* are sorted by name before
+encoding for exactly this reason).  Decoding rebuilds terms through the
+hash-consing constructors of :mod:`repro.logic.terms`, so the master and
+every worker share one intern table per process: a ground term arriving
+from the wire is pointer-equal to the local copy, and the engine's
+identity fast paths apply to shipped rules immediately.
+
+The codec is gated by :attr:`repro.ilp.config.ILPConfig.wire_codec`
+(resolved against the ``REPRO_WIRE`` environment variable, default on) via
+:func:`configured`; when disabled, accounting and transport fall back to
+pickle, reproducing the seed's measurements exactly.
+
+Wire layout (version 1)::
+
+    0xC3 | version | type-code | n-syms | sym* | body
+    sym   := varint(len) utf8-bytes
+    term  := 0x00 sym                 (variable)
+           | 0x01 sym                 (symbol constant)
+           | 0x02 zigzag              (int constant)
+           | 0x03 f64-be              (float constant)
+           | 0x04 byte                (bool constant)
+           | 0x05 sym varint(n) term* (compound)
+    clause  := term varint(n) term*
+    bitset  := varint(n) big-endian-bytes
+    varset  := varint(n) sym*         (sorted by variable name)
+    option  := 0x00 | 0x01 value
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.ilp.bottom import BottomClause, BottomLiteral
+from repro.ilp.refinement import SearchRule
+from repro.logic.clause import Clause
+from repro.logic.terms import Const, Struct, Term, Var
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    ExamplesReport,
+    GatherExamples,
+    LoadData,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    PipelineTask,
+    Repartition,
+    RuleStats,
+    StartPipeline,
+    Stop,
+)
+
+__all__ = [
+    "encode",
+    "decode",
+    "enabled",
+    "configured",
+    "set_enabled",
+    "WIRE_ENV",
+    "WireError",
+]
+
+WIRE_ENV = "REPRO_WIRE"
+_MAGIC = 0xC3
+_VERSION = 1
+
+_T_VAR = 0x00
+_T_CONST_STR = 0x01
+_T_CONST_INT = 0x02
+_T_CONST_FLOAT = 0x03
+_T_CONST_BOOL = 0x04
+_T_STRUCT = 0x05
+
+_pack_f64 = struct.Struct(">d").pack
+_unpack_f64 = struct.Struct(">d").unpack_from
+
+
+class WireError(ValueError):
+    """Malformed or unsupported wire data."""
+
+
+# -- gating --------------------------------------------------------------------
+
+_override: Optional[bool] = None
+
+
+def _env_default() -> bool:
+    return os.environ.get(WIRE_ENV, "") not in ("0", "off", "false")
+
+
+def enabled() -> bool:
+    """Whether :func:`encode` is active (override, else ``REPRO_WIRE``)."""
+    return _env_default() if _override is None else _override
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Pin the codec on/off for this process (None = back to env default).
+
+    Backend child processes call this with the parent's resolved setting:
+    under the ``spawn`` start method, module globals (and with them an
+    active :func:`configured` scope) are not inherited, so the flag must
+    travel explicitly.
+    """
+    global _override
+    _override = flag
+
+
+@contextmanager
+def configured(flag: Optional[bool]):
+    """Scope the codec on/off for one run.
+
+    ``None`` keeps the ambient default (environment).  The parallel
+    front-ends wrap their backend run in this, resolving
+    ``ILPConfig.wire_codec``; forked backend children inherit the setting.
+    """
+    global _override
+    prev = _override
+    if flag is not None:
+        _override = flag
+    try:
+        yield
+    finally:
+        _override = prev
+
+
+# -- primitive writers ----------------------------------------------------------
+
+
+class _Encoder:
+    __slots__ = ("body", "_syms")
+
+    def __init__(self):
+        self.body = bytearray()
+        self._syms: dict[str, int] = {}
+
+    def u(self, v: int) -> None:
+        """Unsigned LEB128 varint."""
+        body = self.body
+        while v > 0x7F:
+            body.append((v & 0x7F) | 0x80)
+            v >>= 7
+        body.append(v)
+
+    def z(self, v: int) -> None:
+        """Zigzag varint (arbitrary-precision signed)."""
+        self.u(v * 2 if v >= 0 else -v * 2 - 1)
+
+    def sym(self, s: str) -> None:
+        idx = self._syms.get(s)
+        if idx is None:
+            idx = self._syms[s] = len(self._syms)
+        self.u(idx)
+
+    def flag(self, b: bool) -> None:
+        self.body.append(1 if b else 0)
+
+    def bitset(self, bits: int) -> None:
+        n = (bits.bit_length() + 7) // 8
+        self.u(n)
+        self.body += bits.to_bytes(n, "big")
+
+    def term(self, t: Term) -> None:
+        tt = type(t)
+        if tt is Var:
+            self.body.append(_T_VAR)
+            self.sym(t.name)
+        elif tt is Const:
+            v = t.value
+            tv = type(v)
+            if tv is str:
+                self.body.append(_T_CONST_STR)
+                self.sym(v)
+            elif tv is bool:
+                self.body.append(_T_CONST_BOOL)
+                self.body.append(1 if v else 0)
+            elif tv is int:
+                self.body.append(_T_CONST_INT)
+                self.z(v)
+            elif tv is float:
+                self.body.append(_T_CONST_FLOAT)
+                self.body += _pack_f64(v)
+            else:  # pragma: no cover - Const accepts only str/int/float/bool
+                raise WireError(f"unencodable constant {v!r}")
+        elif tt is Struct:
+            self.body.append(_T_STRUCT)
+            self.sym(t.functor)
+            self.u(len(t.args))
+            for a in t.args:
+                self.term(a)
+        else:  # pragma: no cover - defensive
+            raise WireError(f"unencodable term {t!r}")
+
+    def terms(self, seq) -> None:
+        self.u(len(seq))
+        for t in seq:
+            self.term(t)
+
+    def clause(self, c: Clause) -> None:
+        self.term(c.head)
+        self.terms(c.body)
+
+    def clauses(self, seq) -> None:
+        self.u(len(seq))
+        for c in seq:
+            self.clause(c)
+
+    def varset(self, vs: frozenset) -> None:
+        # Sorted by name: frozenset iteration order depends on the process
+        # hash seed, and byte counts must not.
+        names = sorted(v.name for v in vs)
+        self.u(len(names))
+        for n in names:
+            self.sym(n)
+
+    def search_rule(self, sr: SearchRule) -> None:
+        self.clause(sr.clause)
+        self.z(sr.last_index)
+        self.flag(sr.parent is not None)
+        if sr.parent is not None:
+            self.clause(sr.parent)
+
+    def search_rules(self, seq) -> None:
+        self.u(len(seq))
+        for sr in seq:
+            self.search_rule(sr)
+
+    def bottom(self, b: BottomClause) -> None:
+        self.term(b.seed)
+        self.term(b.head)
+        self.u(len(b.literals))
+        for bl in b.literals:
+            self.term(bl.literal)
+            self.varset(bl.input_vars)
+            self.varset(bl.output_vars)
+        self.varset(b.head_vars)
+
+    def finish(self, code: int) -> bytes:
+        out = bytearray((_MAGIC, _VERSION, code))
+        w = out.append
+        n = len(self._syms)
+        v = n
+        while v > 0x7F:
+            w((v & 0x7F) | 0x80)
+            v >>= 7
+        w(v)
+        for s in self._syms:  # insertion order == index order
+            raw = s.encode("utf-8")
+            v = len(raw)
+            while v > 0x7F:
+                w((v & 0x7F) | 0x80)
+                v >>= 7
+            w(v)
+            out += raw
+        out += self.body
+        return bytes(out)
+
+
+class _Decoder:
+    __slots__ = ("data", "pos", "syms")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def u(self) -> int:
+        data = self.data
+        pos = self.pos
+        shift = 0
+        out = 0
+        while True:
+            b = data[pos]
+            pos += 1
+            out |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+        self.pos = pos
+        return out
+
+    def z(self) -> int:
+        u = self.u()
+        return u >> 1 if not u & 1 else -(u >> 1) - 1
+
+    def flag(self) -> bool:
+        b = self.data[self.pos]
+        self.pos += 1
+        return b != 0
+
+    def bitset(self) -> int:
+        n = self.u()
+        out = int.from_bytes(self.data[self.pos : self.pos + n], "big")
+        self.pos += n
+        return out
+
+    def read_syms(self) -> None:
+        n = self.u()
+        syms = []
+        for _ in range(n):
+            ln = self.u()
+            syms.append(self.data[self.pos : self.pos + ln].decode("utf-8"))
+            self.pos += ln
+        self.syms = syms
+
+    def sym(self) -> str:
+        return self.syms[self.u()]
+
+    def term(self) -> Term:
+        tag = self.data[self.pos]
+        self.pos += 1
+        if tag == _T_VAR:
+            return Var(self.sym())
+        if tag == _T_CONST_STR:
+            return Const(self.sym())
+        if tag == _T_CONST_INT:
+            return Const(self.z())
+        if tag == _T_CONST_FLOAT:
+            (v,) = _unpack_f64(self.data, self.pos)
+            self.pos += 8
+            return Const(v)
+        if tag == _T_CONST_BOOL:
+            return Const(self.flag())
+        if tag == _T_STRUCT:
+            functor = self.sym()
+            n = self.u()
+            return Struct(functor, tuple(self.term() for _ in range(n)))
+        raise WireError(f"bad term tag {tag:#x}")
+
+    def terms(self) -> tuple:
+        return tuple(self.term() for _ in range(self.u()))
+
+    def clause(self) -> Clause:
+        head = self.term()
+        return Clause(head, self.terms())
+
+    def clauses(self) -> tuple:
+        return tuple(self.clause() for _ in range(self.u()))
+
+    def varset(self) -> frozenset:
+        return frozenset(Var(self.sym()) for _ in range(self.u()))
+
+    def search_rule(self) -> SearchRule:
+        clause = self.clause()
+        last_index = self.z()
+        parent = self.clause() if self.flag() else None
+        return SearchRule(clause, last_index, parent=parent)
+
+    def search_rules(self) -> tuple:
+        return tuple(self.search_rule() for _ in range(self.u()))
+
+    def bottom(self) -> BottomClause:
+        seed = self.term()
+        head = self.term()
+        literals = [
+            BottomLiteral(self.term(), self.varset(), self.varset())
+            for _ in range(self.u())
+        ]
+        return BottomClause(seed=seed, head=head, literals=literals, head_vars=self.varset())
+
+
+# -- per-message layouts ----------------------------------------------------------
+
+
+def _enc_load_examples(e: _Encoder, m: LoadExamples) -> None:
+    e.u(m.partition_id)
+
+
+def _dec_load_examples(d: _Decoder) -> LoadExamples:
+    return LoadExamples(partition_id=d.u())
+
+
+def _enc_load_data(e: _Encoder, m: LoadData) -> None:
+    e.terms(m.pos)
+    e.terms(m.neg)
+    e.terms(m.facts)
+    e.clauses(m.rules)
+
+
+def _dec_load_data(d: _Decoder) -> LoadData:
+    return LoadData(pos=d.terms(), neg=d.terms(), facts=d.terms(), rules=d.clauses())
+
+
+def _enc_start_pipeline(e: _Encoder, m: StartPipeline) -> None:
+    e.flag(m.width is not None)
+    if m.width is not None:
+        e.u(m.width)
+
+
+def _dec_start_pipeline(d: _Decoder) -> StartPipeline:
+    return StartPipeline(width=d.u() if d.flag() else None)
+
+
+def _enc_pipeline_task(e: _Encoder, m: PipelineTask) -> None:
+    e.flag(m.bottom is not None)
+    if m.bottom is not None:
+        e.bottom(m.bottom)
+    e.u(m.step)
+    e.flag(m.width is not None)
+    if m.width is not None:
+        e.u(m.width)
+    e.search_rules(m.rules)
+    e.u(m.origin)
+
+
+def _dec_pipeline_task(d: _Decoder) -> PipelineTask:
+    bottom = d.bottom() if d.flag() else None
+    step = d.u()
+    width = d.u() if d.flag() else None
+    rules = d.search_rules()
+    return PipelineTask(bottom=bottom, step=step, width=width, rules=rules, origin=d.u())
+
+
+def _enc_pipeline_rules(e: _Encoder, m: PipelineRules) -> None:
+    e.u(m.origin)
+    e.search_rules(m.rules)
+
+
+def _dec_pipeline_rules(d: _Decoder) -> PipelineRules:
+    return PipelineRules(origin=d.u(), rules=d.search_rules())
+
+
+def _enc_evaluate_request(e: _Encoder, m: EvaluateRequest) -> None:
+    e.clauses(m.rules)
+    e.flag(m.candidates is not None)
+    if m.candidates is not None:
+        e.u(len(m.candidates))
+        for c in m.candidates:
+            e.flag(c is not None)
+            if c is not None:
+                e.bitset(c[0])
+                e.bitset(c[1])
+
+
+def _dec_evaluate_request(d: _Decoder) -> EvaluateRequest:
+    rules = d.clauses()
+    candidates = None
+    if d.flag():
+        candidates = tuple(
+            (d.bitset(), d.bitset()) if d.flag() else None for _ in range(d.u())
+        )
+    return EvaluateRequest(rules=rules, candidates=candidates)
+
+
+def _enc_evaluate_result(e: _Encoder, m: EvaluateResult) -> None:
+    e.u(m.rank)
+    e.u(len(m.stats))
+    for rs in m.stats:
+        e.u(rs.pos)
+        e.u(rs.neg)
+        e.bitset(rs.pos_cand)
+        e.bitset(rs.neg_cand)
+
+
+def _dec_evaluate_result(d: _Decoder) -> EvaluateResult:
+    rank = d.u()
+    stats = tuple(
+        RuleStats(pos=d.u(), neg=d.u(), pos_cand=d.bitset(), neg_cand=d.bitset())
+        for _ in range(d.u())
+    )
+    return EvaluateResult(rank=rank, stats=stats)
+
+
+def _enc_mark_covered(e: _Encoder, m: MarkCovered) -> None:
+    e.clause(m.rule)
+
+
+def _dec_mark_covered(d: _Decoder) -> MarkCovered:
+    return MarkCovered(rule=d.clause())
+
+
+def _enc_gather(e: _Encoder, m: GatherExamples) -> None:
+    pass
+
+
+def _dec_gather(d: _Decoder) -> GatherExamples:
+    return GatherExamples()
+
+
+def _enc_examples_report(e: _Encoder, m: ExamplesReport) -> None:
+    e.u(m.rank)
+    e.terms(m.pos)
+    e.terms(m.neg)
+
+
+def _dec_examples_report(d: _Decoder) -> ExamplesReport:
+    return ExamplesReport(rank=d.u(), pos=d.terms(), neg=d.terms())
+
+
+def _enc_repartition(e: _Encoder, m: Repartition) -> None:
+    e.terms(m.pos)
+    e.terms(m.neg)
+
+
+def _dec_repartition(d: _Decoder) -> Repartition:
+    return Repartition(pos=d.terms(), neg=d.terms())
+
+
+def _enc_stop(e: _Encoder, m: Stop) -> None:
+    pass
+
+
+def _dec_stop(d: _Decoder) -> Stop:
+    return Stop()
+
+
+#: type -> (code, encoder); code -> decoder.  Codes are part of the wire
+#: format — append only, never renumber.
+_ENCODERS: dict = {
+    LoadExamples: (0, _enc_load_examples),
+    LoadData: (1, _enc_load_data),
+    StartPipeline: (2, _enc_start_pipeline),
+    PipelineTask: (3, _enc_pipeline_task),
+    PipelineRules: (4, _enc_pipeline_rules),
+    EvaluateRequest: (5, _enc_evaluate_request),
+    EvaluateResult: (6, _enc_evaluate_result),
+    MarkCovered: (7, _enc_mark_covered),
+    GatherExamples: (8, _enc_gather),
+    ExamplesReport: (9, _enc_examples_report),
+    Repartition: (10, _enc_repartition),
+    Stop: (11, _enc_stop),
+}
+_DECODERS: dict = {
+    0: _dec_load_examples,
+    1: _dec_load_data,
+    2: _dec_start_pipeline,
+    3: _dec_pipeline_task,
+    4: _dec_pipeline_rules,
+    5: _dec_evaluate_request,
+    6: _dec_evaluate_result,
+    7: _dec_mark_covered,
+    8: _dec_gather,
+    9: _dec_examples_report,
+    10: _dec_repartition,
+    11: _dec_stop,
+}
+
+
+def encode(payload: object) -> Optional[bytes]:
+    """Encode a task payload, or None (codec disabled / unknown type).
+
+    A ``None`` return tells the caller to fall back to pickle — the
+    accounting and transport layers treat the codec as an optimisation,
+    never a requirement.
+    """
+    if not enabled():
+        return None
+    entry = _ENCODERS.get(type(payload))
+    if entry is None:
+        return None
+    code, enc = entry
+    e = _Encoder()
+    enc(e, payload)
+    return e.finish(code)
+
+
+def decode(data: bytes) -> object:
+    """Decode wire bytes back into the original payload object.
+
+    Always available (independent of :func:`enabled`): a receiver must be
+    able to decode whatever a sender produced.
+    """
+    if len(data) < 3 or data[0] != _MAGIC:
+        raise WireError("not a wire-codec message")
+    if data[1] != _VERSION:
+        raise WireError(f"unsupported wire version {data[1]}")
+    dec = _DECODERS.get(data[2])
+    if dec is None:
+        raise WireError(f"unknown message type code {data[2]}")
+    d = _Decoder(data)
+    d.pos = 3
+    d.read_syms()
+    out = dec(d)
+    if d.pos != len(data):
+        raise WireError(f"trailing bytes after message ({len(data) - d.pos})")
+    return out

@@ -21,7 +21,12 @@ from typing import Optional
 
 from repro.cluster.message import Tag
 from repro.cluster.process import ProcContext, SimProcess
-from repro.ilp.bottom import BottomClause, SaturationError, build_bottom
+from repro.ilp.bottom import (
+    BottomClause,
+    SaturationError,
+    build_bottom,
+    build_bottom_cached,
+)
 from repro.ilp.config import ILPConfig
 from repro.ilp.modes import ModeSet
 from repro.ilp.search import learn_rule
@@ -124,7 +129,11 @@ class P2Worker(SimProcess):
             # Building the KB from terms costs real work: one op per clause.
             load_cost = len(data.facts) + len(data.rules) + len(pos) + len(neg)
         self.store = ExampleStore(
-            pos, neg, reorder_body=self.config.reorder_body, inherit=self.config.coverage_inheritance
+            pos,
+            neg,
+            reorder_body=self.config.reorder_body,
+            inherit=self.config.coverage_inheritance,
+            fingerprints=self.config.clause_fingerprints,
         )
         self.engine = Engine(kb, self.config.engine_budget(), kernel=self.config.coverage_kernel)
         self._rng = make_rng(self.seed, "worker", self.rank)
@@ -158,8 +167,9 @@ class P2Worker(SimProcess):
         bottom: Optional[BottomClause] = None
         if seed_i is not None:
             self._tried_mask |= 1 << seed_i
+            saturate = build_bottom_cached if self.config.saturation_cache else build_bottom
             try:
-                bottom = build_bottom(
+                bottom = saturate(
                     self.store.pos[seed_i], self.engine, self.modes, self.config
                 )
             except SaturationError:
@@ -263,6 +273,7 @@ class P2Worker(SimProcess):
             list(req.neg),
             reorder_body=self.config.reorder_body,
             inherit=self.config.coverage_inheritance,
+            fingerprints=self.config.clause_fingerprints,
         )
         self._tried_mask = 0
         yield ctx.compute(self.store.n_pos + self.store.n_neg, label="load")

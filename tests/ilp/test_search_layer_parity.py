@@ -1,0 +1,122 @@
+"""Golden parity for the search-layer overhaul (PR 3).
+
+The hash-consed terms, fingerprint-keyed caches, variant-deduplicating
+rule bags, saturation cache and wire codec are pure optimisations: every
+learned theory, per-epoch log and coverage bitset must be bit-identical
+to the PR 2 kernel's.  Sequential parity across the flag matrix runs
+in-process; interning (a process-global import-time switch) is checked
+against a ``REPRO_INTERN=0`` subprocess.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.datasets import make_dataset
+from repro.ilp.mdie import mdie
+from repro.parallel import run_coverage_parallel, run_independent, run_p2mdie
+
+DATASETS = [
+    ("trains", dict(seed=0, scale="small")),
+    ("krki", dict(seed=0, n_pos=40, n_neg=40)),
+]
+
+
+def run_log(res):
+    return [(str(s), str(r), c) for s, r, c, _ in res.log]
+
+
+class TestSequentialFlagParity:
+    """clause_fingerprints / saturation_cache off vs on: identical results."""
+
+    @pytest.mark.parametrize("name,kw", DATASETS)
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(clause_fingerprints=True, saturation_cache=True),
+            dict(clause_fingerprints=True, saturation_cache=False),
+            dict(clause_fingerprints=False, saturation_cache=True),
+        ],
+        ids=["all-on", "fp-only", "satcache-only"],
+    )
+    def test_vs_all_off(self, name, kw, overrides):
+        ds = make_dataset(name, **kw)
+        base = ds.config.replace(clause_fingerprints=False, saturation_cache=False)
+        a = mdie(ds.kb, ds.pos, ds.neg, ds.modes, base, seed=0)
+        b = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config.replace(**overrides), seed=0)
+        assert sorted(str(c) for c in a.theory) == sorted(str(c) for c in b.theory)
+        assert a.epochs == b.epochs and a.uncovered == b.uncovered
+        assert run_log(a) == run_log(b)
+
+    @pytest.mark.parametrize("strategy", ["best_first", "beam"])
+    def test_other_strategies(self, strategy):
+        ds = make_dataset("krki", seed=0, n_pos=30, n_neg=30)
+        base = ds.config.replace(
+            search_strategy=strategy, clause_fingerprints=False, saturation_cache=False
+        )
+        new = ds.config.replace(search_strategy=strategy)
+        a = mdie(ds.kb, ds.pos, ds.neg, ds.modes, base, seed=0)
+        b = mdie(ds.kb, ds.pos, ds.neg, ds.modes, new, seed=0)
+        assert sorted(str(c) for c in a.theory) == sorted(str(c) for c in b.theory)
+        assert run_log(a) == run_log(b)
+
+
+class TestParallelFlagParity:
+    def theory_of(self, res):
+        return sorted(str(c) for c in res.theory)
+
+    @pytest.mark.parametrize("name,kw", DATASETS)
+    def test_p2mdie(self, name, kw):
+        ds = make_dataset(name, **kw)
+        base = ds.config.replace(
+            clause_fingerprints=False, saturation_cache=False, wire_codec=False
+        )
+        a = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, base, p=3, seed=0)
+        b = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, seed=0)
+        assert self.theory_of(a) == self.theory_of(b)
+        assert a.epochs == b.epochs and a.uncovered == b.uncovered
+        assert [(l.epoch, list(map(str, l.accepted)), l.pos_covered) for l in a.epoch_logs] == [
+            (l.epoch, list(map(str, l.accepted)), l.pos_covered) for l in b.epoch_logs
+        ]
+
+    def test_independent_and_covpar(self):
+        ds = make_dataset("trains", seed=0, scale="small")
+        base = ds.config.replace(
+            clause_fingerprints=False, saturation_cache=False, wire_codec=False
+        )
+        a = run_independent(ds.kb, ds.pos, ds.neg, ds.modes, base, p=2, seed=0)
+        b = run_independent(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=2, seed=0)
+        assert self.theory_of(a) == self.theory_of(b)
+        c = run_coverage_parallel(ds.kb, ds.pos, ds.neg, ds.modes, base, p=2, seed=0)
+        d = run_coverage_parallel(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=2, seed=0)
+        assert self.theory_of(c) == self.theory_of(d)
+
+
+def test_interning_parity_subprocess():
+    """A REPRO_INTERN=0 process learns the identical theory and log."""
+    prog = (
+        "import json\n"
+        "from repro.datasets import make_dataset\n"
+        "from repro.ilp.mdie import mdie\n"
+        "ds = make_dataset('trains', seed=0, scale='small')\n"
+        "res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=0)\n"
+        "print(json.dumps({'theory': sorted(str(c) for c in res.theory),\n"
+        "                  'epochs': res.epochs, 'uncovered': res.uncovered,\n"
+        "                  'log': [(str(s), str(r), c) for s, r, c, _ in res.log]}))\n"
+    )
+    results = {}
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    for intern in ("0", "1"):
+        env = dict(os.environ, REPRO_INTERN=intern)
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", prog], capture_output=True, text=True, env=env, cwd=root
+        )
+        assert out.returncode == 0, out.stderr
+        results[intern] = json.loads(out.stdout)
+    assert results["0"] == results["1"]

@@ -1,0 +1,118 @@
+"""Hash-consing tests: interning identity, ground flags, pickling, and
+the REPRO_INTERN=0 escape hatch."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.logic.parser import parse_clause, parse_term
+from repro.logic.terms import (
+    Const,
+    Struct,
+    Var,
+    atom,
+    intern_enabled,
+    is_ground,
+    mk_term,
+)
+
+# Identity assertions only hold with hash-consing on; a REPRO_INTERN=0
+# test run exercises the structural fallbacks through every other suite.
+pytestmark = pytest.mark.skipif(
+    not intern_enabled(), reason="term interning disabled (REPRO_INTERN=0)"
+)
+
+
+class TestConstInterning:
+    def test_equal_consts_are_identical(self):
+        assert Const("ethyl") is Const("ethyl")
+        assert Const(7) is Const(7)
+        assert Const(2.5) is Const(2.5)
+
+    def test_numeric_types_stay_distinct(self):
+        assert Const(1) is not Const(1.0)
+        assert Const(1) != Const(1.0)
+        assert Const(True) is not Const(1)
+        assert Const(True) != Const(1)
+
+    def test_no_type_rederivation_per_compare(self):
+        # The (type, value) key is built once at construction; equality
+        # between distinct constants is a single tuple compare at most.
+        a, b = Const(1), Const(2)
+        assert a._key == (int, 1) and b._key == (int, 2)
+        assert a != b
+
+    def test_pickle_reinterns(self):
+        c = Const("benzene")
+        assert pickle.loads(pickle.dumps(c)) is c
+
+
+class TestStructInterning:
+    def test_ground_structs_are_identical(self):
+        assert parse_term("bond(m1, a1, a2, 7)") is parse_term("bond(m1, a1, a2, 7)")
+        assert atom("f", atom("g", "x")) is atom("f", atom("g", "x"))
+
+    def test_var_structs_are_not_interned_but_equal(self):
+        s, t = parse_term("p(X, a)"), parse_term("p(X, a)")
+        assert s == t
+        assert not s.interned and not t.interned
+
+    def test_ground_flag(self):
+        assert parse_term("f(a, g(b))").ground
+        assert not parse_term("f(a, g(X))").ground
+        assert is_ground(parse_term("f(a)"))
+        assert not is_ground(Var("X"))
+
+    def test_interned_implies_ground(self):
+        t = parse_term("f(a, X)")
+        for sub in (t, *t.args):
+            if isinstance(sub, Struct) and sub.interned:
+                assert sub.ground
+
+    def test_pickle_reinterns_ground(self):
+        t = parse_term("bond(m1, a1, a2, 7)")
+        assert pickle.loads(pickle.dumps(t)) is t
+
+    def test_pickle_var_struct_round_trip(self):
+        t = parse_term("p(X, f(a, Y))")
+        u = pickle.loads(pickle.dumps(t))
+        assert u == t and hash(u) == hash(t)
+
+    def test_nested_sharing(self):
+        inner = parse_term("g(a, b)")
+        outer = parse_term("f(g(a, b), c)")
+        assert outer.args[0] is inner
+
+
+class TestClauseIdentityPaths:
+    def test_clause_equality_uses_shared_subterms(self):
+        c1 = parse_clause("p(X) :- q(X, a), r(b).")
+        c2 = parse_clause("p(X) :- q(X, a), r(b).")
+        assert c1 == c2 and hash(c1) == hash(c2)
+        # the ground literal is one shared object
+        assert c1.body[1] is c2.body[1]
+
+
+@pytest.mark.skipif(not intern_enabled(), reason="interning already disabled")
+def test_intern_disabled_subprocess():
+    """REPRO_INTERN=0 degrades to structural equality, same semantics."""
+    prog = (
+        "from repro.logic.terms import Const, intern_enabled\n"
+        "from repro.logic.parser import parse_term\n"
+        "assert not intern_enabled()\n"
+        "assert Const('a') == Const('a')\n"
+        "assert Const(1) != Const(1.0)\n"
+        "s, t = parse_term('f(a, g(b))'), parse_term('f(a, g(b))')\n"
+        "assert s == t and hash(s) == hash(t) and s.ground\n"
+        "assert not s.interned\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ, REPRO_INTERN="0")
+    env["PYTHONPATH"] = "src" + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    out = subprocess.run([sys.executable, "-c", prog], capture_output=True, text=True, env=env, cwd=root)
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"

@@ -1,5 +1,6 @@
 """Unit + property tests for θ-subsumption."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -114,3 +115,68 @@ def test_subsumption_transitive_along_chain(pair):
     head_only = Clause(general.head, ())
     assert theta_subsumes(head_only, general)
     assert theta_subsumes(head_only, special)
+
+
+class TestEquivalenceInvariance:
+    """Satellite regression: subsume_equivalent must be invariant under
+    variable renaming and body-literal reordering (and its fingerprint
+    fast path must agree with the full matcher)."""
+
+    CASES = [
+        ("p(X) :- q(X, Y), r(Y).", "p(A) :- q(A, B), r(B)."),
+        ("p(X) :- q(X, Y), r(Y).", "p(A) :- r(B), q(A, B)."),
+        ("p(X) :- s(X), q(X, Y), r(Y, z).", "p(U) :- r(V, z), q(U, V), s(U)."),
+        ("p(X, Y) :- q(X), q(Y).", "p(B, A) :- q(A), q(B)."),
+    ]
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_variants_are_equivalent(self, a, b):
+        ca, cb = parse_clause(a), parse_clause(b)
+        assert subsume_equivalent(ca, cb)
+        assert subsume_equivalent(cb, ca)
+        # the slow path agrees with the fingerprint short-circuit
+        assert theta_subsumes(ca, cb) and theta_subsumes(cb, ca)
+
+    def test_non_equivalent_unchanged(self):
+        g = parse_clause("p(X) :- q(X, Y).")
+        s = parse_clause("p(a) :- q(a, b), r(a).")
+        assert not subsume_equivalent(g, s)
+        assert not subsume_equivalent(
+            parse_clause("p(X) :- q(X)."), parse_clause("p(X) :- r(X).")
+        )
+
+    def test_reduce_clause_memoized_consistent(self):
+        c = parse_clause("p(X) :- q(X, Y), q(X, Z).")
+        r1 = reduce_clause(c)
+        r2 = reduce_clause(c)
+        assert r1 is r2  # memo hit
+        assert len(r1.body) == 1
+
+
+class TestMatcherSoundness:
+    """Regressions for the one-way matcher: a pattern variable bound to a
+    target variable must never be rebound (clauses under comparison may
+    share variable names, so self-bindings like X -> X are real bindings,
+    not unbound chains)."""
+
+    def test_chain_does_not_subsume_shorter(self):
+        c = parse_clause("p(X) :- q(X, Y), q(Y, Z).")
+        d = parse_clause("p(X) :- q(X, Y).")
+        assert not theta_subsumes(c, d)
+        assert theta_subsumes(d, c)
+
+    def test_chain_clause_is_irreducible(self):
+        c = parse_clause("p(X) :- q(X, Y), q(Y, Z).")
+        assert reduce_clause(c) == c
+
+    def test_repeated_var_does_not_match_distinct(self):
+        a = parse_clause("p(X) :- q(X, X).")
+        b = parse_clause("p(X) :- q(X, Y).")
+        assert not theta_subsumes(a, b)
+        assert theta_subsumes(b, a)
+        assert not subsume_equivalent(a, b)
+
+    def test_shared_names_self_equivalence(self):
+        c = parse_clause("p(X) :- q(X, Y), q(Y, Z).")
+        assert subsume_equivalent(c, c.rename_apart())
+        assert theta_subsumes(c, c)

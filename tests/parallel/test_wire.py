@@ -1,0 +1,190 @@
+"""Wire-codec tests: round-trip every message type, deterministic byte
+counts, pickle fallback, and end-to-end CommStats behaviour."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.ilp.bottom import BottomClause, BottomLiteral
+from repro.ilp.refinement import SearchRule
+from repro.logic.clause import Clause
+from repro.logic.parser import parse_clause, parse_term
+from repro.logic.terms import Const, Struct, Var
+from repro.parallel import wire
+from repro.parallel.messages import (
+    EvaluateRequest,
+    EvaluateResult,
+    ExamplesReport,
+    GatherExamples,
+    LoadData,
+    LoadExamples,
+    MarkCovered,
+    PipelineRules,
+    PipelineTask,
+    Repartition,
+    RuleStats,
+    StartPipeline,
+    Stop,
+)
+
+RULE = parse_clause("active(A) :- atom(A, B, c), bond(A, B, C, 7).")
+PARENT = parse_clause("active(A) :- atom(A, B, c).")
+FACTS = tuple(parse_term(s) for s in ("atom(m1, a1, c)", "bond(m1, a1, a2, 7)", "w(m1, 2.5)"))
+POS = tuple(parse_term(s) for s in ("active(m1)", "active(m2)"))
+NEG = (parse_term("active(m9)"),)
+
+
+def make_bottom() -> BottomClause:
+    a, b, c = Var("A"), Var("B"), Var("C")
+    lits = [
+        BottomLiteral(Struct("atom", (a, b, Const("c"))), frozenset([a]), frozenset([b])),
+        BottomLiteral(Struct("bond", (a, b, c, Const(7))), frozenset([a, b]), frozenset([c])),
+    ]
+    return BottomClause(
+        seed=parse_term("active(m1)"),
+        head=Struct("active", (a,)),
+        literals=lits,
+        head_vars=frozenset([a]),
+    )
+
+
+MESSAGES = [
+    LoadExamples(partition_id=3),
+    LoadData(pos=POS, neg=NEG, facts=FACTS, rules=(RULE, PARENT)),
+    StartPipeline(width=10),
+    StartPipeline(width=None),
+    PipelineTask(bottom=make_bottom(), step=2, width=5, rules=(SearchRule(RULE, 1, parent=PARENT),), origin=1),
+    PipelineTask(bottom=None, step=1, width=None, rules=(), origin=4),
+    PipelineRules(origin=2, rules=(SearchRule(RULE, 1), SearchRule(PARENT, 0, parent=Clause(PARENT.head)))),
+    EvaluateRequest(rules=(RULE, PARENT)),
+    EvaluateRequest(rules=(RULE,), candidates=((0b1011, 0),)),
+    EvaluateRequest(rules=(RULE, PARENT), candidates=(None, (1 << 200 | 5, 7))),
+    EvaluateResult(rank=2, stats=(RuleStats(pos=3, neg=0, pos_cand=0b111, neg_cand=1 << 90),)),
+    EvaluateResult(rank=1, stats=()),
+    MarkCovered(rule=RULE),
+    GatherExamples(),
+    ExamplesReport(rank=1, pos=POS, neg=NEG),
+    Repartition(pos=POS, neg=NEG),
+    Stop(),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+    def test_round_trip(self, msg):
+        data = wire.encode(msg)
+        assert isinstance(data, bytes)
+        assert wire.decode(data) == msg
+
+    def test_every_message_type_covered(self):
+        assert {type(m) for m in MESSAGES} == set(wire._ENCODERS)
+
+    def test_exotic_constants(self):
+        msg = Repartition(
+            pos=(
+                parse_term("p(-3)"),
+                parse_term("p(2.5)"),
+                Struct("p", (Const(True), Const(1), Const(1.0))),
+                Struct("p", (Const("it's"), Struct("f", (Const(10 ** 30),)))),
+            ),
+            neg=(),
+        )
+        dec = wire.decode(wire.encode(msg))
+        assert dec == msg
+        # bool/int/float survive as distinct constant kinds
+        args = dec.pos[2].args
+        assert [type(a.value) for a in args] == [bool, int, float]
+
+    def test_decoded_terms_are_interned(self):
+        from repro.logic.terms import intern_enabled
+
+        if not intern_enabled():  # pragma: no cover - REPRO_INTERN=0 runs
+            pytest.skip("interning disabled")
+        msg = MarkCovered(rule=RULE)
+        dec = wire.decode(wire.encode(msg))
+        # Ground subterms come back pointer-equal to the local copies.
+        assert dec.rule.body[0].args[2] is RULE.body[0].args[2]
+
+    def test_smaller_than_pickle(self):
+        for msg in MESSAGES:
+            data = wire.encode(msg)
+            assert len(data) < len(pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
+
+
+class TestDeterminism:
+    def test_encode_is_deterministic_in_process(self):
+        for msg in MESSAGES:
+            assert wire.encode(msg) == wire.encode(msg)
+
+    def test_bytes_stable_across_hash_seeds(self):
+        """Byte counts must not depend on PYTHONHASHSEED (frozenset
+        iteration order differs per process; the codec sorts)."""
+        prog = (
+            "from tests.parallel.test_wire import MESSAGES\n"
+            "from repro.parallel import wire\n"
+            "print(';'.join(wire.encode(m).hex() for m in MESSAGES))\n"
+        )
+        here = [wire.encode(m).hex() for m in MESSAGES]
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = "src" + os.pathsep + os.getcwd() + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", prog],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            )
+            assert out.returncode == 0, out.stderr
+            assert out.stdout.strip().split(";") == here
+
+
+class TestGatingAndFallback:
+    def test_disabled_returns_none(self):
+        with wire.configured(False):
+            assert wire.encode(Stop()) is None
+        with wire.configured(True):
+            assert wire.encode(Stop()) is not None
+
+    def test_unknown_payload_returns_none(self):
+        assert wire.encode({"not": "a message"}) is None
+
+    def test_payload_nbytes_matches_mode(self):
+        from repro.cluster.message import payload_nbytes
+
+        msg = MarkCovered(rule=RULE)
+        with wire.configured(True):
+            assert payload_nbytes(msg) == len(wire.encode(msg))
+        with wire.configured(False):
+            assert payload_nbytes(msg) == len(pickle.dumps(msg, pickle.HIGHEST_PROTOCOL))
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(wire.WireError):
+            wire.decode(b"\x00\x01\x02")
+        with pytest.raises(wire.WireError):
+            wire.decode(wire.encode(Stop()) + b"x")
+
+
+class TestEndToEnd:
+    def test_commstats_deterministic_and_reduced(self):
+        from repro.datasets import make_dataset
+        from repro.parallel import run_p2mdie
+
+        ds = make_dataset("trains", seed=0, scale="small")
+        on = ds.config.replace(wire_codec=True)
+        off = ds.config.replace(wire_codec=False)
+        r1 = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, on, p=2, seed=0)
+        r2 = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, on, p=2, seed=0)
+        r3 = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, off, p=2, seed=0)
+        # deterministic accounting across identical runs
+        assert r1.comm.bytes_total == r2.comm.bytes_total
+        assert r1.comm.bytes_by_tag == r2.comm.bytes_by_tag
+        # identical learning, identical message count, fewer bytes
+        assert list(map(str, r1.theory)) == list(map(str, r3.theory))
+        assert r1.comm.messages == r3.comm.messages
+        assert r1.comm.bytes_total < r3.comm.bytes_total
