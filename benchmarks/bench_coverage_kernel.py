@@ -113,9 +113,9 @@ def render(report: dict) -> str:
 
 
 def write_report(report: dict) -> pathlib.Path:
-    out = ROOT / "BENCH_coverage_kernel.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    return out
+    from bench_meta import write_bench_json
+
+    return write_bench_json(ROOT / "BENCH_coverage_kernel.json", report, SMOKE)
 
 
 def check(report: dict) -> None:

@@ -1,0 +1,55 @@
+"""Shared provenance stamping for every ``BENCH_*.json`` artifact.
+
+Each benchmark merges :func:`bench_environment` into its report under the
+``"meta"`` key (via :func:`write_bench_json`), so the perf trajectory
+tracked PR-over-PR records *which* code and interpreter produced each
+number and whether it ran in CI smoke mode (reduced inputs, no speedup
+gates) — the three facts needed to decide if two JSONs are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+from typing import Union
+
+__all__ = ["bench_environment", "write_bench_json"]
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=_ROOT,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_environment(smoke: bool) -> dict:
+    """Provenance block stamped into every benchmark JSON."""
+    return {
+        "git_sha": _git_sha(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "smoke": bool(smoke),
+    }
+
+
+def write_bench_json(path: Union[str, pathlib.Path], report: dict, smoke: bool) -> pathlib.Path:
+    """Stamp ``report`` with the environment and write it to ``path``."""
+    path = pathlib.Path(path)
+    stamped = dict(report)
+    stamped["meta"] = bench_environment(smoke)
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
+    return path

@@ -220,8 +220,9 @@ def render(report: dict) -> str:
 
 
 def write_report(report: dict) -> pathlib.Path:
-    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    return OUT_PATH
+    from bench_meta import write_bench_json
+
+    return write_bench_json(OUT_PATH, report, SMOKE)
 
 
 def check(report: dict) -> None:

@@ -14,6 +14,10 @@ The package implements, from scratch:
   latency/bandwidth network model, communication accounting);
 * :mod:`repro.parallel` — **P²-MDIE**, the paper's pipelined data-parallel
   covering algorithm (Figs. 5-7), plus the related-work baseline;
+* :mod:`repro.fault` — fault tolerance & elasticity: deterministic fault
+  plans (crashes, stragglers, message loss, elastic joins), epoch
+  checkpoints with bit-identical resume, and self-healing masters that
+  rebuild lost workers by deterministic replay;
 * :mod:`repro.datasets` — seeded synthetic equivalents of the paper's
   three evaluation datasets (Table 1);
 * :mod:`repro.experiments` — the §5 evaluation protocol: 5-fold CV,

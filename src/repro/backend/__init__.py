@@ -18,6 +18,7 @@ Use :func:`make_backend` to build one by name, or
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Union
 
 from repro.backend.base import (
@@ -46,6 +47,7 @@ __all__ = [
     "BACKEND_NAMES",
     "make_backend",
     "resolve_backend",
+    "fault_injection_scope",
 ]
 
 #: names accepted by :func:`make_backend` (and the CLI's ``--backend``).
@@ -60,12 +62,15 @@ def make_backend(
     record_trace: bool = False,
     timeout: Optional[float] = None,
     start_method: Optional[str] = None,
+    fault_plan=None,
 ) -> Backend:
     """Build a backend by registry name.
 
     Substrate-specific options are applied where they make sense and
     ignored elsewhere (``network``/``cost_model`` only shape the sim;
-    ``timeout``/``start_method`` only the local backend).
+    ``timeout``/``start_method`` only the local backend).  A non-empty
+    ``fault_plan`` arms fault injection on the substrates that support
+    it (sim and local); MPI refuses.
     """
     if name == "sim":
         from repro.cluster.costmodel import DEFAULT_COST_MODEL
@@ -75,12 +80,21 @@ def make_backend(
             network=network if network is not None else FAST_ETHERNET,
             cost_model=cost_model if cost_model is not None else DEFAULT_COST_MODEL,
             record_trace=record_trace,
+            fault_plan=fault_plan,
         )
     if name == "local":
         return LocalProcessBackend(
-            record_trace=record_trace, timeout=timeout, start_method=start_method
+            record_trace=record_trace,
+            timeout=timeout,
+            start_method=start_method,
+            fault_plan=fault_plan,
         )
     if name == "mpi":
+        if fault_plan is not None:
+            raise BackendUnavailableError(
+                "fault injection is not supported on the MPI backend "
+                "(use --backend sim or local for fault scenarios)"
+            )
         from repro.backend.mpi import MPIBackend
 
         return MPIBackend(record_trace=record_trace)
@@ -94,11 +108,14 @@ def resolve_backend(
     cost_model=None,
     record_trace: bool = False,
     timeout: Optional[float] = None,
+    fault_plan=None,
 ) -> Backend:
     """Accept a Backend instance, a registry name, or None (→ sim)."""
     if backend is None:
         backend = "sim"
     if isinstance(backend, Backend):
+        # Caller-owned instances are not mutated here: the run front-ends
+        # arm them for the duration of one run via fault_injection_scope.
         return backend
     return make_backend(
         backend,
@@ -106,4 +123,34 @@ def resolve_backend(
         cost_model=cost_model,
         record_trace=record_trace,
         timeout=timeout,
+        fault_plan=fault_plan,
     )
+
+
+@contextmanager
+def fault_injection_scope(backend: Backend, fault_plan):
+    """Arm a backend's fault injection for the duration of one run.
+
+    Backends constructed by name already carry the plan; a caller-owned
+    instance is armed here and restored afterwards, so the same instance
+    can serve later runs with a different plan (or none).  Conflicting
+    plans (instance already armed with a different one) are an error, as
+    is a substrate with no injection support (MPI).
+    """
+    if fault_plan is None:
+        yield backend
+        return
+    if not hasattr(backend, "fault_plan"):
+        raise BackendUnavailableError(
+            f"backend {backend.name!r} does not support fault injection"
+        )
+    prev = backend.fault_plan
+    if prev is not None and prev != fault_plan:
+        raise ValueError(
+            "backend instance is already armed with a different fault plan"
+        )
+    backend.fault_plan = fault_plan
+    try:
+        yield backend
+    finally:
+        backend.fault_plan = prev

@@ -68,7 +68,12 @@ class ExecutionContext(Protocol):
 
     def bcast(self, payload: object, tag: str, dsts: Optional[Iterable[int]] = None): ...
 
-    def recv(self, src: Optional[int] = None, tag: Optional[str] = None): ...
+    def recv(
+        self,
+        src: Optional[int] = None,
+        tag: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ): ...
 
     def compute(self, ops: int, label: str = "compute"): ...
 
@@ -96,7 +101,10 @@ class BackendRun:
     #: are the very objects passed in; for multi-process backends they are
     #: the children's final states shipped back — read run artifacts
     #: (learned theory, epoch logs, ...) from here, never from the inputs.
+    #: Ranks that crashed (injected faults) are absent.
     procs: list[SimProcess] = field(default_factory=list)
+    #: injected fault events observed by the substrate, in firing order.
+    fault_log: list = field(default_factory=list)
 
     def proc(self, rank: int) -> SimProcess:
         for p in self.procs:

@@ -14,6 +14,7 @@ from repro.cluster.cluster import VirtualCluster
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import SimProcess
+from repro.fault.plan import FaultPlan
 
 __all__ = ["SimBackend"]
 
@@ -28,10 +29,12 @@ class SimBackend(Backend):
         network: NetworkModel = FAST_ETHERNET,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         record_trace: bool = False,
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.network = network
         self.cost_model = cost_model
         self.record_trace = record_trace
+        self.fault_plan = fault_plan
 
     def run(self, procs: Sequence[SimProcess]) -> BackendRun:
         ordered = sorted(procs, key=lambda p: p.rank)
@@ -40,14 +43,20 @@ class SimBackend(Backend):
             network=self.network,
             cost_model=self.cost_model,
             record_trace=self.record_trace,
+            fault_plan=self.fault_plan,
         )
         run = cluster.run()
+        # Crashed ranks' process objects hold stale pre-crash state (their
+        # logical workers were rebuilt elsewhere); per the BackendRun
+        # contract they are absent from the returned procs.
+        crashed = set(run.crashed)
         return BackendRun(
             seconds=run.makespan,
             comm=run.comm,
             clocks=run.clocks,
             trace=run.trace,
-            procs=ordered,
+            procs=[p for p in ordered if p.rank not in crashed],
+            fault_log=run.fault_log,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -4,6 +4,8 @@ Commands
 --------
 ``learn``   run sequential MDIE or P²-MDIE on a bundled dataset and print
             the learned theory plus run statistics;
+``resume``  continue a checkpointed run bit-identically from a snapshot;
+``faults``  run the fault-injection sweep (recovery overhead & parity);
 ``tables``  run the evaluation matrix and print any of the paper's tables;
 ``trace``   run one traced epoch and print the pipeline Gantt chart;
 ``export``  write a bundled dataset to Aleph-style Prolog files.
@@ -51,6 +53,40 @@ def _add_backend_arg(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON fault plan (crashes / stragglers / message drops / elastic "
+        "joins) to inject; activates the self-healing protocol. The learned "
+        "theory is identical to the fault-free run — only time and "
+        "communication change. See repro.fault.plan.FaultPlan.",
+    )
+    sub_parser.add_argument(
+        "--spares",
+        type=int,
+        default=0,
+        help="standby worker hosts (ranks p+1..p+spares) provisioned for "
+        "adoption after a crash or for elastic 'join' events",
+    )
+    sub_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="write a resumable snapshot of master learning state after every "
+        "epoch (wire-codec .ckpt files; continue with `repro resume`)",
+    )
+
+
+def _load_plan(args):
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.fault.plan import FaultPlan
+
+    return FaultPlan.load(args.fault_plan)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     # Shared by every subcommand: `repro learn ... --profile out.pstats`.
@@ -71,6 +107,47 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--seed", type=int, default=0)
     learn.add_argument("--scale", choices=("small", "paper"), default="small")
     _add_backend_arg(learn)
+    _add_fault_args(learn)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run bit-identically",
+        parents=[common],
+        description="Continue a run from a .ckpt snapshot written by "
+        "`repro learn --checkpoint-dir`. Dataset, scale, p and width are "
+        "read back from the checkpoint metadata; the remaining epochs "
+        "reproduce the uninterrupted run exactly.",
+    )
+    resume.add_argument("checkpoint", help="path to an epoch_NNNN.ckpt file")
+    _add_backend_arg(resume)
+    resume.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="keep checkpointing the continued run into DIR",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: recovery overhead and theory parity",
+        parents=[common],
+        description="Run each parallel strategy fault-free and under injected "
+        "fault scenarios (worker crash, straggler, crash+standby), assert "
+        "the learned theory is identical, and report the recovery overhead.",
+    )
+    faults.add_argument("--dataset", choices=sorted(DATASETS), default="trains")
+    faults.add_argument("--ps", default="2,4")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--scale", choices=("small", "paper"), default="small")
+    faults.add_argument(
+        "--strategies",
+        default="p2mdie",
+        help="comma-separated subset of p2mdie,covpar,independent",
+    )
+    faults.add_argument(
+        "--timeout", type=float, default=2.0, help="failure-detection timeout (seconds)"
+    )
+    _add_backend_arg(faults)
 
     tables = sub.add_parser(
         "tables", help="run the evaluation matrix and print paper tables", parents=[common]
@@ -103,30 +180,158 @@ def build_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _print_run_epilogue(res) -> None:
+    """Shared run statistics: cache effectiveness + fault narrative."""
+    if res.cache_stats:
+        total = res.cache_hits + res.cache_misses
+        rate = (100.0 * res.cache_hits / total) if total else 0.0
+        print(
+            f"% eval-cache: hits={res.cache_hits} misses={res.cache_misses} "
+            f"({rate:.1f}% hit rate)"
+        )
+    for line in res.fault_events:
+        print(f"% fault: {line}")
+    for rec in res.fault_log:
+        print(f"% injected: {rec}")
+
+
 def _cmd_learn(args) -> int:
     ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
     print(f"% dataset {ds.name}: |E+|={ds.n_pos} |E-|={ds.n_neg}")
+    plan = _load_plan(args)
+    meta = (
+        ("dataset", args.dataset),
+        ("scale", args.scale),
+        ("p", str(args.p)),
+        ("width", "nolimit" if args.width is None else str(args.width)),
+    )
     if args.p == 1:
-        res = mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=args.seed)
+        if plan is not None:
+            print("repro: --fault-plan requires --p > 1 (sequential runs have no pool)", file=sys.stderr)
+            return 2
+        if args.spares:
+            print("repro: --spares requires --p > 1 and a --fault-plan", file=sys.stderr)
+            return 2
+        res = mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir, checkpoint_meta=meta,
+        )
         seconds = sequential_seconds(res)
         extra = f"% epochs={res.epochs} ops={res.ops} uncovered={res.uncovered}"
         theory = res.theory
+        parallel_res = None
     else:
+        if args.spares and plan is None:
+            print("repro: --spares requires a --fault-plan (standby hosts are a fault-tolerance feature)", file=sys.stderr)
+            return 2
         res = run_p2mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
             seed=args.seed, backend=args.backend,
+            fault_plan=plan, spares=args.spares,
+            checkpoint_dir=args.checkpoint_dir, checkpoint_meta=meta,
         )
         seconds = res.seconds
         extra = (
             f"% epochs={res.epochs} comm={res.mbytes:.3f}MB uncovered={res.uncovered}"
         )
         theory = res.theory
+        parallel_res = res
     engine = Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
     acc = accuracy(engine, theory, ds.pos, ds.neg)
     print(theory_to_prolog(theory, header=f"learned by {'mdie' if args.p == 1 else 'p2-mdie'}"))
     print(extra)
     time_label = "virtual-time" if args.p == 1 or args.backend == "sim" else "wall-time"
     print(f"% {time_label}={seconds:.1f}s training-accuracy={acc:.1f}%")
+    if parallel_res is not None:
+        _print_run_epilogue(parallel_res)
+    if args.checkpoint_dir:
+        print(f"% checkpoints in {args.checkpoint_dir}/ (continue with `repro resume`)")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.fault.checkpoint import load_checkpoint
+
+    state = load_checkpoint(args.checkpoint)
+    meta = state.meta_dict()
+    dataset = meta.get("dataset")
+    if dataset is None:
+        print(
+            "repro: checkpoint carries no dataset metadata (was it written by "
+            "`repro learn --checkpoint-dir`?)",
+            file=sys.stderr,
+        )
+        return 2
+    scale = meta.get("scale", "small")
+    ds = make_dataset(dataset, seed=state.seed, scale=scale)
+    print(
+        f"% resuming {state.algo} on {dataset} from epoch {state.epoch} "
+        f"({state.remaining} positives uncovered)"
+    )
+    if state.algo == "mdie":
+        res = mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=state.seed,
+            resume=state, checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
+        )
+        seconds = sequential_seconds(res)
+        theory = res.theory
+        extra = f"% epochs={res.epochs} ops={res.ops} uncovered={res.uncovered}"
+        parallel_res = None
+    elif state.algo == "p2mdie":
+        width = _parse_width(meta.get("width", "10"))
+        res = run_p2mdie(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=state.n_workers, width=width,
+            seed=state.seed, backend=args.backend, resume=state,
+            checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
+        )
+        seconds = res.seconds
+        theory = res.theory
+        extra = f"% epochs={res.epochs} comm={res.mbytes:.3f}MB uncovered={res.uncovered}"
+        parallel_res = res
+    elif state.algo == "covpar":
+        from repro.parallel import run_coverage_parallel
+
+        res = run_coverage_parallel(
+            ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=state.n_workers,
+            seed=state.seed, backend=args.backend, resume=state,
+            checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
+        )
+        seconds = res.seconds
+        theory = res.theory
+        extra = f"% epochs={res.epochs} comm={res.mbytes:.3f}MB uncovered={res.uncovered}"
+        parallel_res = res
+    else:
+        print(f"repro: cannot resume algo {state.algo!r}", file=sys.stderr)
+        return 2
+    engine = Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
+    acc = accuracy(engine, theory, ds.pos, ds.neg)
+    print(theory_to_prolog(theory, header=f"resumed {state.algo}"))
+    print(extra)
+    print(f"% seconds={seconds:.1f} training-accuracy={acc:.1f}%")
+    if parallel_res is not None:
+        _print_run_epilogue(parallel_res)
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.experiments.faultsweep import render_fault_sweep, run_fault_sweep
+
+    ps = tuple(int(x) for x in args.ps.split(","))
+    strategies = tuple(args.strategies.split(","))
+    records = run_fault_sweep(
+        dataset=args.dataset,
+        ps=ps,
+        strategies=strategies,
+        seed=args.seed,
+        scale=args.scale,
+        backend=args.backend,
+        timeout=args.timeout,
+    )
+    print(render_fault_sweep(records))
+    bad = [r for r in records if not r.parity]
+    if bad:
+        print(f"repro: {len(bad)} scenario(s) broke theory parity!", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -177,6 +382,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "learn": _cmd_learn,
+        "resume": _cmd_resume,
+        "faults": _cmd_faults,
         "tables": _cmd_tables,
         "trace": _cmd_trace,
         "export": _cmd_export,

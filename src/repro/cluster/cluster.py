@@ -14,6 +14,7 @@ from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ComputeInterval, SimProcess
 from repro.cluster.scheduler import CommStats, Scheduler
+from repro.fault.plan import FaultPlan, FaultRecord
 
 __all__ = ["ClusterRun", "VirtualCluster"]
 
@@ -27,6 +28,10 @@ class ClusterRun:
     trace: list[ComputeInterval] = field(default_factory=list)
     #: final per-rank clocks (rank order)
     clocks: list[float] = field(default_factory=list)
+    #: injected fault events, in firing order (empty for fault-free runs).
+    fault_log: list[FaultRecord] = field(default_factory=list)
+    #: ranks killed by injected crashes.
+    crashed: list[int] = field(default_factory=list)
 
     @property
     def mbytes(self) -> float:
@@ -56,11 +61,13 @@ class VirtualCluster:
         network: NetworkModel = FAST_ETHERNET,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         record_trace: bool = False,
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.procs = list(procs)
         self.network = network
         self.cost_model = cost_model
         self.record_trace = record_trace
+        self.fault_plan = fault_plan
 
     def run(self) -> ClusterRun:
         sched = Scheduler(
@@ -68,6 +75,7 @@ class VirtualCluster:
             network=self.network,
             cost_model=self.cost_model,
             record_trace=self.record_trace,
+            fault_plan=self.fault_plan,
         )
         makespan = sched.run()
         clocks = [sched.clock_of(p.rank) for p in sorted(self.procs, key=lambda p: p.rank)]
@@ -76,4 +84,6 @@ class VirtualCluster:
             comm=sched.stats,
             trace=sched.trace,
             clocks=clocks,
+            fault_log=sched.fault_log,
+            crashed=sched.crashed_ranks(),
         )

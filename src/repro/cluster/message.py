@@ -29,6 +29,11 @@ class Tag:
     RESULT = "result"
     MARK_COVERED = "mark_covered"
     STOP = "stop"
+    # fault-tolerance protocol (repro.fault); only used when a FaultPlan
+    # activates it, so fault-free tag statistics are unchanged.
+    PING = "ping"
+    PONG = "pong"
+    ROUTING = "routing"
 
 
 _wire_encode = None

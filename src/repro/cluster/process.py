@@ -45,10 +45,18 @@ class BcastOp(Syscall):
 
 @dataclass(frozen=True)
 class RecvOp(Syscall):
-    """Blocking receive; ``src``/``tag`` of None match anything."""
+    """Blocking receive; ``src``/``tag`` of None match anything.
+
+    ``timeout`` (seconds — virtual under the sim backend, wall-clock under
+    the real ones) bounds the wait: if no matching message arrives in
+    time, the process is resumed with ``None`` instead of a message.  The
+    fault-tolerant masters use this as their failure detector; ``None``
+    (the default) waits forever, reproducing the original semantics.
+    """
 
     src: Optional[int] = None
     tag: Optional[str] = None
+    timeout: Optional[float] = None
 
     def matches(self, msg) -> bool:
         return (self.src is None or msg.src == self.src) and (
@@ -93,8 +101,13 @@ class ProcContext:
             dsts = [r for r in range(self._cluster.n_procs) if r != self.rank]
         return BcastOp(tuple(dsts), payload, tag)
 
-    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> RecvOp:
-        return RecvOp(src, tag)
+    def recv(
+        self,
+        src: Optional[int] = None,
+        tag: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> RecvOp:
+        return RecvOp(src, tag, timeout)
 
     def compute(self, ops: int, label: str = "compute") -> ComputeOp:
         return ComputeOp(int(ops), label)

@@ -34,6 +34,7 @@ from repro.cluster.process import (
     SendOp,
     SimProcess,
 )
+from repro.fault.plan import FaultPlan, FaultRecord
 
 __all__ = ["Scheduler", "DeadlockError", "CommStats"]
 
@@ -74,16 +75,34 @@ class CommStats:
 
 
 class _ProcState:
-    __slots__ = ("proc", "gen", "clock", "blocked_on", "done", "mailbox")
+    __slots__ = (
+        "proc",
+        "gen",
+        "clock",
+        "blocked_on",
+        "deadline",
+        "done",
+        "crashed",
+        "mailbox",
+        "recv_count",
+        "sent_count",
+    )
 
     def __init__(self, proc: SimProcess, gen):
         self.proc = proc
         self.gen = gen
         self.clock = 0.0
         self.blocked_on: Optional[RecvOp] = None
+        #: absolute virtual deadline of a pending timed receive.
+        self.deadline: Optional[float] = None
         self.done = False
+        self.crashed = False
         # heap of (arrival_time, seq, Message)
         self.mailbox: list = []
+        #: messages delivered to the generator, for crash triggers.
+        self.recv_count = 0
+        #: per-destination send counter, for message-loss triggers.
+        self.sent_count: dict[int, int] = {}
 
 
 class Scheduler:
@@ -96,6 +115,7 @@ class Scheduler:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         record_trace: bool = False,
         max_events: int = 50_000_000,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if len({p.rank for p in procs}) != len(procs):
             raise ValueError("duplicate ranks")
@@ -105,6 +125,19 @@ class Scheduler:
         self.trace: list[ComputeInterval] = []
         self.record_trace = record_trace
         self.max_events = max_events
+        self.fault_plan = fault_plan
+        #: injected events as they fire (crash/straggle/drop), in time order.
+        self.fault_log: list[FaultRecord] = []
+        self._crash = {}  # rank -> WorkerCrash (not yet fired)
+        self._straggle = {}  # rank -> Straggler
+        self._loss = {}  # src -> {dst -> frozenset of 1-based drop indices}
+        if fault_plan is not None:
+            self._crash = {ev.rank: ev for ev in fault_plan.crashes}
+            self._straggle = {ev.rank: ev for ev in fault_plan.stragglers}
+            self._loss = {
+                src: fault_plan.losses_for(src)
+                for src in {ev.src for ev in fault_plan.losses}
+            }
         self._seq = 0
         self._states: dict[int, _ProcState] = {}
         self.n_procs = len(procs)
@@ -120,6 +153,10 @@ class Scheduler:
     def makespan(self) -> float:
         """Completion time of the whole run (max clock)."""
         return max(s.clock for s in self._states.values())
+
+    def crashed_ranks(self) -> list[int]:
+        """Ranks killed by injected crashes (their final state is stale)."""
+        return sorted(r for r, st in self._states.items() if st.crashed)
 
     # -- core loop -----------------------------------------------------------------
     def run(self) -> float:
@@ -139,7 +176,12 @@ class Scheduler:
         return self.makespan
 
     def _pick_next(self) -> tuple[Optional[int], float]:
-        """Next process to advance: smallest next-action time, tie on rank."""
+        """Next process to advance: smallest next-action time, tie on rank.
+
+        A blocked process's next action is the earliest of: its earliest
+        matching arrival, its receive deadline (timed receives resume
+        with ``None``), and its pending ``at_time`` crash.
+        """
         best_rank: Optional[int] = None
         best_time = float("inf")
         any_alive = False
@@ -148,13 +190,21 @@ class Scheduler:
             if st.done:
                 continue
             any_alive = True
+            t: Optional[float] = None
             if st.blocked_on is None:
                 t = st.clock  # runnable (shouldn't happen between steps)
             else:
                 arr = self._earliest_match(st)
-                if arr is None:
-                    continue
-                t = max(st.clock, arr)
+                if arr is not None:
+                    t = max(st.clock, arr)
+                if st.deadline is not None:
+                    t = st.deadline if t is None else min(t, st.deadline)
+            crash = self._crash.get(rank)
+            if crash is not None and crash.at_time is not None:
+                tc = max(st.clock, crash.at_time)
+                t = tc if t is None else min(t, tc)
+            if t is None:
+                continue
             if t < best_time:
                 best_time = t
                 best_rank = rank
@@ -185,16 +235,67 @@ class Scheduler:
         assert best_i >= 0
         return st.mailbox.pop(best_i)[2]
 
+    def _kill(self, st: _ProcState, when: float, reason: str) -> None:
+        """Crash one process: close its generator, drop its mailbox."""
+        st.clock = max(st.clock, when)
+        st.done = True
+        st.crashed = True
+        st.blocked_on = None
+        st.deadline = None
+        st.mailbox.clear()
+        st.gen.close()
+        self._crash.pop(st.proc.rank, None)
+        self.fault_log.append(
+            FaultRecord(kind="crash", rank=st.proc.rank, time=st.clock, detail=reason)
+        )
+
+    def _crash_time(self, rank: int) -> Optional[float]:
+        crash = self._crash.get(rank)
+        if crash is not None and crash.at_time is not None:
+            return crash.at_time
+        return None
+
     def _step(self, rank: int, first: bool = False, wake_time: Optional[float] = None) -> None:
-        """Advance one process until it blocks on recv or finishes."""
+        """Advance one process until it blocks on recv, finishes or dies."""
         st = self._states[rank]
         send_value = None
         if not first and st.blocked_on is not None:
-            msg = self._pop_match(st)
-            st.clock = max(st.clock, msg.arrival_time)
-            st.blocked_on = None
-            send_value = msg
+            # Woken while blocked: an at_time crash, a matching message,
+            # or a receive deadline — in that priority order at the wake
+            # instant.
+            tc = self._crash_time(rank)
+            arr = self._earliest_match(st)
+            if tc is not None and (arr is None or tc <= max(st.clock, arr)) and (
+                st.deadline is None or tc <= st.deadline
+            ):
+                self._kill(st, tc, "at_time (blocked)")
+                return
+            if arr is not None and (st.deadline is None or max(st.clock, arr) <= st.deadline):
+                msg = self._pop_match(st)
+                st.clock = max(st.clock, msg.arrival_time)
+                st.blocked_on = None
+                st.deadline = None
+                crash = self._crash.get(rank)
+                if crash is not None and crash.on_recv is not None and (
+                    crash.tag is None or crash.tag == msg.tag
+                ):
+                    st.recv_count += 1
+                    if st.recv_count >= crash.on_recv:
+                        self._kill(st, st.clock, f"on_recv={crash.on_recv} tag={crash.tag}")
+                        return
+                send_value = msg
+            else:
+                # Timed receive expired with no matching message.
+                st.clock = max(st.clock, st.deadline)
+                st.blocked_on = None
+                st.deadline = None
+                send_value = None
+        straggler = self._straggle.get(rank)
         while True:
+            tc = self._crash_time(rank)
+            if tc is not None and st.clock >= tc:
+                self._kill(st, tc, "at_time")
+                return
             try:
                 op = st.gen.send(send_value)
             except StopIteration:
@@ -203,6 +304,14 @@ class Scheduler:
             send_value = None
             if isinstance(op, ComputeOp):
                 dt = self.cost_model.seconds_for_ops_at(rank, op.ops)
+                if straggler is not None and st.clock >= straggler.after_time:
+                    dt *= straggler.factor
+                if tc is not None and st.clock + dt >= tc:
+                    # The crash interrupts the compute interval.
+                    if self.record_trace:
+                        self.trace.append(ComputeInterval(rank, st.clock, tc, op.label))
+                    self._kill(st, tc, "at_time (mid-compute)")
+                    return
                 if self.record_trace:
                     self.trace.append(
                         ComputeInterval(rank, st.clock, st.clock + dt, op.label)
@@ -215,6 +324,7 @@ class Scheduler:
                     self._send(st, dst, op.payload, op.tag)
             elif isinstance(op, RecvOp):
                 st.blocked_on = op
+                st.deadline = None if op.timeout is None else st.clock + op.timeout
                 return
             else:  # pragma: no cover - defensive
                 raise TypeError(f"process {rank} yielded non-syscall {op!r}")
@@ -237,5 +347,20 @@ class Scheduler:
             arrival_time=arrival,
             seq=self._seq,
         )
+        # The sender is always charged (it cannot know the network will
+        # drop the message); injected losses only suppress delivery.
         self.stats.record(msg)
+        src_rank = st.proc.rank
+        drops = self._loss.get(src_rank)
+        if drops is not None:
+            n = st.sent_count.get(dst, 0) + 1
+            st.sent_count[dst] = n
+            if n in drops.get(dst, ()):
+                self.fault_log.append(
+                    FaultRecord(kind="drop", rank=src_rank, time=st.clock, detail=f"->{dst} #{n} tag={tag}")
+                )
+                return
+        if self._states[dst].done:
+            # Messages to a crashed rank silently vanish.
+            return
         self._states[dst].mailbox.append((arrival, self._seq, msg))

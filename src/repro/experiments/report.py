@@ -85,6 +85,27 @@ def render_report(
         w("```\n" + renderer(result, ps=ps) + "\n```\n\n")
     w("```\n" + table6_accuracy(result, ps=ps, confidence=confidence) + "\n```\n\n")
 
+    # Evaluation-cache effectiveness (fault-tolerance observability: a
+    # recovery shows up as a cache-miss spike in the affected cells).
+    w("## Evaluation-cache effectiveness\n\n")
+    any_cache = False
+    for ds in sorted({r.dataset for r in result.records}):
+        for p in sorted({r.p for r in result.records if r.dataset == ds}):
+            cells = result.cells(ds, p=p)
+            hits = sum(c.cache_hits for c in cells)
+            misses = sum(c.cache_misses for c in cells)
+            total = hits + misses
+            if not total:
+                continue
+            any_cache = True
+            w(
+                f"- {ds}, p={p}: {hits} hits / {misses} misses "
+                f"({100.0 * hits / total:.1f}% hit rate)\n"
+            )
+    if not any_cache:
+        w("- no evaluation-cache activity recorded\n")
+    w("\n")
+
     # Significance narrative (the paper's Table 6 discussion).
     w("## Accuracy significance vs sequential\n\n")
     any_row = False

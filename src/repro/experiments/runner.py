@@ -48,10 +48,20 @@ class RunRecord:
     test_accuracy: float
     theory_size: int
     uncovered: int
+    #: ExampleStore evaluation-cache effectiveness over the run (summed
+    #: over workers for parallel cells) — makes recovery-induced cache
+    #: invalidation visible in the experiments report.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def width_name(self) -> str:
         return width_label(self.width)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -111,6 +121,7 @@ def run_cell(
         mbytes = 0.0
         epochs = res.epochs
         uncovered = res.uncovered
+        cache_hits, cache_misses = res.cache_hits, res.cache_misses
     else:
         res = run_p2mdie(
             ds.kb,
@@ -131,6 +142,7 @@ def run_cell(
         mbytes = res.mbytes
         epochs = res.epochs
         uncovered = res.uncovered
+        cache_hits, cache_misses = res.cache_hits, res.cache_misses
     engine = Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
     acc = accuracy(engine, theory, list(fold.test_pos), list(fold.test_neg))
     return RunRecord(
@@ -144,6 +156,8 @@ def run_cell(
         test_accuracy=acc,
         theory_size=len(theory),
         uncovered=uncovered,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 

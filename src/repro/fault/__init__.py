@@ -1,0 +1,69 @@
+"""Fault-tolerance & elasticity subsystem.
+
+Three cooperating layers make the parallel strategies survive an
+unreliable pool:
+
+* :mod:`repro.fault.plan` — deterministic fault descriptions
+  (:class:`FaultPlan`): worker crashes, stragglers, message loss and
+  elastic joins, injected identically by the sim and local backends;
+* :mod:`repro.fault.checkpoint` — versioned, wire-codec-serialized
+  snapshots of master learning state written at epoch boundaries, and
+  the machinery behind ``repro resume``;
+* :mod:`repro.fault.recovery` — the self-healing protocol: logical
+  workers decoupled from physical hosts, heartbeat/timeout failure
+  detection, deterministic state reconstruction by replay, task
+  reassignment and elastic pool growth.
+
+The subsystem is strictly opt-in: with no plan (or an empty one) every
+execution path is byte-for-byte identical to the fault-unaware code.
+
+Only the plan layer is imported eagerly — the cluster scheduler depends
+on it, and the scheduler must stay importable without dragging in the
+parallel package (which the checkpoint/recovery layers build on).
+"""
+
+from repro.fault.plan import (
+    FaultPlan,
+    FaultRecord,
+    MessageLoss,
+    Straggler,
+    WorkerCrash,
+    WorkerJoin,
+    normalize_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRecord",
+    "MessageLoss",
+    "Straggler",
+    "WorkerCrash",
+    "WorkerJoin",
+    "normalize_plan",
+    "CheckpointState",
+    "EpochRecord",
+    "load_checkpoint",
+    "save_checkpoint",
+    "PoolSupervisor",
+    "RecoveryError",
+    "rebuild_shard",
+]
+
+_LAZY = {
+    "CheckpointState": "repro.fault.checkpoint",
+    "EpochRecord": "repro.fault.checkpoint",
+    "load_checkpoint": "repro.fault.checkpoint",
+    "save_checkpoint": "repro.fault.checkpoint",
+    "PoolSupervisor": "repro.fault.recovery",
+    "RecoveryError": "repro.fault.recovery",
+    "rebuild_shard": "repro.fault.recovery",
+}
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

@@ -1,0 +1,266 @@
+"""Deterministic fault & elasticity plans.
+
+A :class:`FaultPlan` is the single description of every fault a run must
+survive: worker crashes, stragglers (compute slowdowns), message loss on
+individual links, and elastic pool growth (spare hosts joining mid-run).
+The same plan drives both execution substrates —
+:class:`~repro.backend.sim.SimBackend` injects the events into the
+discrete-event scheduler, :class:`~repro.backend.local.LocalProcessBackend`
+injects them into the real worker processes — so a fault scenario is
+reproducible across virtual and wall-clock time.
+
+Triggers are therefore *logical* wherever cross-substrate determinism is
+needed: "crash rank 2 when it is about to process its 2nd
+``start_pipeline`` message" means the same thing in virtual and real time.
+Purely time-based triggers (``at_time``) exist for the simulator only.
+
+An *empty* plan is indistinguishable from no plan at all: the parallel
+front-ends fall back to the exact PR 3 protocol (no heartbeats, no
+fault-tolerance messages), so fault-free runs stay charge-for-charge and
+byte-for-byte identical to the non-fault-aware code path.  Set
+``supervise=True`` to force the fault-tolerance protocol on with no
+injected faults — that is how the recovery benchmark measures the
+protocol's own overhead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+__all__ = [
+    "WorkerCrash",
+    "Straggler",
+    "MessageLoss",
+    "WorkerJoin",
+    "FaultPlan",
+    "FaultRecord",
+    "normalize_plan",
+]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill one physical worker rank.
+
+    ``on_recv``/``tag`` is the deterministic cross-substrate trigger: the
+    rank dies when it is about to process its ``on_recv``-th received
+    message matching ``tag`` (``tag=None`` counts every message).
+    ``at_time`` triggers at a virtual-clock instant instead and is only
+    honoured by the simulator.
+    """
+
+    rank: int
+    on_recv: Optional[int] = None
+    tag: Optional[str] = None
+    at_time: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rank < 1:
+            raise ValueError("only worker ranks (>= 1) can crash; the master is assumed reliable")
+        if (self.on_recv is None) == (self.at_time is None):
+            raise ValueError("exactly one of on_recv / at_time must be set")
+        if self.on_recv is not None and self.on_recv < 1:
+            raise ValueError("on_recv is 1-based")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Slow one rank's compute down by ``factor`` from ``after_time`` on.
+
+    The simulator multiplies charged compute intervals; the local backend
+    sleeps the extra time for real.  Stragglers change timing, never
+    results.
+    """
+
+    rank: int
+    factor: float
+    after_time: float = 0.0
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Drop the ``nth`` (1-based) message sent on the ``src -> dst`` link.
+
+    The sender is still charged for the send (it cannot know the network
+    dropped the message); the payload is simply never delivered.
+    """
+
+    src: int
+    dst: int
+    nth: int = 1
+
+    def __post_init__(self):
+        if self.nth < 1:
+            raise ValueError("nth is 1-based")
+
+
+@dataclass(frozen=True)
+class WorkerJoin:
+    """Admit spare physical host ``rank`` at the start of ``epoch``.
+
+    Spare hosts (provisioned via the front-ends' ``spares`` argument)
+    idle until the master activates them at the named epoch boundary and
+    rebalances logical workers onto the grown pool.
+    """
+
+    rank: int
+    epoch: int
+
+    def __post_init__(self):
+        if self.epoch < 1:
+            raise ValueError("epoch is 1-based")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injected into (and tolerated by) one run.
+
+    ``timeout`` is the failure-detection timeout the masters use for
+    blocking receives and heartbeat probes — virtual seconds under the
+    sim backend, wall-clock seconds under the local backend.
+    """
+
+    crashes: tuple[WorkerCrash, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    losses: tuple[MessageLoss, ...] = ()
+    joins: tuple[WorkerJoin, ...] = ()
+    timeout: float = 10.0
+    #: run the fault-tolerance protocol even with nothing to inject.
+    supervise: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan changes nothing: front-ends treat an empty
+        plan exactly like ``fault_plan=None`` (the PR 3 fast path)."""
+        return not (
+            self.crashes or self.stragglers or self.losses or self.joins or self.supervise
+        )
+
+    def replace(self, **kw) -> "FaultPlan":
+        return replace(self, **kw)
+
+    # -- per-substrate views -----------------------------------------------------
+    def crash_for(self, rank: int) -> Optional[WorkerCrash]:
+        for ev in self.crashes:
+            if ev.rank == rank:
+                return ev
+        return None
+
+    def straggler_for(self, rank: int) -> Optional[Straggler]:
+        for ev in self.stragglers:
+            if ev.rank == rank:
+                return ev
+        return None
+
+    def losses_for(self, src: int) -> dict[int, frozenset[int]]:
+        """dst -> set of 1-based send indices to drop, for one sender."""
+        out: dict[int, set[int]] = {}
+        for ev in self.losses:
+            if ev.src == src:
+                out.setdefault(ev.dst, set()).add(ev.nth)
+        return {dst: frozenset(ns) for dst, ns in out.items()}
+
+    def joins_at(self, epoch: int) -> tuple[WorkerJoin, ...]:
+        return tuple(ev for ev in self.joins if ev.epoch == epoch)
+
+    # -- (de)serialization --------------------------------------------------------
+    def to_json(self) -> str:
+        events: list[dict] = []
+        for ev in self.crashes:
+            d: dict = {"kind": "crash", "rank": ev.rank}
+            if ev.on_recv is not None:
+                d["on_recv"] = ev.on_recv
+                if ev.tag is not None:
+                    d["tag"] = ev.tag
+            else:
+                d["at_time"] = ev.at_time
+            events.append(d)
+        for ev in self.stragglers:
+            events.append(
+                {"kind": "straggler", "rank": ev.rank, "factor": ev.factor, "after_time": ev.after_time}
+            )
+        for ev in self.losses:
+            events.append({"kind": "drop", "src": ev.src, "dst": ev.dst, "nth": ev.nth})
+        for ev in self.joins:
+            events.append({"kind": "join", "rank": ev.rank, "epoch": ev.epoch})
+        return json.dumps(
+            {"timeout": self.timeout, "supervise": self.supervise, "events": events},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        crashes: list[WorkerCrash] = []
+        stragglers: list[Straggler] = []
+        losses: list[MessageLoss] = []
+        joins: list[WorkerJoin] = []
+        for ev in doc.get("events", ()):
+            kind = ev.get("kind")
+            if kind == "crash":
+                crashes.append(
+                    WorkerCrash(
+                        rank=ev["rank"],
+                        on_recv=ev.get("on_recv"),
+                        tag=ev.get("tag"),
+                        at_time=ev.get("at_time"),
+                    )
+                )
+            elif kind == "straggler":
+                stragglers.append(
+                    Straggler(
+                        rank=ev["rank"],
+                        factor=ev["factor"],
+                        after_time=ev.get("after_time", 0.0),
+                    )
+                )
+            elif kind == "drop":
+                losses.append(MessageLoss(src=ev["src"], dst=ev["dst"], nth=ev.get("nth", 1)))
+            elif kind == "join":
+                joins.append(WorkerJoin(rank=ev["rank"], epoch=ev["epoch"]))
+            else:
+                raise ValueError(f"unknown fault event kind {kind!r}")
+        return cls(
+            crashes=tuple(crashes),
+            stragglers=tuple(stragglers),
+            losses=tuple(losses),
+            joins=tuple(joins),
+            timeout=float(doc.get("timeout", 10.0)),
+            supervise=bool(doc.get("supervise", False)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def normalize_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """None, or a plan that actually does something (empty plans → None)."""
+    if plan is None or plan.empty:
+        return None
+    return plan
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected/observed fault event, for run reports."""
+
+    kind: str  # "crash" | "straggle" | "drop" | "join" | "detect" | "adopt"
+    rank: int
+    time: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" {self.detail}" if self.detail else ""
+        return f"[t={self.time:.3f}] {self.kind} rank={self.rank}{extra}"

@@ -47,6 +47,9 @@ class MDIEResult:
     uncovered: int
     #: per-epoch log entries: (seed, rule or None, pos_covered, ops).
     log: list = field(default_factory=list)
+    #: ExampleStore evaluation-cache counters for the run.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def select_seed(store: ExampleStore, candidates_mask: int, rng: random.Random, randomly: bool) -> Optional[int]:
@@ -65,11 +68,22 @@ def mdie(
     config: ILPConfig,
     seed: int = 0,
     max_epochs: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_meta: tuple = (),
+    resume=None,
 ) -> MDIEResult:
     """Run the sequential MDIE covering loop of Fig. 1.
 
     ``seed`` drives the random seed-example selection; ``max_epochs`` is an
     optional stopping condition (the paper's "some time limit").
+
+    ``checkpoint_dir`` writes a resumable snapshot of the covering state
+    (theory, liveness masks, RNG state, run log) after every epoch;
+    ``resume`` (a loaded :class:`~repro.fault.checkpoint.CheckpointState`
+    with ``algo == "mdie"``) continues such a run: the remaining epochs
+    select the same seeds and learn the same rules as the uninterrupted
+    run.  (Engine-operation counts of recomputed evaluations may differ —
+    caches restart cold — but never the learned clauses.)
     """
     engine = Engine(kb, config.engine_budget(), kernel=config.coverage_kernel)
     store = ExampleStore(
@@ -85,7 +99,58 @@ def mdie(
     # Seeds that produced no acceptable rule; excluded from re-selection.
     failed_mask = 0
     epochs = 0
+    prior_ops = 0
+    if resume is not None:
+        from repro.fault.checkpoint import verify_config
+
+        if resume.algo != "mdie":
+            raise ValueError(f"checkpoint is for {resume.algo!r}, not 'mdie'")
+        if resume.seed != seed:
+            raise ValueError(f"checkpoint seed {resume.seed} != requested seed {seed}")
+        verify_config(resume, repr(config))
+        theory = Theory(resume.theory)
+        log = list(resume.mdie_log)
+        store.alive = resume.alive_mask
+        failed_mask = resume.failed_mask
+        epochs = resume.epoch
+        prior_ops = resume.ops
+        if resume.rng_state is not None:
+            rng.setstate(resume.rng_state)
     ops0 = engine.total_ops
+
+    def write_checkpoint() -> None:
+        if checkpoint_dir is None:
+            return
+        import os
+
+        from repro.fault.checkpoint import (
+            CHECKPOINT_VERSION,
+            CheckpointState,
+            checkpoint_path,
+            save_checkpoint,
+        )
+
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        state = CheckpointState(
+            version=CHECKPOINT_VERSION,
+            algo="mdie",
+            seed=seed,
+            n_workers=0,
+            total_pos=len(pos),
+            epoch=epochs,
+            remaining=store.remaining,
+            stall=0,
+            theory=tuple(theory),
+            epoch_logs=(),
+            alive_mask=store.alive,
+            failed_mask=failed_mask,
+            ops=prior_ops + engine.total_ops - ops0,
+            rng_state=rng.getstate(),
+            mdie_log=tuple(log),
+            config_sig=repr(config),
+            meta=tuple(checkpoint_meta),
+        )
+        save_checkpoint(checkpoint_path(checkpoint_dir, epochs), state)
 
     while True:
         if max_epochs is not None and epochs >= max_epochs:
@@ -114,6 +179,7 @@ def mdie(
             else:
                 failed_mask |= 1 << i
                 log.append((example, None, 0, engine.total_ops - epoch_ops0))
+            write_checkpoint()
             continue
         rule = best.clause
         theory.add(rule)
@@ -124,11 +190,14 @@ def mdie(
         # track the theory separately — this also keeps the caller's KB
         # reusable across runs.
         log.append((example, rule, covered, engine.total_ops - epoch_ops0))
+        write_checkpoint()
 
     return MDIEResult(
         theory=theory,
         epochs=epochs,
-        ops=engine.total_ops - ops0,
+        ops=prior_ops + engine.total_ops - ops0,
         uncovered=store.remaining,
         log=log,
+        cache_hits=store.cache_hits(),
+        cache_misses=store.cache_misses(),
     )

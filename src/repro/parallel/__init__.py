@@ -5,20 +5,30 @@ from repro.parallel.coverage_parallel import CoverageParallelMaster, run_coverag
 from repro.parallel.independent import IndependentMaster, IndependentWorker, run_independent
 from repro.parallel.master import EpochLog, P2Master
 from repro.parallel.messages import (
+    AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
+    FTEvaluateRequest,
+    FTEvaluateResult,
+    FTPipelineRules,
+    FTPipelineTask,
     LoadExamples,
     MarkCovered,
+    Ping,
     PipelineRules,
     PipelineTask,
+    Pong,
+    RestartPipeline,
     RuleStats,
     StartPipeline,
     Stop,
+    UpdateRouting,
 )
 from repro.parallel.p2mdie import (
     P2Result,
     SharedProblem,
     WorkerProblem,
+    collect_cache_stats,
     run_p2mdie,
     sequential_seconds,
 )
@@ -33,15 +43,25 @@ __all__ = [
     "run_independent",
     "EpochLog",
     "P2Master",
+    "AdoptWorker",
     "EvaluateRequest",
     "EvaluateResult",
+    "FTEvaluateRequest",
+    "FTEvaluateResult",
+    "FTPipelineRules",
+    "FTPipelineTask",
     "LoadExamples",
     "MarkCovered",
+    "Ping",
     "PipelineRules",
     "PipelineTask",
+    "Pong",
+    "RestartPipeline",
     "RuleStats",
     "StartPipeline",
     "Stop",
+    "UpdateRouting",
+    "collect_cache_stats",
     "P2Result",
     "SharedProblem",
     "WorkerProblem",

@@ -15,19 +15,25 @@ granularity vs. fine-grained coverage-parallelism.
 
 Workers are the unchanged :class:`~repro.parallel.worker.P2Worker` — the
 baseline master simply never sends ``start_pipeline``/``learn_rule'``
-tasks, only ``evaluate`` and ``mark_covered``.
+tasks, only ``evaluate`` and ``mark_covered``.  Under a fault plan the
+evaluation rounds run through the self-healing collectives instead, and
+the master checkpoints its search state (seed-pool masks + RNG) at epoch
+boundaries so ``repro resume`` continues it bit-identically.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.backend import Backend, resolve_backend
+from repro.backend import Backend, fault_injection_scope, resolve_backend
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.message import Tag
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ProcContext, SimProcess
+from repro.fault.plan import FaultPlan
+from repro.fault.recovery import FTMasterMixin, PoolSupervisor
 from repro.ilp.bottom import SaturationError, build_bottom, build_bottom_cached
 from repro.ilp.config import ILPConfig
 from repro.ilp.heuristics import is_good, score_rule
@@ -49,7 +55,13 @@ from repro.parallel.messages import (
     record_candidate_masks,
 )
 from repro.parallel import wire
-from repro.parallel.p2mdie import P2Result, SharedProblem
+from repro.parallel.p2mdie import (
+    P2Result,
+    SharedProblem,
+    _check_resume,
+    _result_from_run,
+    _validate_fault_args,
+)
 from repro.parallel.partition import partition_examples
 from repro.parallel.worker import P2Worker
 from repro.util.rng import make_rng
@@ -57,7 +69,7 @@ from repro.util.rng import make_rng
 __all__ = ["CoverageParallelMaster", "run_coverage_parallel"]
 
 
-class CoverageParallelMaster(SimProcess):
+class CoverageParallelMaster(FTMasterMixin, SimProcess):
     """Sequential search, distributed evaluation (rank 0)."""
 
     def __init__(
@@ -71,6 +83,11 @@ class CoverageParallelMaster(SimProcess):
         batch_size: int = 1,
         seed: int = 0,
         max_epochs: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        spares: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_meta: tuple = (),
+        resume=None,
     ):
         super().__init__(0)
         if batch_size < 1:
@@ -84,6 +101,16 @@ class CoverageParallelMaster(SimProcess):
         self.batch_size = batch_size
         self.seed = seed
         self.max_epochs = max_epochs
+        self.fault_plan = fault_plan
+        self.ft: Optional[PoolSupervisor] = (
+            PoolSupervisor(n_workers, spares=spares, timeout=fault_plan.timeout)
+            if fault_plan is not None
+            else None
+        )
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_meta = tuple(checkpoint_meta)
+        self.fault_events: list[str] = []
+        self._ft_current_log: Optional[EpochLog] = None
         # rank -> {clause -> (pos_cand, neg_cand)} local candidate masks:
         # every batch rule's parent was evaluated in an earlier round, so
         # inheritance narrows nearly every remote re-evaluation here.
@@ -92,6 +119,18 @@ class CoverageParallelMaster(SimProcess):
         self.theory = Theory()
         self.epoch_logs: list[EpochLog] = []
         self.remaining = len(pos)
+        self._resume = resume
+        self._resume_alive: Optional[int] = None
+        self._resume_failed = 0
+        if resume is not None:
+            from repro.fault.checkpoint import epoch_logs_from_records, verify_config
+
+            verify_config(resume, repr(config))
+            self.theory = Theory(resume.theory)
+            self.epoch_logs = epoch_logs_from_records(resume.epoch_logs)
+            self.remaining = resume.remaining
+            self._resume_alive = resume.alive_mask
+            self._resume_failed = resume.failed_mask
 
     @property
     def epochs(self) -> int:
@@ -100,8 +139,43 @@ class CoverageParallelMaster(SimProcess):
     def _workers(self) -> list[int]:
         return list(range(1, self.n_workers + 1))
 
+    # -- checkpointing -----------------------------------------------------------
+    def _write_checkpoint(self, alive: int, failed: int, rng) -> None:
+        if self.checkpoint_dir is None:
+            return
+        from repro.fault.checkpoint import (
+            CHECKPOINT_VERSION,
+            CheckpointState,
+            checkpoint_path,
+            records_from_epoch_logs,
+            save_checkpoint,
+        )
+
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        state = CheckpointState(
+            version=CHECKPOINT_VERSION,
+            algo="covpar",
+            seed=self.seed,
+            n_workers=self.n_workers,
+            total_pos=len(self.pos),
+            epoch=self.epochs,
+            remaining=max(self.remaining, 0),
+            stall=0,
+            theory=tuple(self.theory),
+            epoch_logs=records_from_epoch_logs(self.epoch_logs),
+            alive_mask=alive,
+            failed_mask=failed,
+            rng_state=rng.getstate(),
+            config_sig=repr(self.config),
+            meta=self.checkpoint_meta,
+        )
+        save_checkpoint(checkpoint_path(self.checkpoint_dir, self.epochs), state)
+
     def _eval_round(self, ctx: ProcContext, batch: list[SearchRule]):
         clauses = [r.clause for r in batch]
+        if self.ft is not None:
+            totals = yield from self._ft_eval_round(ctx, clauses)
+            return totals
         rules = tuple(clauses)
         parents: Optional[tuple] = None
         if self.config.coverage_inheritance:
@@ -125,24 +199,48 @@ class CoverageParallelMaster(SimProcess):
         yield ctx.compute(len(clauses) + 1, label="aggregate")
         return totals
 
+    # -- fault-tolerant history ---------------------------------------------------
+    def _ft_history(self):
+        completed = tuple(tuple(log.accepted) for log in self.epoch_logs)
+        current = self._ft_current_log.accepted if self._ft_current_log is not None else ()
+        # Coverage-parallel workers only ever evaluate — the master owns
+        # the seed pool — so replay is kills only, never seed draws.
+        return (completed, tuple(current), False, False, self.epochs + 1)
+
     def run(self, ctx: ProcContext):
+        ft = self.ft is not None
+        if ft:
+            self._ft_init()
         for k in self._workers():
-            yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
+            if self._resume is not None:
+                # The epoch-boundary adoption payload doubles as the
+                # resume loader (kills-only replay for covpar workers).
+                yield ctx.send(k, self._ft_adopt_payload(k), tag=Tag.LOAD_EXAMPLES)
+            else:
+                yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
 
         engine = Engine(self.kb, self.config.engine_budget(), kernel=self.config.coverage_kernel)
         rng = make_rng(self.seed, "covpar")
         alive = (1 << len(self.pos)) - 1
         failed = 0
+        if self._resume is not None:
+            if self._resume.rng_state is not None:
+                rng.setstate(self._resume.rng_state)
+            alive = self._resume_alive if self._resume_alive is not None else alive
+            failed = self._resume_failed
 
         while self.remaining > 0:
             if self.max_epochs is not None and self.epochs >= self.max_epochs:
                 break
+            if ft:
+                yield from self._ft_admit_joins(ctx, self.epochs + 1)
             candidates = alive & ~failed
             idxs = [i for i in range(len(self.pos)) if (candidates >> i) & 1]
             if not idxs:
                 break
             i = rng.choice(idxs) if self.config.select_seed_randomly else idxs[0]
             log = EpochLog(epoch=self.epochs + 1, bag_size=0)
+            self._ft_current_log = log
             # Masks only serve parent->child narrowing within one seed's
             # search; dropping them per epoch bounds the master's memory.
             self._worker_cand.clear()
@@ -157,6 +255,8 @@ class CoverageParallelMaster(SimProcess):
             if bottom is None:
                 failed |= 1 << i
                 self.epoch_logs.append(log)
+                self._ft_current_log = None
+                self._write_checkpoint(alive, failed, rng)
                 continue
 
             # Breadth-first search; evaluation happens remotely in batches.
@@ -190,6 +290,10 @@ class CoverageParallelMaster(SimProcess):
             if best is None:
                 failed |= 1 << i
                 self.epoch_logs.append(log)
+                self._ft_current_log = None
+                if ft:
+                    yield from self._ft_epoch_pulse(ctx, log)
+                self._write_checkpoint(alive, failed, rng)
                 continue
 
             _, rule, pcount, _ = best
@@ -197,7 +301,8 @@ class CoverageParallelMaster(SimProcess):
             log.accepted.append(rule.clause)
             log.pos_covered = pcount
             self.remaining -= pcount
-            yield ctx.bcast(MarkCovered(rule=rule.clause), tag=Tag.MARK_COVERED, dsts=self._workers())
+            dsts = self.ft.serving_hosts() if ft else self._workers()
+            yield ctx.bcast(MarkCovered(rule=rule.clause), tag=Tag.MARK_COVERED, dsts=dsts)
             # Master-side alive view: it owns the seed pool, so it tracks
             # global coverage with one local evaluation (charged).
             ops0 = engine.total_ops
@@ -208,8 +313,13 @@ class CoverageParallelMaster(SimProcess):
             alive &= ~bits
             failed &= alive
             self.epoch_logs.append(log)
+            self._ft_current_log = None
+            if ft:
+                yield from self._ft_epoch_pulse(ctx, log)
+            self._write_checkpoint(alive, failed, rng)
 
-        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
+        dsts = self.ft.hosts if ft else self._workers()
+        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=dsts)
 
 
 def run_coverage_parallel(
@@ -225,10 +335,17 @@ def run_coverage_parallel(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     max_epochs: Optional[int] = None,
     backend: Union[Backend, str, None] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    spares: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_meta: tuple = (),
+    resume=None,
 ) -> P2Result:
     """Run the coverage-parallel baseline; returns the same artifact type
     as :func:`repro.parallel.p2mdie.run_p2mdie` so harness code can compare
     them directly."""
+    plan = _validate_fault_args(fault_plan, spares, p)
+    _check_resume(resume, "covpar", p, seed)
     rng = make_rng(seed, "partition")
     partitions = partition_examples(pos, neg, p, rng)
     shared = SharedProblem(kb, partitions, modes, config)
@@ -242,19 +359,14 @@ def run_coverage_parallel(
         batch_size=batch_size,
         seed=seed,
         max_epochs=max_epochs,
+        fault_plan=plan,
+        spares=spares,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_meta=checkpoint_meta,
+        resume=resume,
     )
-    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
-    bk = resolve_backend(backend, network=network, cost_model=cost_model)
-    with wire.configured(config.wire_codec):
+    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + spares + 1)]
+    bk = resolve_backend(backend, network=network, cost_model=cost_model, fault_plan=plan)
+    with wire.configured(config.wire_codec), fault_injection_scope(bk, plan):
         run = bk.run([master, *workers])
-    final = run.proc(0)
-    return P2Result(
-        theory=final.theory,
-        epochs=final.epochs,
-        seconds=run.seconds,
-        comm=run.comm,
-        uncovered=max(final.remaining, 0),
-        epoch_logs=final.epoch_logs,
-        clocks=run.clocks,
-        trace=run.trace,
-    )
+    return _result_from_run(run)

@@ -14,20 +14,34 @@ Per epoch the master:
 Epochs repeat until every positive example is covered or learning stalls
 (no pipeline produced an acceptable rule for ``stall_limit`` consecutive
 epochs — the paper's generic "stopping condition").
+
+Fault tolerance: when a :class:`~repro.fault.plan.FaultPlan` is active
+the master runs the same algorithm through the self-healing collectives
+of :class:`~repro.fault.recovery.FTMasterMixin` — timed receives,
+heartbeat probes, adoption of dead hosts' logical workers, idempotent
+reissue of lost pipelines/evaluations — and stamps every pipeline and
+evaluation round so stale traffic from de-zombied hosts is discarded.
+With no plan the historical protocol runs byte-for-byte unchanged.
+Checkpoints (when enabled) are written at epoch boundaries on either
+path.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.message import Tag
 from repro.cluster.process import ProcContext, SimProcess
+from repro.fault.plan import FaultPlan
+from repro.fault.recovery import FTMasterMixin, PoolSupervisor
 from repro.ilp.config import ILPConfig
 from repro.ilp.heuristics import is_good, score_rule
 from repro.ilp.prune import ClauseBag
 from repro.logic.clause import Clause, Theory
 from repro.parallel.messages import (
+    AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
     ExamplesReport,
@@ -43,7 +57,61 @@ from repro.parallel.messages import (
 )
 from repro.util.rng import make_rng
 
-__all__ = ["P2Master", "EpochLog"]
+__all__ = ["P2Master", "EpochLog", "drop_not_good", "pick_best", "consume_bag"]
+
+
+def drop_not_good(bag: "ClauseBag", stats: dict, config: ILPConfig) -> None:
+    """Fig. 5 lines 20-21: discard rules that stopped being good.
+
+    Shared by every master that consumes a rule bag — the filter and the
+    tie-break below are parity-critical (golden tests pin bit-identical
+    theories), so they live in exactly one place.
+    """
+    for clause in bag:
+        p, n = stats[clause]
+        if not is_good(p, n, config):
+            bag.discard(clause)
+
+
+def pick_best(bag: "ClauseBag", stats: dict, config: ILPConfig) -> Clause:
+    """Fig. 5 line 13: best rule by global-coverage heuristic."""
+
+    def key(clause: Clause):
+        p, n = stats[clause]
+        s = score_rule(p, n, len(clause.body) + 1, config)
+        return (-s, len(clause.body), str(clause))
+
+    return min(bag, key=key)
+
+
+def consume_bag(master, ctx: ProcContext, bag: ClauseBag, log: EpochLog, evaluate):
+    """Fig. 5 lines 10-22: evaluate, filter, then greedily consume a bag.
+
+    One implementation for every master and both protocol flavours —
+    ``evaluate(ctx, clauses)`` is the strategy's evaluation round
+    (fault-free ``_global_eval`` or the self-healing ``_ft_eval_round``).
+    Mutates ``master.theory``/``master.remaining`` and the epoch log.
+    """
+    clauses = bag.clauses()
+    totals = yield from evaluate(ctx, clauses)
+    stats = dict(zip(clauses, totals))
+    drop_not_good(bag, stats, master.config)
+    while bag:
+        best = pick_best(bag, stats, master.config)
+        bag.discard(best)
+        master.theory.add(best)
+        log.accepted.append(best)
+        covered = stats[best][0]
+        log.pos_covered += covered
+        master.remaining -= covered
+        dsts = master.ft.serving_hosts() if master.ft is not None else master._workers()
+        yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=dsts)
+        if not bag:
+            break
+        clauses = bag.clauses()
+        totals = yield from evaluate(ctx, clauses)
+        stats = dict(zip(clauses, totals))
+        drop_not_good(bag, stats, master.config)
 
 
 @dataclass
@@ -54,9 +122,14 @@ class EpochLog:
     bag_size: int
     accepted: list[Clause] = field(default_factory=list)
     pos_covered: int = 0
+    #: aggregate worker evaluation-cache counters at epoch end (collected
+    #: by the fault-tolerance heartbeat; None on the fault-free path,
+    #: whose wire protocol predates — and must stay identical to — them).
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
 
-class P2Master(SimProcess):
+class P2Master(FTMasterMixin, SimProcess):
     """Rank-0 master driving the worker ring."""
 
     def __init__(
@@ -70,6 +143,11 @@ class P2Master(SimProcess):
         repartition_each_epoch: bool = False,
         seed: int = 0,
         ship_data: Optional[list] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        spares: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_meta: tuple = (),
+        resume=None,
     ):
         super().__init__(0)
         self.n_workers = n_workers
@@ -86,10 +164,31 @@ class P2Master(SimProcess):
         #: when set (no shared filesystem), a list of per-worker LoadData
         #: payloads to ship instead of LoadExamples notifications (§4.1).
         self.ship_data = ship_data
+        # fault tolerance & checkpointing (repro.fault):
+        self.fault_plan = fault_plan
+        self.ft: Optional[PoolSupervisor] = (
+            PoolSupervisor(n_workers, spares=spares, timeout=fault_plan.timeout)
+            if fault_plan is not None
+            else None
+        )
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_meta = tuple(checkpoint_meta)
+        self.fault_events: list[str] = []
+        self._ft_current_log: Optional[EpochLog] = None
         # outputs, populated by run():
         self.theory = Theory()
         self.epoch_logs: list[EpochLog] = []
         self.remaining: int = total_pos
+        self._stall0 = 0
+        self._resume = resume
+        if resume is not None:
+            from repro.fault.checkpoint import epoch_logs_from_records, verify_config
+
+            verify_config(resume, repr(config))
+            self.theory = Theory(resume.theory)
+            self.epoch_logs = epoch_logs_from_records(resume.epoch_logs)
+            self.remaining = resume.remaining
+            self._stall0 = resume.stall
         # coverage-inheritance bookkeeping: rank -> {clause ->
         # (pos_cand, neg_cand)} local candidate masks reported by each
         # worker (lineage itself is structural: parent = body minus the
@@ -102,6 +201,44 @@ class P2Master(SimProcess):
 
     def _workers(self) -> list[int]:
         return list(range(1, self.n_workers + 1))
+
+    # -- checkpointing -----------------------------------------------------------
+    def _resume_payload(self, rank: int) -> AdoptWorker:
+        """Initial load of a resumed run: history instead of a blank slate.
+
+        At an epoch boundary (no epoch in progress) the adoption payload
+        of the self-healing protocol is exactly the resume payload — the
+        resume loader *is* the adoption machinery.
+        """
+        return self._ft_adopt_payload(rank)
+
+    def _write_checkpoint(self, stall: int) -> None:
+        if self.checkpoint_dir is None:
+            return
+        from repro.fault.checkpoint import (
+            CHECKPOINT_VERSION,
+            CheckpointState,
+            checkpoint_path,
+            records_from_epoch_logs,
+            save_checkpoint,
+        )
+
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        state = CheckpointState(
+            version=CHECKPOINT_VERSION,
+            algo="p2mdie",
+            seed=self.seed,
+            n_workers=self.n_workers,
+            total_pos=self.total_pos,
+            epoch=self.epochs,
+            remaining=max(self.remaining, 0),
+            stall=stall,
+            theory=tuple(self.theory),
+            epoch_logs=records_from_epoch_logs(self.epoch_logs),
+            config_sig=repr(self.config),
+            meta=self.checkpoint_meta,
+        )
+        save_checkpoint(checkpoint_path(self.checkpoint_dir, self.epochs), state)
 
     # -- global evaluation round (Fig. 5 lines 10-11 / 18-19) --------------------
     def _global_eval(self, ctx: ProcContext, clauses: list[Clause]):
@@ -135,34 +272,23 @@ class P2Master(SimProcess):
         yield ctx.compute(len(clauses) + 1, label="aggregate")
         return [(p, n) for p, n in totals]
 
-    def _drop_not_good(self, bag: ClauseBag, stats: dict) -> None:
-        """Fig. 5 lines 20-21: discard rules that stopped being good."""
-        for clause in bag:
-            p, n = stats[clause]
-            if not is_good(p, n, self.config):
-                bag.discard(clause)
-
-    def _pick_best(self, bag: ClauseBag, stats: dict) -> Clause:
-        """Fig. 5 line 13: best rule by global-coverage heuristic."""
-
-        def key(clause: Clause):
-            p, n = stats[clause]
-            s = score_rule(p, n, len(clause.body) + 1, self.config)
-            return (-s, len(clause.body), str(clause))
-
-        return min(bag, key=key)
-
     # -- process body ----------------------------------------------------------------
     def run(self, ctx: ProcContext):
+        if self.ft is not None:
+            yield from self._run_ft(ctx)
+            return
         # Fig. 5 line 3: broadcast load_examples (partition id == rank), or
-        # ship the data itself when no shared filesystem is assumed.
+        # ship the data itself when no shared filesystem is assumed.  A
+        # resumed run ships the accepted-rule history for replay instead.
         for k in self._workers():
-            if self.ship_data is not None:
+            if self._resume is not None:
+                yield ctx.send(k, self._resume_payload(k), tag=Tag.LOAD_EXAMPLES)
+            elif self.ship_data is not None:
                 yield ctx.send(k, self.ship_data[k - 1], tag=Tag.LOAD_EXAMPLES)
             else:
                 yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
 
-        stall = 0
+        stall = self._stall0
         while self.remaining > 0:
             if self.max_epochs is not None and self.epochs >= self.max_epochs:
                 break
@@ -187,38 +313,73 @@ class P2Master(SimProcess):
             log.bag_size = bag.reported_size
 
             if bag:
-                # Lines 10-11: global evaluation of the whole bag.
-                clauses = bag.clauses()
-                totals = yield from self._global_eval(ctx, clauses)
-                stats = dict(zip(clauses, totals))
-                self._drop_not_good(bag, stats)
-
-                # Lines 12-22: consume the bag.
-                while bag:
-                    best = self._pick_best(bag, stats)
-                    bag.discard(best)
-                    self.theory.add(best)
-                    log.accepted.append(best)
-                    covered = stats[best][0]
-                    log.pos_covered += covered
-                    self.remaining -= covered
-                    yield ctx.bcast(MarkCovered(rule=best), tag=Tag.MARK_COVERED, dsts=self._workers())
-                    if not bag:
-                        break
-                    clauses = bag.clauses()
-                    totals = yield from self._global_eval(ctx, clauses)
-                    stats = dict(zip(clauses, totals))
-                    self._drop_not_good(bag, stats)
+                # Lines 10-22: evaluate and greedily consume the bag.
+                yield from consume_bag(self, ctx, bag, log, self._global_eval)
 
             self.epoch_logs.append(log)
             if log.accepted:
                 stall = 0
             else:
                 stall += 1
-                if stall >= self.stall_limit:
-                    break
+            self._write_checkpoint(stall)
+            if not log.accepted and stall >= self.stall_limit:
+                break
 
         yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
+
+    # -- fault-tolerant body ------------------------------------------------------
+    def _ft_history(self):
+        """Replay payload for adoptions at the current protocol point."""
+        completed = tuple(tuple(log.accepted) for log in self.epoch_logs)
+        log = self._ft_current_log
+        if log is not None:
+            # Mid-epoch: the lost worker had already drawn this epoch's
+            # seed and applied the kills accepted so far.
+            return (completed, tuple(log.accepted), True, True, log.epoch)
+        return (completed, (), True, False, self.epochs)
+
+    def _run_ft(self, ctx: ProcContext):
+        """The same covering algorithm over self-healing collectives."""
+        self._ft_init()
+        for k in self._workers():
+            if self._resume is not None:
+                yield ctx.send(k, self._resume_payload(k), tag=Tag.LOAD_EXAMPLES)
+            else:
+                yield ctx.send(k, LoadExamples(partition_id=k), tag=Tag.LOAD_EXAMPLES)
+
+        stall = self._stall0
+        while self.remaining > 0:
+            if self.max_epochs is not None and self.epochs >= self.max_epochs:
+                break
+            epoch = self.epochs + 1
+            yield from self._ft_admit_joins(ctx, epoch)
+            log = EpochLog(epoch=epoch, bag_size=0)
+            self._ft_current_log = log
+
+            rules_by_origin = yield from self._ft_pipeline_round(ctx, self.width, epoch)
+            bag = ClauseBag(self.config.clause_fingerprints)
+            for origin in sorted(rules_by_origin):
+                for sr in rules_by_origin[origin]:
+                    bag.add(sr.clause)
+            log.bag_size = bag.reported_size
+
+            if bag:
+                yield from consume_bag(self, ctx, bag, log, self._ft_eval_round)
+
+            self.epoch_logs.append(log)
+            self._ft_current_log = None
+            yield from self._ft_epoch_pulse(ctx, log)
+            if log.accepted:
+                stall = 0
+            else:
+                stall += 1
+            self._write_checkpoint(stall)
+            if not log.accepted and stall >= self.stall_limit:
+                break
+
+        # Stop every provisioned host — including declared-dead ones that
+        # may in fact be alive (false positives keep running otherwise).
+        yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self.ft.hosts)
 
     # -- repartitioning extension (§4.1's rejected alternative) ------------------
     def _repartition_round(self, ctx: ProcContext):

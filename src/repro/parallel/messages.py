@@ -38,6 +38,15 @@ __all__ = [
     "RuleStats",
     "per_worker_evaluate_requests",
     "record_candidate_masks",
+    "Ping",
+    "Pong",
+    "AdoptWorker",
+    "RestartPipeline",
+    "UpdateRouting",
+    "FTEvaluateRequest",
+    "FTEvaluateResult",
+    "FTPipelineTask",
+    "FTPipelineRules",
 ]
 
 
@@ -222,3 +231,119 @@ class Repartition:
 @dataclass(frozen=True)
 class Stop:
     """Master → workers: learning finished."""
+
+
+# -- fault-tolerance protocol (repro.fault) ---------------------------------------
+#
+# None of the messages below is ever sent unless a non-empty
+# :class:`repro.fault.plan.FaultPlan` activates the self-healing protocol
+# (or a run is resumed from a checkpoint, which reuses AdoptWorker), so
+# fault-free runs keep the exact PR 3 message flow and byte counts.
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Master → host: heartbeat probe (failure detection + epoch pulse)."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Host → master: liveness reply, carrying the host's aggregate
+    evaluation-cache counters (summed over hosted logical workers) so
+    recovery-induced cache invalidation is observable per epoch."""
+
+    rank: int
+    token: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass(frozen=True)
+class AdoptWorker:
+    """Master → host: reconstruct logical worker ``virtual_rank`` here.
+
+    The host reads partition ``partition_id`` from the shared filesystem
+    and *replays* the logical worker's deterministic history — one seed
+    draw per epoch (when ``draw_seeds``) and the kills of every accepted
+    rule — so the rebuilt shard is bit-identical to the lost worker's
+    state at the current protocol point.  ``completed`` holds the
+    accepted rules of each finished epoch; ``current`` the rules accepted
+    so far in epoch ``epoch``; ``draw_current`` says whether the
+    in-progress epoch's seed draw already happened in the fault-free
+    timeline (mid-epoch adoption) or not (epoch-boundary migration).
+    Also the initial load message of a checkpoint-resumed run.
+    """
+
+    virtual_rank: int
+    partition_id: int
+    epoch: int
+    completed: tuple
+    current: tuple
+    draw_seeds: bool = True
+    draw_current: bool = False
+
+
+@dataclass(frozen=True)
+class RestartPipeline:
+    """Master → host: (re)start the pipeline rooted at logical worker
+    ``origin`` for ``epoch``.  The fault-tolerant replacement for
+    :class:`StartPipeline`: idempotent (a shard reuses its remembered
+    seed/bottom for the epoch), so lost pipelines can be reissued."""
+
+    origin: int
+    width: Optional[int]
+    epoch: int
+
+
+@dataclass(frozen=True)
+class UpdateRouting:
+    """Master → hosts: logical-worker → physical-host table.
+
+    Hosts use it to forward pipeline stages and drop logical workers
+    migrated elsewhere (elastic shrink of their own share)."""
+
+    routing: tuple  # ((virtual_rank, host_rank), ...)
+
+
+@dataclass(frozen=True)
+class FTEvaluateRequest:
+    """Fault-tolerant :class:`EvaluateRequest`: carries a round id so
+    duplicate/stale results (recovery reissues, de-zombied hosts) are
+    discarded instead of corrupting totals.  Candidate-mask echoing is
+    disabled under fault tolerance — hosts evaluate every hosted shard."""
+
+    round: int
+    rules: tuple[Clause, ...]
+
+
+@dataclass(frozen=True)
+class FTEvaluateResult:
+    """One logical worker's stats for one evaluation round."""
+
+    round: int
+    rank: int  # virtual (logical) rank
+    stats: tuple[RuleStats, ...]
+
+
+@dataclass(frozen=True)
+class FTPipelineTask:
+    """Fault-tolerant :class:`PipelineTask`: epoch-stamped so tokens of
+    an aborted epoch attempt die instead of polluting the next one."""
+
+    epoch: int
+    bottom: Optional[BottomClause]
+    step: int
+    width: Optional[int]
+    rules: tuple[SearchRule, ...]
+    origin: int
+
+
+@dataclass(frozen=True)
+class FTPipelineRules:
+    """Fault-tolerant :class:`PipelineRules` (epoch-stamped)."""
+
+    epoch: int
+    origin: int
+    rules: tuple[SearchRule, ...]

@@ -8,6 +8,12 @@ learned theory, virtual execution time (Table 3), communication volume
 (Table 4), and epoch count (Table 5).  Speedups (Table 2) come from
 pairing it with a sequential :func:`repro.ilp.mdie.mdie` run via
 :func:`sequential_seconds`.
+
+Fault tolerance & elasticity (:mod:`repro.fault`): pass ``fault_plan``
+to inject crashes/stragglers/message loss and activate the self-healing
+protocol, ``spares`` to provision standby hosts, ``checkpoint_dir`` to
+snapshot master learning state at epoch boundaries, and ``resume`` to
+continue a checkpointed run bit-identically.
 """
 
 from __future__ import annotations
@@ -15,11 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from repro.backend import Backend, BackendRun, resolve_backend
-from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL, OpsCostModel
+from repro.backend import Backend, BackendRun, fault_injection_scope, resolve_backend
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.cluster.network import FAST_ETHERNET, NetworkModel
 from repro.cluster.process import ComputeInterval
 from repro.cluster.scheduler import CommStats
+from repro.fault.plan import FaultPlan, normalize_plan
 from repro.ilp.config import ILPConfig
 from repro.ilp.mdie import MDIEResult
 from repro.ilp.modes import ModeSet
@@ -94,10 +101,119 @@ class P2Result:
     epoch_logs: list[EpochLog] = field(default_factory=list)
     clocks: list[float] = field(default_factory=list)
     trace: list[ComputeInterval] = field(default_factory=list)
+    #: final per-logical-worker evaluation-cache counters: rank ->
+    #: (hits, misses).  Recovery-induced cache invalidation shows up here
+    #: (adopted workers restart cold).
+    cache_stats: dict = field(default_factory=dict)
+    #: master-observed recovery narrative (detections, adoptions, joins).
+    fault_events: list = field(default_factory=list)
+    #: substrate-injected fault events (crashes, drops) in firing order.
+    fault_log: list = field(default_factory=list)
 
     @property
     def mbytes(self) -> float:
         return self.comm.mbytes_total
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(h for h, _ in self.cache_stats.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(m for _, m in self.cache_stats.values())
+
+
+def collect_cache_stats(run: BackendRun, routing=None) -> dict:
+    """Per-logical-worker (hits, misses) from the final worker states.
+
+    Works on every substrate: the sim runs workers in-process, the local
+    backend ships final process objects home.  ``routing`` (the master's
+    final logical→host table, when fault tolerance ran) pins each logical
+    worker to its authoritative host, so stale copies on falsely-declared
+    -dead hosts are never counted; without it every hosted shard reports.
+    """
+    by_rank = {
+        proc.rank: getattr(proc, "shards", None)
+        for proc in run.procs
+        if getattr(proc, "shards", None)
+    }
+    out: dict = {}
+    if routing:
+        for logical in sorted(routing):
+            shards = by_rank.get(routing[logical])
+            if shards and logical in shards:
+                store = shards[logical].store
+                out[logical] = (store.cache_hits(), store.cache_misses())
+        return out
+    for rank in sorted(by_rank):
+        for virtual_rank in sorted(by_rank[rank]):
+            store = by_rank[rank][virtual_rank].store
+            out[virtual_rank] = (store.cache_hits(), store.cache_misses())
+    return out
+
+
+def _result_from_run(run: BackendRun) -> P2Result:
+    """Assemble the shared P2Result artifact from any strategy's run."""
+    final = run.proc(0)
+    ft = getattr(final, "ft", None)
+    return P2Result(
+        theory=final.theory,
+        epochs=final.epochs,
+        seconds=run.seconds,
+        comm=run.comm,
+        uncovered=max(final.remaining, 0),
+        epoch_logs=final.epoch_logs,
+        clocks=run.clocks,
+        trace=run.trace,
+        cache_stats=collect_cache_stats(run, routing=ft.routing if ft is not None else None),
+        fault_events=list(getattr(final, "fault_events", ())),
+        fault_log=list(run.fault_log),
+    )
+
+
+def _validate_fault_args(
+    fault_plan: Optional[FaultPlan],
+    spares: int,
+    p: int,
+    share_mode: str = "shared_fs",
+    repartition_each_epoch: bool = False,
+):
+    """Common front-end guards for the fault-tolerance arguments."""
+    plan = normalize_plan(fault_plan)
+    if spares < 0:
+        raise ValueError("spares must be >= 0")
+    if plan is None:
+        if spares:
+            raise ValueError("spares require a fault plan (they are a fault-tolerance feature)")
+        return None
+    if share_mode != "shared_fs":
+        raise ValueError(
+            "fault tolerance requires the shared-filesystem data model "
+            "(recovery rebuilds workers from shared partitions)"
+        )
+    if repartition_each_epoch:
+        raise ValueError("fault tolerance and per-epoch repartitioning are mutually exclusive")
+    for ev in plan.crashes:
+        if not 1 <= ev.rank <= p + spares:
+            raise ValueError(f"crash rank {ev.rank} outside worker pool 1..{p + spares}")
+    for ev in plan.joins:
+        if not p < ev.rank <= p + spares:
+            raise ValueError(f"join rank {ev.rank} is not a provisioned spare ({p + 1}..{p + spares})")
+    return plan
+
+
+def _check_resume(resume, algo: str, p: int, seed: int) -> None:
+    if resume is None:
+        return
+    if resume.algo != algo:
+        raise ValueError(f"checkpoint is for {resume.algo!r}, not {algo!r}")
+    if resume.n_workers and resume.n_workers != p:
+        raise ValueError(
+            f"checkpoint was taken at p={resume.n_workers}; resuming at p={p} "
+            "cannot reproduce the run (partitions differ)"
+        )
+    if resume.seed != seed:
+        raise ValueError(f"checkpoint seed {resume.seed} != requested seed {seed}")
 
 
 def run_p2mdie(
@@ -117,6 +233,11 @@ def run_p2mdie(
     repartition_each_epoch: bool = False,
     share_mode: str = "shared_fs",
     backend: Union[Backend, str, None] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    spares: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_meta: tuple = (),
+    resume=None,
 ) -> P2Result:
     """Run p2-mdie(E+, E-, B, C, p, w) — the paper's Fig. 5 entry point.
 
@@ -135,11 +256,22 @@ def run_p2mdie(
     from ``network``/``cost_model``.  On a real backend ``seconds`` is
     wall-clock time and the learned theory is identical to the sim's for
     the same seed/config (backend parity).
+
+    ``fault_plan`` injects deterministic faults and activates the
+    self-healing protocol (an empty plan is a no-op: the run is
+    byte-identical to ``fault_plan=None``); ``spares`` provisions idle
+    standby hosts ranks ``p+1..p+spares`` for adoption/elastic joins;
+    ``checkpoint_dir`` writes a resumable snapshot after every epoch;
+    ``resume`` (a loaded :class:`~repro.fault.checkpoint.CheckpointState`)
+    continues a run from such a snapshot, reproducing the remaining
+    epochs exactly.
     """
     if p < 1:
         raise ValueError("p must be >= 1")
     if share_mode not in ("shared_fs", "messages"):
         raise ValueError("share_mode must be 'shared_fs' or 'messages'")
+    plan = _validate_fault_args(fault_plan, spares, p, share_mode, repartition_each_epoch)
+    _check_resume(resume, "p2mdie", p, seed)
     rng = make_rng(seed, "partition")
     partitions = partition_examples(pos, neg, p, rng)
     shared = SharedProblem(kb, partitions, modes, config)
@@ -163,27 +295,26 @@ def run_p2mdie(
         repartition_each_epoch=repartition_each_epoch,
         seed=seed,
         ship_data=ship_data,
+        fault_plan=plan,
+        spares=spares,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_meta=checkpoint_meta,
+        resume=resume,
     )
-    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + 1)]
+    workers = [P2Worker(rank, shared, p, seed=seed) for rank in range(1, p + spares + 1)]
     bk = resolve_backend(
-        backend, network=network, cost_model=cost_model, record_trace=record_trace
+        backend,
+        network=network,
+        cost_model=cost_model,
+        record_trace=record_trace,
+        fault_plan=plan,
     )
-    with wire.configured(config.wire_codec):
+    with wire.configured(config.wire_codec), fault_injection_scope(bk, plan):
         run: BackendRun = bk.run([master, *workers])
     # Read the master's run artifacts from the backend's returned process
     # state: on multi-process backends the local ``master`` object was
     # never mutated (rank 0 ran in a child process).
-    final = run.proc(0)
-    return P2Result(
-        theory=final.theory,
-        epochs=final.epochs,
-        seconds=run.seconds,
-        comm=run.comm,
-        uncovered=max(final.remaining, 0),
-        epoch_logs=final.epoch_logs,
-        clocks=run.clocks,
-        trace=run.trace,
-    )
+    return _result_from_run(run)
 
 
 def sequential_seconds(result: MDIEResult, cost_model: CostModel = DEFAULT_COST_MODEL) -> float:

@@ -61,27 +61,38 @@ from repro.ilp.refinement import SearchRule
 from repro.logic.clause import Clause
 from repro.logic.terms import Const, Struct, Term, Var
 from repro.parallel.messages import (
+    AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
     ExamplesReport,
+    FTEvaluateRequest,
+    FTEvaluateResult,
+    FTPipelineRules,
+    FTPipelineTask,
     GatherExamples,
     LoadData,
     LoadExamples,
     MarkCovered,
+    Ping,
     PipelineRules,
     PipelineTask,
+    Pong,
     Repartition,
+    RestartPipeline,
     RuleStats,
     StartPipeline,
     Stop,
+    UpdateRouting,
 )
 
 __all__ = [
     "encode",
     "decode",
+    "encode_always",
     "enabled",
     "configured",
     "set_enabled",
+    "register_codec",
     "WIRE_ENV",
     "WireError",
 ]
@@ -528,6 +539,146 @@ def _dec_stop(d: _Decoder) -> Stop:
     return Stop()
 
 
+# -- fault-tolerance protocol layouts ---------------------------------------------
+
+
+def _enc_ping(e: _Encoder, m: Ping) -> None:
+    e.u(m.token)
+
+
+def _dec_ping(d: _Decoder) -> Ping:
+    return Ping(token=d.u())
+
+
+def _enc_pong(e: _Encoder, m: Pong) -> None:
+    e.u(m.rank)
+    e.u(m.token)
+    e.u(m.cache_hits)
+    e.u(m.cache_misses)
+
+
+def _dec_pong(d: _Decoder) -> Pong:
+    return Pong(rank=d.u(), token=d.u(), cache_hits=d.u(), cache_misses=d.u())
+
+
+def _enc_adopt_worker(e: _Encoder, m: AdoptWorker) -> None:
+    e.u(m.virtual_rank)
+    e.u(m.partition_id)
+    e.u(m.epoch)
+    e.u(len(m.completed))
+    for epoch_rules in m.completed:
+        e.clauses(epoch_rules)
+    e.clauses(m.current)
+    e.flag(m.draw_seeds)
+    e.flag(m.draw_current)
+
+
+def _dec_adopt_worker(d: _Decoder) -> AdoptWorker:
+    virtual_rank = d.u()
+    partition_id = d.u()
+    epoch = d.u()
+    completed = tuple(d.clauses() for _ in range(d.u()))
+    current = d.clauses()
+    return AdoptWorker(
+        virtual_rank=virtual_rank,
+        partition_id=partition_id,
+        epoch=epoch,
+        completed=completed,
+        current=current,
+        draw_seeds=d.flag(),
+        draw_current=d.flag(),
+    )
+
+
+def _enc_restart_pipeline(e: _Encoder, m: RestartPipeline) -> None:
+    e.u(m.origin)
+    e.flag(m.width is not None)
+    if m.width is not None:
+        e.u(m.width)
+    e.u(m.epoch)
+
+
+def _dec_restart_pipeline(d: _Decoder) -> RestartPipeline:
+    origin = d.u()
+    width = d.u() if d.flag() else None
+    return RestartPipeline(origin=origin, width=width, epoch=d.u())
+
+
+def _enc_update_routing(e: _Encoder, m: UpdateRouting) -> None:
+    e.u(len(m.routing))
+    for virtual, host in m.routing:
+        e.u(virtual)
+        e.u(host)
+
+
+def _dec_update_routing(d: _Decoder) -> UpdateRouting:
+    return UpdateRouting(routing=tuple((d.u(), d.u()) for _ in range(d.u())))
+
+
+def _enc_ft_evaluate_request(e: _Encoder, m: FTEvaluateRequest) -> None:
+    e.u(m.round)
+    e.clauses(m.rules)
+
+
+def _dec_ft_evaluate_request(d: _Decoder) -> FTEvaluateRequest:
+    return FTEvaluateRequest(round=d.u(), rules=d.clauses())
+
+
+def _enc_ft_evaluate_result(e: _Encoder, m: FTEvaluateResult) -> None:
+    e.u(m.round)
+    e.u(m.rank)
+    e.u(len(m.stats))
+    for rs in m.stats:
+        e.u(rs.pos)
+        e.u(rs.neg)
+        e.bitset(rs.pos_cand)
+        e.bitset(rs.neg_cand)
+
+
+def _dec_ft_evaluate_result(d: _Decoder) -> FTEvaluateResult:
+    rnd = d.u()
+    rank = d.u()
+    stats = tuple(
+        RuleStats(pos=d.u(), neg=d.u(), pos_cand=d.bitset(), neg_cand=d.bitset())
+        for _ in range(d.u())
+    )
+    return FTEvaluateResult(round=rnd, rank=rank, stats=stats)
+
+
+def _enc_ft_pipeline_task(e: _Encoder, m: FTPipelineTask) -> None:
+    e.u(m.epoch)
+    e.flag(m.bottom is not None)
+    if m.bottom is not None:
+        e.bottom(m.bottom)
+    e.u(m.step)
+    e.flag(m.width is not None)
+    if m.width is not None:
+        e.u(m.width)
+    e.search_rules(m.rules)
+    e.u(m.origin)
+
+
+def _dec_ft_pipeline_task(d: _Decoder) -> FTPipelineTask:
+    epoch = d.u()
+    bottom = d.bottom() if d.flag() else None
+    step = d.u()
+    width = d.u() if d.flag() else None
+    rules = d.search_rules()
+    return FTPipelineTask(
+        epoch=epoch, bottom=bottom, step=step, width=width, rules=rules, origin=d.u()
+    )
+
+
+def _enc_ft_pipeline_rules(e: _Encoder, m: FTPipelineRules) -> None:
+    e.u(m.epoch)
+    e.u(m.origin)
+    e.search_rules(m.rules)
+
+
+def _dec_ft_pipeline_rules(d: _Decoder) -> FTPipelineRules:
+    return FTPipelineRules(epoch=d.u(), origin=d.u(), rules=d.search_rules())
+
+
 #: type -> (code, encoder); code -> decoder.  Codes are part of the wire
 #: format — append only, never renumber.
 _ENCODERS: dict = {
@@ -543,6 +694,15 @@ _ENCODERS: dict = {
     ExamplesReport: (9, _enc_examples_report),
     Repartition: (10, _enc_repartition),
     Stop: (11, _enc_stop),
+    Ping: (12, _enc_ping),
+    Pong: (13, _enc_pong),
+    AdoptWorker: (14, _enc_adopt_worker),
+    RestartPipeline: (15, _enc_restart_pipeline),
+    UpdateRouting: (16, _enc_update_routing),
+    FTEvaluateRequest: (17, _enc_ft_evaluate_request),
+    FTEvaluateResult: (18, _enc_ft_evaluate_result),
+    FTPipelineTask: (19, _enc_ft_pipeline_task),
+    FTPipelineRules: (20, _enc_ft_pipeline_rules),
 }
 _DECODERS: dict = {
     0: _dec_load_examples,
@@ -557,7 +717,32 @@ _DECODERS: dict = {
     9: _dec_examples_report,
     10: _dec_repartition,
     11: _dec_stop,
+    12: _dec_ping,
+    13: _dec_pong,
+    14: _dec_adopt_worker,
+    15: _dec_restart_pipeline,
+    16: _dec_update_routing,
+    17: _dec_ft_evaluate_request,
+    18: _dec_ft_evaluate_result,
+    19: _dec_ft_pipeline_task,
+    20: _dec_ft_pipeline_rules,
 }
+
+
+def register_codec(payload_type: type, code: int, enc, dec) -> None:
+    """Register an out-of-package payload codec (append-only codes).
+
+    Lets higher layers (the checkpoint format lives in
+    :mod:`repro.fault.checkpoint`) ship their payloads in the wire format
+    without creating an import cycle back into this module's registry.
+    """
+    if code in _DECODERS or payload_type in _ENCODERS:
+        prev = _ENCODERS.get(payload_type)
+        if prev is not None and prev[0] == code:
+            return  # idempotent re-registration
+        raise ValueError(f"wire code {code} / type {payload_type.__name__} already taken")
+    _ENCODERS[payload_type] = (code, enc)
+    _DECODERS[code] = dec
 
 
 def encode(payload: object) -> Optional[bytes]:
@@ -569,6 +754,16 @@ def encode(payload: object) -> Optional[bytes]:
     """
     if not enabled():
         return None
+    return encode_always(payload)
+
+
+def encode_always(payload: object) -> Optional[bytes]:
+    """Encode regardless of the :func:`enabled` gate (None if unknown).
+
+    The checkpoint file format uses this: a checkpoint must be readable
+    by any process whatever its transport-codec setting, so files are
+    always written in the wire encoding.
+    """
     entry = _ENCODERS.get(type(payload))
     if entry is None:
         return None

@@ -13,6 +13,14 @@ filesystem on ``load_examples``) and serves four tasks:
 
 All engine work between messages is charged to the worker's virtual clock
 via ``ctx.compute`` with the engine's operation delta.
+
+Fault tolerance (:mod:`repro.fault`) generalises "one worker = one
+partition" to *hosting*: the per-partition learning state lives in a
+:class:`~repro.fault.recovery.WorkerShard` (store, RNG stream, tried-seed
+mask), and one physical worker process can host several shards — its own
+plus any adopted from crashed peers, rebuilt deterministically by
+replaying the master-shipped accepted-rule history.  Fault-free runs
+host exactly one shard and take the exact historical code paths.
 """
 
 from __future__ import annotations
@@ -21,12 +29,7 @@ from typing import Optional
 
 from repro.cluster.message import Tag
 from repro.cluster.process import ProcContext, SimProcess
-from repro.ilp.bottom import (
-    BottomClause,
-    SaturationError,
-    build_bottom,
-    build_bottom_cached,
-)
+from repro.fault.recovery import WorkerShard, draw_seed, rebuild_shard, saturate_seed
 from repro.ilp.config import ILPConfig
 from repro.ilp.modes import ModeSet
 from repro.ilp.search import learn_rule
@@ -34,33 +37,50 @@ from repro.ilp.store import ExampleStore
 from repro.logic.engine import Engine
 from repro.logic.knowledge import KnowledgeBase
 from repro.parallel.messages import (
+    AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
     ExamplesReport,
+    FTEvaluateRequest,
+    FTEvaluateResult,
+    FTPipelineRules,
+    FTPipelineTask,
     GatherExamples,
     LoadData,
     LoadExamples,
     MarkCovered,
+    Ping,
     PipelineRules,
     PipelineTask,
+    Pong,
     Repartition,
+    RestartPipeline,
     RuleStats,
     StartPipeline,
     Stop,
+    UpdateRouting,
 )
 from repro.util.rng import make_rng
 
-__all__ = ["P2Worker", "MASTER_RANK"]
+__all__ = ["P2Worker", "MASTER_RANK", "stage_logical"]
 
 MASTER_RANK = 0
 
 
+def stage_logical(origin: int, step: int, n_workers: int) -> int:
+    """Logical worker serving stage ``step`` of the pipeline rooted at
+    ``origin`` (the ring ``1 → 2 → ... → p → 1``)."""
+    return (origin - 1 + step - 1) % n_workers + 1
+
+
 class P2Worker(SimProcess):
-    """One pipeline stage owner.
+    """One pipeline stage owner (physical host of one or more shards).
 
     ``shared`` is the simulated distributed filesystem
     (:class:`repro.parallel.p2mdie.SharedProblem`); ``n_workers`` fixes the
-    pipeline ring ``1 → 2 → ... → p → 1``.
+    pipeline ring ``1 → 2 → ... → p → 1``.  Ranks above ``n_workers`` are
+    *spare hosts*: they idle until the fault-tolerant master assigns them
+    work (adoption of a dead host's shards, or an elastic join).
     """
 
     def __init__(self, rank: int, shared, n_workers: int, seed: int = 0):
@@ -68,54 +88,115 @@ class P2Worker(SimProcess):
         self.shared = shared
         self.n_workers = n_workers
         self.seed = seed
-        # populated on load_examples:
-        self.store: Optional[ExampleStore] = None
+        # populated on load_examples / adoption:
         self.engine: Optional[Engine] = None
         self.config: Optional[ILPConfig] = None
         self.modes: Optional[ModeSet] = None
-        # seeds already tried as pipeline roots (and not since covered):
-        self._tried_mask = 0
+        #: hosted logical workers: virtual rank -> WorkerShard.
+        self.shards: dict[int, WorkerShard] = {}
+        #: logical -> physical routing table (identity unless the master
+        #: rewires it after a recovery / elastic rebalance).
+        self.routing: dict[int, int] = {}
+        #: fault-protocol tasks that arrived before the shard they target
+        #: was adopted here; drained after every adoption/rewiring.
+        self._deferred: list = []
+
+    # -- single-shard compatibility surface ---------------------------------------
+    # The fault-free protocol (and the protocol-level unit tests) talk to
+    # the worker as if it owned exactly one store; these proxies map that
+    # surface onto the worker's own shard.
+    @property
+    def store(self) -> Optional[ExampleStore]:
+        shard = self.shards.get(self.rank)
+        return shard.store if shard is not None else None
+
+    @store.setter
+    def store(self, value: ExampleStore) -> None:
+        self.shards[self.rank].store = value
+
+    @property
+    def _tried_mask(self) -> int:
+        return self.shards[self.rank].tried_mask
+
+    @_tried_mask.setter
+    def _tried_mask(self, value: int) -> None:
+        self.shards[self.rank].tried_mask = value
+
+    @property
+    def _rng(self):
+        return self.shards[self.rank].rng
 
     # -- helpers -----------------------------------------------------------------
     def _next_worker(self) -> int:
         """Successor in the ring of workers (ranks 1..p)."""
         return self.rank % self.n_workers + 1
 
-    def _select_seed(self) -> Optional[int]:
-        candidates = self.store.alive & ~self._tried_mask
-        if not candidates and self.store.alive:
-            # Every alive seed has been tried without being covered.  Allow a
-            # fresh pass: the global coverage state changed since those
-            # pipelines ran (other rules were accepted), so a retried seed
-            # can produce different surviving rules.  Termination stays
-            # bounded by the master's stall detector.
-            self._tried_mask = 0
-            candidates = self.store.alive
-        idxs = [i for i in range(self.store.n_pos) if (candidates >> i) & 1]
-        if not idxs:
-            return None
-        if self.config.select_seed_randomly:
-            return self._rng.choice(idxs)
-        return idxs[0]
+    def _host_of(self, logical: int) -> int:
+        return self.routing.get(logical, logical)
+
+    def _hosted(self) -> list[WorkerShard]:
+        return [self.shards[vr] for vr in sorted(self.shards)]
 
     def _ops_since(self, mark: int) -> int:
         return self.engine.total_ops - mark
 
+    def _ensure_engine(self) -> None:
+        """Spare hosts build their engine lazily, from the shared FS."""
+        if self.engine is None:
+            self.config = self.shared.config
+            self.modes = self.shared.modes
+            self.engine = Engine(
+                self.shared.kb, self.config.engine_budget(), kernel=self.config.coverage_kernel
+            )
+
+    def _make_shard(self, virtual_rank: int, pos, neg) -> WorkerShard:
+        store = ExampleStore(
+            pos,
+            neg,
+            reorder_body=self.config.reorder_body,
+            inherit=self.config.coverage_inheritance,
+            fingerprints=self.config.clause_fingerprints,
+        )
+        return WorkerShard(
+            virtual_rank=virtual_rank,
+            store=store,
+            rng=make_rng(self.seed, "worker", virtual_rank),
+        )
+
     # -- process body ----------------------------------------------------------------
     def run(self, ctx: ProcContext):
-        # Fig. 6 load_examples(): read the local subset + shared data, or
-        # (no shared FS) receive everything in a LoadData message.
-        msg = yield ctx.recv(tag=Tag.LOAD_EXAMPLES)
-        if isinstance(msg.payload, LoadExamples):
-            problem = self.shared.worker_problem(msg.payload.partition_id)
+        if self.rank <= self.n_workers:
+            # Fig. 6 load_examples(): the first message is always the
+            # initial state (LoadExamples / LoadData / AdoptWorker-resume)
+            # — tag-filtered so in-flight peer traffic cannot overtake it
+            # on real transports.
+            msg = yield ctx.recv(tag=Tag.LOAD_EXAMPLES)
+            yield from self._initial_load(ctx, msg.payload)
+        # Spare hosts (rank > n_workers) go straight to the task loop and
+        # acquire state through adoption.
+        while True:
+            msg = yield ctx.recv()
+            payload = msg.payload
+            if isinstance(payload, Stop):
+                return
+            yield from self._dispatch(ctx, payload)
+
+    def _initial_load(self, ctx: ProcContext, payload):
+        if isinstance(payload, AdoptWorker):
+            # Checkpoint-resumed run: state is history + shared FS.
+            self._ensure_engine()
+            yield from self._adopt(ctx, payload)
+            return
+        if isinstance(payload, LoadExamples):
+            problem = self.shared.worker_problem(payload.partition_id)
             kb = problem.kb
             pos, neg = problem.pos, problem.neg
             self.config = problem.config
             self.modes = problem.modes
             load_cost = len(pos) + len(neg)
         else:
-            assert isinstance(msg.payload, LoadData)
-            data: LoadData = msg.payload
+            assert isinstance(payload, LoadData)
+            data: LoadData = payload
             # Shared problem still supplies the (small) bias/config; the
             # bulky relational data came over the wire.
             self.config = self.shared.config
@@ -128,58 +209,61 @@ class P2Worker(SimProcess):
             pos, neg = data.pos, data.neg
             # Building the KB from terms costs real work: one op per clause.
             load_cost = len(data.facts) + len(data.rules) + len(pos) + len(neg)
-        self.store = ExampleStore(
-            pos,
-            neg,
-            reorder_body=self.config.reorder_body,
-            inherit=self.config.coverage_inheritance,
-            fingerprints=self.config.clause_fingerprints,
-        )
         self.engine = Engine(kb, self.config.engine_budget(), kernel=self.config.coverage_kernel)
-        self._rng = make_rng(self.seed, "worker", self.rank)
+        self.shards[self.rank] = self._make_shard(self.rank, pos, neg)
         yield ctx.compute(load_cost, label="load")
 
-        while True:
-            msg = yield ctx.recv()
-            payload = msg.payload
-            if isinstance(payload, Stop):
-                return
-            if isinstance(payload, StartPipeline):
-                yield from self._start_pipeline(ctx, payload.width)
-            elif isinstance(payload, PipelineTask):
-                yield from self._pipeline_stage(ctx, payload)
-            elif isinstance(payload, EvaluateRequest):
-                yield from self._evaluate(ctx, payload)
-            elif isinstance(payload, MarkCovered):
-                yield from self._mark_covered(ctx, payload)
-            elif isinstance(payload, GatherExamples):
-                yield from self._gather_examples(ctx)
-            elif isinstance(payload, Repartition):
-                yield from self._repartition(ctx, payload)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"worker {self.rank}: unknown task {payload!r}")
+    def _dispatch(self, ctx: ProcContext, payload):
+        if isinstance(payload, StartPipeline):
+            yield from self._start_pipeline(ctx, payload.width)
+        elif isinstance(payload, PipelineTask):
+            yield from self._pipeline_stage(ctx, payload)
+        elif isinstance(payload, EvaluateRequest):
+            yield from self._evaluate(ctx, payload)
+        elif isinstance(payload, MarkCovered):
+            yield from self._mark_covered(ctx, payload)
+        elif isinstance(payload, GatherExamples):
+            yield from self._gather_examples(ctx)
+        elif isinstance(payload, Repartition):
+            yield from self._repartition(ctx, payload)
+        # -- fault-tolerance protocol --------------------------------------
+        elif isinstance(payload, Ping):
+            yield from self._pong(ctx, payload)
+        elif isinstance(payload, AdoptWorker):
+            self._ensure_engine()
+            yield from self._adopt(ctx, payload)
+        elif isinstance(payload, UpdateRouting):
+            yield from self._update_routing(ctx, payload)
+        elif isinstance(payload, RestartPipeline):
+            yield from self._ft_restart(ctx, payload)
+        elif isinstance(payload, FTPipelineTask):
+            yield from self._ft_stage(ctx, payload)
+        elif isinstance(payload, FTEvaluateRequest):
+            yield from self._ft_evaluate(ctx, payload)
+        elif isinstance(payload, LoadExamples) or isinstance(payload, LoadData):
+            yield from self._initial_load(ctx, payload)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"worker {self.rank}: unknown task {payload!r}")
 
-    # -- tasks ----------------------------------------------------------------------
+    # -- paper tasks (fault-free protocol, single shard) ---------------------------
+    def _select_seed(self) -> Optional[int]:
+        """Pick (and mark) the next seed of this worker's own shard."""
+        return draw_seed(self.shards[self.rank], self.config)
+
     def _start_pipeline(self, ctx: ProcContext, width: Optional[int]):
         """Fig. 6 start_pipeline: seed, saturate, first learn_rule' stage."""
+        shard = self.shards[self.rank]
         ops0 = self.engine.total_ops
-        seed_i = self._select_seed()
-        bottom: Optional[BottomClause] = None
-        if seed_i is not None:
-            self._tried_mask |= 1 << seed_i
-            saturate = build_bottom_cached if self.config.saturation_cache else build_bottom
-            try:
-                bottom = saturate(
-                    self.store.pos[seed_i], self.engine, self.modes, self.config
-                )
-            except SaturationError:
-                bottom = None
+        shard.pending_seed = self._select_seed()
+        shard.bottom_ready = False
+        bottom = saturate_seed(shard, self.engine, self.modes, self.config)
         yield ctx.compute(self._ops_since(ops0), label="saturate")
         task = PipelineTask(bottom=bottom, step=1, width=width, rules=(), origin=self.rank)
         yield from self._pipeline_stage(ctx, task)
 
     def _pipeline_stage(self, ctx: ProcContext, task: PipelineTask):
         """Fig. 7 learn_rule': search locally, forward Good onward."""
+        shard = self.shards[self.rank]
         ops0 = self.engine.total_ops
         if task.bottom is None:
             good: tuple = task.rules
@@ -187,7 +271,7 @@ class P2Worker(SimProcess):
             result = learn_rule(
                 self.engine,
                 task.bottom,
-                self.store,
+                shard.store,
                 self.config,
                 seeds=task.rules or None,
                 width=task.width,
@@ -222,14 +306,15 @@ class P2Worker(SimProcess):
         and master-echoed candidate masks narrow further when the local
         cache is cold — only examples the parent covered are re-tested.
         """
+        store = self.shards[self.rank].store
         ops0 = self.engine.total_ops
         inherit = self.config.coverage_inheritance
         stats = []
         for i, rule in enumerate(req.rules):
             cand = req.candidates[i] if (inherit and req.candidates) else None
-            cs = self.store.evaluate(self.engine, rule, candidates=cand)
+            cs = store.evaluate(self.engine, rule, candidates=cand)
             if inherit:
-                pc, nc = self.store.cand_masks(rule) or (0, 0)
+                pc, nc = store.cand_masks(rule) or (0, 0)
                 stats.append(RuleStats(pos=cs.pos, neg=cs.neg, pos_cand=pc, neg_cand=nc))
             else:
                 # Seed-faithful accounting: no mask payload when off.
@@ -242,24 +327,27 @@ class P2Worker(SimProcess):
         )
 
     def _mark_covered(self, ctx: ProcContext, req: MarkCovered):
-        """Fig. 6 mark_covered: retract positives the accepted rule covers."""
+        """Fig. 6 mark_covered: retract positives the accepted rule covers
+        (on every hosted shard)."""
         ops0 = self.engine.total_ops
-        cs = self.store.evaluate(self.engine, req.rule)
-        self.store.kill(cs.pos_bits)
-        # Seeds that were covered no longer need the tried-mark; keeping the
-        # mask aligned with `alive` lets future epochs retry only genuinely
-        # new ground.
-        self._tried_mask &= self.store.alive
+        for shard in self._hosted():
+            cs = shard.store.evaluate(self.engine, req.rule)
+            shard.store.kill(cs.pos_bits)
+            # Seeds that were covered no longer need the tried-mark;
+            # keeping the mask aligned with `alive` lets future epochs
+            # retry only genuinely new ground.
+            shard.tried_mask &= shard.store.alive
         yield ctx.compute(self._ops_since(ops0), label="mark_covered")
 
     def _gather_examples(self, ctx: ProcContext):
         """Repartitioning step 1: report remaining examples to the master."""
+        store = self.shards[self.rank].store
         report = ExamplesReport(
             rank=self.rank,
-            pos=tuple(self.store.alive_examples()),
-            neg=tuple(self.store.neg),
+            pos=tuple(store.alive_examples()),
+            neg=tuple(store.neg),
         )
-        yield ctx.compute(self.store.remaining + self.store.n_neg, label="gather")
+        yield ctx.compute(store.remaining + store.n_neg, label="gather")
         yield ctx.send(MASTER_RANK, report, tag=Tag.LOAD_EXAMPLES)
 
     def _repartition(self, ctx: ProcContext, req: Repartition):
@@ -268,12 +356,166 @@ class P2Worker(SimProcess):
         The evaluation cache dies with the old store — exactly the hidden
         cost (beyond message bytes) that makes repartitioning expensive.
         """
-        self.store = ExampleStore(
+        shard = self.shards[self.rank]
+        shard.store = ExampleStore(
             list(req.pos),
             list(req.neg),
             reorder_body=self.config.reorder_body,
             inherit=self.config.coverage_inheritance,
             fingerprints=self.config.clause_fingerprints,
         )
-        self._tried_mask = 0
-        yield ctx.compute(self.store.n_pos + self.store.n_neg, label="load")
+        shard.tried_mask = 0
+        yield ctx.compute(shard.store.n_pos + shard.store.n_neg, label="load")
+
+    # -- fault-tolerance protocol ---------------------------------------------------
+    def _pong(self, ctx: ProcContext, ping: Ping):
+        """Heartbeat reply, carrying aggregate evaluation-cache counters."""
+        hits = sum(s.store.cache_hits() for s in self._hosted())
+        misses = sum(s.store.cache_misses() for s in self._hosted())
+        yield ctx.send(
+            MASTER_RANK,
+            Pong(rank=self.rank, token=ping.token, cache_hits=hits, cache_misses=misses),
+            tag=Tag.PONG,
+        )
+
+    def _adopt(self, ctx: ProcContext, msg: AdoptWorker):
+        """Rebuild a logical worker here by deterministic replay.
+
+        Idempotent: a duplicate request for an already-hosted shard (the
+        master reinforces adoption state when collectives stall, e.g.
+        after the original AdoptWorker was lost) is a no-op — the hosted
+        shard is never behind the replayed state.
+        """
+        if msg.virtual_rank in self.shards:
+            self.routing[msg.virtual_rank] = self.rank
+            yield from self._drain_deferred(ctx)
+            return
+        part = self.shared.partitions[msg.partition_id - 1]
+        ops0 = self.engine.total_ops
+        shard = rebuild_shard(msg, part, self.engine, self.config, self.seed)
+        self.shards[msg.virtual_rank] = shard
+        self.routing[msg.virtual_rank] = self.rank
+        yield ctx.compute(self._ops_since(ops0) + shard.store.n_pos + shard.store.n_neg, label="recover")
+        yield from self._drain_deferred(ctx)
+
+    def _update_routing(self, ctx: ProcContext, msg: UpdateRouting):
+        self.routing = dict(msg.routing)
+        # Elastic shrink of this host's share: drop shards routed away.
+        for vr in list(self.shards):
+            if self.routing.get(vr, vr) != self.rank:
+                del self.shards[vr]
+        yield from self._drain_deferred(ctx)
+
+    def _drain_deferred(self, ctx: ProcContext):
+        pending, self._deferred = self._deferred, []
+        for payload in pending:
+            yield from self._dispatch(ctx, payload)
+
+    def _defer_or_forward(self, ctx: ProcContext, logical: int, payload, tag: str) -> bool:
+        """Route a shard-addressed task we cannot serve.  Returns True if
+        the payload was handled (forwarded or deferred)."""
+        if logical in self.shards:
+            return False
+        dst = self._host_of(logical)
+        if dst != self.rank:
+            yield ctx.send(dst, payload, tag=tag)
+        else:
+            # Routed to us but not adopted yet: park until the
+            # AdoptWorker (in flight behind us on the master link) lands.
+            self._deferred.append(payload)
+        return True
+
+    def _ft_restart(self, ctx: ProcContext, req: RestartPipeline):
+        """(Re)start the pipeline rooted at a hosted logical worker.
+
+        Idempotent per epoch: the first request of an epoch draws the
+        shard's seed; duplicates (recovery reissues) reuse the remembered
+        draw and bottom clause, so the emitted stage-1 task is identical.
+        """
+        handled = yield from self._defer_or_forward(
+            ctx, req.origin, req, Tag.START_PIPELINE
+        )
+        if handled:
+            return
+        shard = self.shards[req.origin]
+        ops0 = self.engine.total_ops
+        if shard.pending_epoch != req.epoch:
+            shard.pending_epoch = req.epoch
+            shard.pending_seed = draw_seed(shard, self.config)
+            shard.bottom_ready = False
+        bottom = saturate_seed(shard, self.engine, self.modes, self.config)
+        yield ctx.compute(self._ops_since(ops0), label="saturate")
+        task = FTPipelineTask(
+            epoch=req.epoch, bottom=bottom, step=1, width=req.width, rules=(), origin=req.origin
+        )
+        yield from self._ft_stage(ctx, task)
+
+    def _ft_stage(self, ctx: ProcContext, task: FTPipelineTask):
+        """Fault-tolerant learn_rule' stage, executed by the logical
+        stage owner wherever it is hosted."""
+        logical = stage_logical(task.origin, task.step, self.n_workers)
+        handled = yield from self._defer_or_forward(ctx, logical, task, Tag.LEARN_RULE)
+        if handled:
+            return
+        shard = self.shards[logical]
+        ops0 = self.engine.total_ops
+        if task.bottom is None:
+            good: tuple = task.rules
+        else:
+            result = learn_rule(
+                self.engine,
+                task.bottom,
+                shard.store,
+                self.config,
+                seeds=task.rules or None,
+                width=task.width,
+            )
+            good = tuple(er.rule for er in result.good)
+        yield ctx.compute(self._ops_since(ops0), label=f"search(s{task.step})")
+        if task.step >= self.n_workers:
+            yield ctx.send(
+                MASTER_RANK,
+                FTPipelineRules(epoch=task.epoch, origin=task.origin, rules=good),
+                tag=Tag.RULES,
+            )
+        else:
+            next_logical = logical % self.n_workers + 1
+            next_task = FTPipelineTask(
+                epoch=task.epoch,
+                bottom=task.bottom,
+                step=task.step + 1,
+                width=task.width,
+                rules=good,
+                origin=task.origin,
+            )
+            dst = self._host_of(next_logical)
+            if dst == self.rank:
+                # Co-hosted successor stage: hand the token over in
+                # memory — co-located logical workers don't pay (or get
+                # charged for) the network.
+                yield from self._ft_stage(ctx, next_task)
+            else:
+                yield ctx.send(dst, next_task, tag=Tag.LEARN_RULE)
+
+    def _ft_evaluate(self, ctx: ProcContext, req: FTEvaluateRequest):
+        """Evaluate the round's rules on every hosted shard.
+
+        Candidate-mask echoing is off under fault tolerance (masks are in
+        per-shard local numbering and migrate poorly); the store's
+        structural parent inheritance still narrows the engine work.
+        """
+        ops0 = self.engine.total_ops
+        results = []
+        for shard in self._hosted():
+            stats = tuple(
+                RuleStats(pos=cs.pos, neg=cs.neg)
+                for cs in (shard.store.evaluate(self.engine, rule) for rule in req.rules)
+            )
+            results.append((shard.virtual_rank, stats))
+        yield ctx.compute(self._ops_since(ops0), label="evaluate")
+        for virtual_rank, stats in results:
+            yield ctx.send(
+                MASTER_RANK,
+                FTEvaluateResult(round=req.round, rank=virtual_rank, stats=stats),
+                tag=Tag.RESULT,
+            )

@@ -90,6 +90,26 @@ class Crasher(SimProcess):
         raise ValueError("boom in child")
 
 
+class MidEpochRaiser(SimProcess):
+    """A 'worker' that serves a couple of requests, then raises — the
+    others keep waiting on it, mimicking a worker dying mid-epoch."""
+
+    def run(self, ctx):
+        for _ in range(2):
+            msg = yield ctx.recv(tag="req")
+            yield ctx.send(msg.src, "ack", tag="ack")
+        raise ValueError("worker exploded mid-epoch")
+
+
+class NeedyMaster(SimProcess):
+    """Keeps asking rank 1 and waiting for answers (forever)."""
+
+    def run(self, ctx):
+        while True:
+            yield ctx.send(1, "work", tag="req")
+            yield ctx.recv(tag="ack")
+
+
 class BadDest(SimProcess):
     def run(self, ctx):
         yield ctx.send(99, "x", tag="t")
@@ -159,6 +179,44 @@ class TestFailureModes:
     def test_child_exception_propagates(self):
         with pytest.raises(BackendError, match="boom in child"):
             LocalProcessBackend(timeout=30).run([Crasher(0), Hang(1)])
+        assert _no_repro_children()
+
+    def test_mid_epoch_worker_traceback_surfaced(self):
+        """Regression: when a worker raises mid-epoch while its peers
+        block on it, the error must carry the *failing worker's* repr and
+        traceback — not just a timeout or a derivative peer error."""
+        with pytest.raises(BackendError) as excinfo:
+            LocalProcessBackend(timeout=20).run(
+                [NeedyMaster(0), MidEpochRaiser(1), Hang(2)]
+            )
+        text = str(excinfo.value)
+        assert "worker exploded mid-epoch" in text
+        assert "Traceback" in text
+        assert "rank 1" in text
+        assert _no_repro_children()
+
+    def test_timeout_includes_reported_tracebacks(self):
+        """Regression: the deadlock watchdog must surface any traceback a
+        child managed to report before the timeout fired, instead of only
+        saying 'timed out'."""
+
+        class LateRaiser(SimProcess):
+            def run(self, ctx):
+                yield ctx.compute(1)
+                raise ValueError("slow doom")
+
+        class Stubborn(SimProcess):
+            def run(self, ctx):
+                yield ctx.recv(tag="never")
+
+        # Rank 1 raises promptly; rank 0 hangs until the watchdog fires.
+        # (The parent fails fast on the error here; the point is that the
+        # message always names the root cause with its traceback.)
+        with pytest.raises(BackendError) as excinfo:
+            LocalProcessBackend(timeout=3.0).run([Stubborn(0), LateRaiser(1)])
+        text = str(excinfo.value)
+        assert "slow doom" in text
+        assert "Traceback" in text
         assert _no_repro_children()
 
     def test_send_to_unknown_rank(self):

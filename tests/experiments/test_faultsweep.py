@@ -1,0 +1,29 @@
+"""Fault-sweep experiment scenario: overhead records + parity assertions."""
+
+from repro.experiments.faultsweep import (
+    default_scenarios,
+    render_fault_sweep,
+    run_fault_sweep,
+)
+
+
+class TestSweep:
+    def test_p2mdie_sweep_keeps_parity(self):
+        records = run_fault_sweep(
+            dataset="trains", ps=(2,), strategies=("p2mdie",), seed=0, timeout=1.0
+        )
+        assert {r.scenario for r in records} == set(default_scenarios())
+        assert all(r.parity for r in records)
+        crash = next(r for r in records if r.scenario == "crash")
+        assert crash.recoveries == 1
+        assert crash.overhead > 0.0
+        supervised = next(r for r in records if r.scenario == "supervised")
+        assert supervised.recoveries == 0
+
+    def test_render(self):
+        records = run_fault_sweep(
+            dataset="trains", ps=(2,), strategies=("independent",), seed=0, timeout=1.0
+        )
+        text = render_fault_sweep(records)
+        assert "independent" in text and "overhead" in text
+        assert "False" not in text

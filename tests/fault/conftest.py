@@ -1,0 +1,17 @@
+"""Shared fixtures for the fault-tolerance tests: the krki chess-endgame
+dataset (multi-epoch on a few workers — crashes can hit mid-run) and the
+faster trains dataset for single-epoch scenarios."""
+
+import pytest
+
+from repro.datasets import make_dataset
+
+
+@pytest.fixture(scope="session")
+def krki():
+    return make_dataset("krki", seed=0)
+
+
+@pytest.fixture(scope="session")
+def trains():
+    return make_dataset("trains", seed=0)

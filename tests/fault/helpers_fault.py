@@ -1,0 +1,11 @@
+"""Helpers shared by the fault-tolerance tests."""
+
+
+def run_args(ds):
+    return (ds.kb, ds.pos, ds.neg, ds.modes, ds.config)
+
+
+def log_tuples(res):
+    """The comparable core of the epoch logs (excludes FT-only cache
+    counters, which fault-free runs don't collect)."""
+    return [(l.epoch, l.bag_size, tuple(l.accepted), l.pos_covered) for l in res.epoch_logs]

@@ -1,0 +1,96 @@
+"""Checkpoint → resume: the continued run reproduces the original exactly."""
+
+import glob
+import os
+
+import pytest
+
+from helpers_fault import log_tuples, run_args
+from repro.fault.checkpoint import load_checkpoint
+from repro.fault.plan import FaultPlan, WorkerCrash
+from repro.ilp.mdie import mdie
+from repro.parallel import run_coverage_parallel, run_p2mdie
+
+
+def ckpts(directory):
+    return sorted(glob.glob(os.path.join(str(directory), "*.ckpt")))
+
+
+class TestSequentialResume:
+    def test_every_checkpoint_resumes_bit_identically(self, krki, tmp_path):
+        full = mdie(*run_args(krki), seed=0, checkpoint_dir=str(tmp_path))
+        paths = ckpts(tmp_path)
+        assert len(paths) == full.epochs
+        full_rules = [(e, r, c) for e, r, c, _ in full.log]
+        for path in paths[:-1]:
+            res = mdie(*run_args(krki), seed=0, resume=load_checkpoint(path))
+            assert res.theory == full.theory
+            assert [(e, r, c) for e, r, c, _ in res.log] == full_rules
+            assert res.epochs == full.epochs
+            assert res.uncovered == full.uncovered
+
+    def test_resume_guards(self, trains, tmp_path):
+        mdie(*run_args(trains), seed=0, checkpoint_dir=str(tmp_path))
+        state = load_checkpoint(ckpts(tmp_path)[0])
+        with pytest.raises(ValueError, match="seed"):
+            mdie(*run_args(trains), seed=99, resume=state)
+        with pytest.raises(ValueError, match="not 'mdie'"):
+            mdie(*run_args(trains), seed=0, resume=state.replace(algo="p2mdie"))
+        bad_cfg = trains.config.replace(noise=3)
+        with pytest.raises(ValueError, match="different ILP configuration"):
+            mdie(trains.kb, trains.pos, trains.neg, trains.modes, bad_cfg, seed=0, resume=state)
+
+
+class TestParallelResume:
+    def test_p2mdie_every_checkpoint(self, krki, tmp_path):
+        base = run_p2mdie(*run_args(krki), p=3, width=10, seed=0, checkpoint_dir=str(tmp_path))
+        paths = ckpts(tmp_path)
+        assert len(paths) == base.epochs
+        for path in paths[:-1]:
+            res = run_p2mdie(*run_args(krki), p=3, width=10, seed=0, resume=load_checkpoint(path))
+            assert res.theory == base.theory
+            assert log_tuples(res) == log_tuples(base)
+
+    def test_covpar_resume(self, krki, tmp_path):
+        base = run_coverage_parallel(
+            *run_args(krki), p=3, batch_size=4, seed=0, max_epochs=4, checkpoint_dir=str(tmp_path)
+        )
+        paths = ckpts(tmp_path)
+        res = run_coverage_parallel(
+            *run_args(krki), p=3, batch_size=4, seed=0, max_epochs=4,
+            resume=load_checkpoint(paths[0]),
+        )
+        assert res.theory == base.theory
+        assert log_tuples(res) == log_tuples(base)
+
+    def test_resume_rejects_different_p(self, krki, tmp_path):
+        run_p2mdie(*run_args(krki), p=3, width=10, seed=0, checkpoint_dir=str(tmp_path))
+        state = load_checkpoint(ckpts(tmp_path)[0])
+        with pytest.raises(ValueError, match="partitions differ"):
+            run_p2mdie(*run_args(krki), p=4, width=10, seed=0, resume=state)
+
+    def test_resume_from_faulty_run_matches_fault_free(self, krki, tmp_path):
+        """A crash mid-run does not poison the checkpoints: resuming one
+        reproduces the fault-free tail."""
+        base = run_p2mdie(*run_args(krki), p=3, width=10, seed=0)
+        plan = FaultPlan(
+            crashes=(WorkerCrash(rank=2, on_recv=2, tag="start_pipeline"),), timeout=2.0
+        )
+        run_p2mdie(
+            *run_args(krki), p=3, width=10, seed=0, fault_plan=plan,
+            checkpoint_dir=str(tmp_path),
+        )
+        state = load_checkpoint(ckpts(tmp_path)[0])
+        res = run_p2mdie(*run_args(krki), p=3, width=10, seed=0, resume=state)
+        assert res.theory == base.theory
+        assert log_tuples(res) == log_tuples(base)
+
+    def test_checkpoint_meta_round_trips(self, trains, tmp_path):
+        run_p2mdie(
+            *run_args(trains), p=2, width=10, seed=0, checkpoint_dir=str(tmp_path),
+            checkpoint_meta=(("dataset", "trains"), ("scale", "small")),
+        )
+        state = load_checkpoint(ckpts(tmp_path)[-1])
+        assert state.meta_dict()["dataset"] == "trains"
+        assert state.algo == "p2mdie"
+        assert state.n_workers == 2

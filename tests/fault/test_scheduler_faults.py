@@ -1,0 +1,148 @@
+"""DES-level fault semantics: timed receives, crash/straggler/loss events."""
+
+import pytest
+
+from repro.cluster.process import SimProcess
+from repro.cluster.scheduler import DeadlockError, Scheduler
+from repro.fault.plan import FaultPlan, MessageLoss, Straggler, WorkerCrash
+
+
+class Echo(SimProcess):
+    """Replies 'pong' to every 'ping'; stops on 'stop'."""
+
+    def run(self, ctx):
+        while True:
+            msg = yield ctx.recv()
+            if msg.payload == "stop":
+                return
+            yield ctx.compute(10, label="work")
+            yield ctx.send(msg.src, "pong", tag="pong")
+
+
+class TestRecvTimeout:
+    def test_timeout_resumes_with_none(self):
+        class Waiter(SimProcess):
+            def __init__(self):
+                super().__init__(0)
+                self.got = "unset"
+                self.when = None
+
+            def run(self, ctx):
+                self.got = yield ctx.recv(timeout=2.5)
+                self.when = ctx.clock
+                yield ctx.send(1, "stop", tag="stop")
+
+        w = Waiter()
+        sched = Scheduler([w, Echo(1)])
+        sched.run()
+        assert w.got is None
+        assert w.when == pytest.approx(2.5)
+
+    def test_message_beats_timeout(self):
+        class Asker(SimProcess):
+            def __init__(self):
+                super().__init__(0)
+                self.got = None
+
+            def run(self, ctx):
+                yield ctx.send(1, "ping", tag="ping")
+                self.got = yield ctx.recv(timeout=100.0)
+                yield ctx.send(1, "stop", tag="stop")
+
+        a = Asker()
+        Scheduler([a, Echo(1)]).run()
+        assert a.got is not None and a.got.payload == "pong"
+
+    def test_timed_recv_prevents_deadlock_error(self):
+        class OnlyWaits(SimProcess):
+            def run(self, ctx):
+                got = yield ctx.recv(timeout=1.0)
+                assert got is None
+
+        Scheduler([OnlyWaits(0)]).run()  # no DeadlockError
+
+        class WaitsForever(SimProcess):
+            def run(self, ctx):
+                yield ctx.recv()
+
+        with pytest.raises(DeadlockError):
+            Scheduler([WaitsForever(0)]).run()
+
+
+class Master(SimProcess):
+    """Pings worker 1 n times with a timed receive; counts replies."""
+
+    def __init__(self, n=3, timeout=5.0):
+        super().__init__(0)
+        self.n = n
+        self.timeout = timeout
+        self.replies = 0
+        self.timeouts = 0
+
+    def run(self, ctx):
+        for _ in range(self.n):
+            yield ctx.send(1, "ping", tag="ping")
+            msg = yield ctx.recv(timeout=self.timeout)
+            if msg is None:
+                self.timeouts += 1
+            else:
+                self.replies += 1
+        yield ctx.send(1, "stop", tag="stop")
+
+
+class TestCrash:
+    def test_on_recv_crash_counts_matching_messages(self):
+        m = Master(n=3)
+        plan = FaultPlan(crashes=(WorkerCrash(rank=1, on_recv=2, tag="ping"),))
+        sched = Scheduler([m, Echo(1)], fault_plan=plan)
+        sched.run()
+        assert m.replies == 1  # first ping answered, second killed the worker
+        assert m.timeouts == 2
+        assert [f.kind for f in sched.fault_log] == ["crash"]
+        assert sched.fault_log[0].rank == 1
+
+    def test_at_time_crash_kills_blocked_process(self):
+        m = Master(n=1, timeout=10.0)
+        plan = FaultPlan(crashes=(WorkerCrash(rank=1, at_time=0.0),))
+        sched = Scheduler([m, Echo(1)], fault_plan=plan)
+        sched.run()
+        assert m.replies == 0 and m.timeouts == 1
+
+    def test_sends_to_dead_rank_vanish(self):
+        m = Master(n=2, timeout=1.0)
+        plan = FaultPlan(crashes=(WorkerCrash(rank=1, at_time=0.0),))
+        sched = Scheduler([m, Echo(1)], fault_plan=plan)
+        sched.run()  # the post-crash pings are dropped, no error
+        assert m.timeouts == 2
+
+
+class TestStraggler:
+    def test_straggler_scales_compute_time(self):
+        m1 = Master(n=2)
+        s1 = Scheduler([m1, Echo(1)])
+        t_base = s1.run()
+        m2 = Master(n=2)
+        plan = FaultPlan(stragglers=(Straggler(rank=1, factor=10.0),))
+        s2 = Scheduler([m2, Echo(1)], fault_plan=plan)
+        t_slow = s2.run()
+        assert m2.replies == 2  # results unchanged
+        assert t_slow > t_base  # but time inflated
+
+
+class TestMessageLoss:
+    def test_nth_message_on_link_dropped(self):
+        m = Master(n=3)
+        plan = FaultPlan(losses=(MessageLoss(src=0, dst=1, nth=2),))
+        sched = Scheduler([m, Echo(1)], fault_plan=plan)
+        sched.run()
+        assert m.replies == 2
+        assert m.timeouts == 1
+        assert any(f.kind == "drop" for f in sched.fault_log)
+
+    def test_sender_still_charged_for_lost_message(self):
+        m = Master(n=1, timeout=1.0)
+        plan = FaultPlan(losses=(MessageLoss(src=0, dst=1, nth=1),))
+        sched = Scheduler([m, Echo(1)], fault_plan=plan)
+        sched.run()
+        # ping (lost) + stop: both appear in the communication accounting.
+        assert sched.stats.messages == 2

@@ -15,19 +15,28 @@ from repro.logic.parser import parse_clause, parse_term
 from repro.logic.terms import Const, Struct, Var
 from repro.parallel import wire
 from repro.parallel.messages import (
+    AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
     ExamplesReport,
+    FTEvaluateRequest,
+    FTEvaluateResult,
+    FTPipelineRules,
+    FTPipelineTask,
     GatherExamples,
     LoadData,
     LoadExamples,
     MarkCovered,
+    Ping,
     PipelineRules,
     PipelineTask,
+    Pong,
     Repartition,
+    RestartPipeline,
     RuleStats,
     StartPipeline,
     Stop,
+    UpdateRouting,
 )
 
 RULE = parse_clause("active(A) :- atom(A, B, c), bond(A, B, C, 7).")
@@ -69,6 +78,36 @@ MESSAGES = [
     ExamplesReport(rank=1, pos=POS, neg=NEG),
     Repartition(pos=POS, neg=NEG),
     Stop(),
+    # fault-tolerance protocol (repro.fault)
+    Ping(token=7),
+    Pong(rank=3, token=7, cache_hits=120, cache_misses=11),
+    AdoptWorker(
+        virtual_rank=2,
+        partition_id=2,
+        epoch=3,
+        completed=((RULE,), (), (PARENT, RULE)),
+        current=(PARENT,),
+        draw_seeds=True,
+        draw_current=True,
+    ),
+    AdoptWorker(
+        virtual_rank=5, partition_id=5, epoch=0, completed=(), current=(), draw_seeds=False
+    ),
+    RestartPipeline(origin=1, width=10, epoch=4),
+    RestartPipeline(origin=3, width=None, epoch=1),
+    UpdateRouting(routing=((1, 1), (2, 4), (3, 1))),
+    FTEvaluateRequest(round=9, rules=(RULE, PARENT)),
+    FTEvaluateResult(round=9, rank=2, stats=(RuleStats(pos=3, neg=1),)),
+    FTPipelineTask(
+        epoch=2,
+        bottom=make_bottom(),
+        step=2,
+        width=5,
+        rules=(SearchRule(RULE, 1, parent=PARENT),),
+        origin=1,
+    ),
+    FTPipelineTask(epoch=1, bottom=None, step=1, width=None, rules=(), origin=4),
+    FTPipelineRules(epoch=2, origin=2, rules=(SearchRule(RULE, 1),)),
 ]
 
 
@@ -80,7 +119,11 @@ class TestRoundTrip:
         assert wire.decode(data) == msg
 
     def test_every_message_type_covered(self):
-        assert {type(m) for m in MESSAGES} == set(wire._ENCODERS)
+        # The checkpoint payload registers its codec on import (it is a
+        # file format, not a network message, so it lives out of package).
+        from repro.fault.checkpoint import CheckpointState
+
+        assert {type(m) for m in MESSAGES} | {CheckpointState} == set(wire._ENCODERS)
 
     def test_exotic_constants(self):
         msg = Repartition(

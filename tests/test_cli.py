@@ -38,6 +38,66 @@ class TestLearn:
         assert "comm=" in out
 
 
+class TestFaultTolerance:
+    def test_learn_with_fault_plan(self, tmp_path, capsys):
+        from repro.fault.plan import FaultPlan, WorkerCrash
+
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan(
+            crashes=(WorkerCrash(rank=2, on_recv=1, tag="start_pipeline"),), timeout=1.0
+        ).save(plan_path)
+        assert main(
+            ["learn", "trains", "--p", "2", "--seed", "1", "--fault-plan", plan_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "declared dead" in out
+        assert "eval-cache" in out
+
+    def test_learn_fault_plan_requires_parallel(self, tmp_path):
+        from repro.fault.plan import FaultPlan
+
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan(supervise=True).save(plan_path)
+        assert main(["learn", "trains", "--fault-plan", plan_path]) == 2
+
+    def test_checkpoint_and_resume_sequential(self, tmp_path, capsys):
+        import glob
+
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(["learn", "trains", "--seed", "1", "--checkpoint-dir", ckpt_dir]) == 0
+        full = capsys.readouterr().out
+        ckpts = sorted(glob.glob(ckpt_dir + "/*.ckpt"))
+        assert ckpts
+        assert main(["resume", ckpts[0]]) == 0
+        resumed = capsys.readouterr().out
+        # the resumed run reports the same learned clauses
+        full_rules = [l for l in full.splitlines() if l.endswith(".") and ":-" in l]
+        res_rules = [l for l in resumed.splitlines() if l.endswith(".") and ":-" in l]
+        assert res_rules == full_rules
+
+    def test_checkpoint_and_resume_parallel(self, tmp_path, capsys):
+        import glob
+
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(
+            ["learn", "trains", "--p", "2", "--seed", "1", "--checkpoint-dir", ckpt_dir]
+        ) == 0
+        capsys.readouterr()
+        ckpts = sorted(glob.glob(ckpt_dir + "/*.ckpt"))
+        assert ckpts
+        assert main(["resume", ckpts[0]]) == 0
+        assert "resuming p2mdie on trains" in capsys.readouterr().out
+
+    def test_faults_sweep(self, capsys):
+        assert main(
+            ["faults", "--dataset", "trains", "--ps", "2", "--timeout", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection sweep" in out
+        assert "crash" in out
+        assert "False" not in out  # every scenario kept parity
+
+
 class TestTrace:
     def test_renders_gantt(self, capsys):
         assert main(["trace", "trains", "--p", "2", "--seed", "1"]) == 0

@@ -51,3 +51,11 @@ def test_carcinogenesis_speedup():
     out = run_example("carcinogenesis_speedup.py")
     assert "speedup" in out
     assert "pipeline activity" in out
+
+
+def test_fault_tolerance():
+    out = run_example("fault_tolerance.py", "--p", "2")
+    assert "identical" in out
+    assert "DIFFERENT" not in out
+    assert "declared dead" in out
+    assert "resume from" in out
