@@ -2,13 +2,17 @@
 
 Commands
 --------
-``learn``   run sequential MDIE or P²-MDIE on a bundled dataset and print
-            the learned theory plus run statistics;
-``resume``  continue a checkpointed run bit-identically from a snapshot;
-``faults``  run the fault-injection sweep (recovery overhead & parity);
-``tables``  run the evaluation matrix and print any of the paper's tables;
-``trace``   run one traced epoch and print the pipeline Gantt chart;
-``export``  write a bundled dataset to Aleph-style Prolog files.
+``learn``    run sequential MDIE or P²-MDIE on a bundled dataset and print
+             the learned theory plus run statistics;
+``resume``   continue a checkpointed run bit-identically from a snapshot;
+``faults``   run the fault-injection sweep (recovery overhead & parity);
+``tables``   run the evaluation matrix and print any of the paper's tables;
+``trace``    run one traced epoch and print the pipeline Gantt chart;
+``export``   write a bundled dataset to Aleph-style Prolog files;
+``serve``    run the learning-as-a-service front door (JSON-lines TCP);
+``jobs``     client verbs against a running server: submit/status/cancel/wait;
+``registry`` inspect/promote versioned theory artifacts on disk;
+``query``    batched coverage queries against a registered theory.
 """
 
 from __future__ import annotations
@@ -177,6 +181,108 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("directory")
     export.add_argument("--seed", type=int, default=0)
     export.add_argument("--scale", choices=("small", "paper"), default="small")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the learning-as-a-service front door",
+        parents=[common],
+        description="Serve learning jobs and batched coverage queries over a "
+        "JSON-lines TCP socket (one JSON request per line, one JSON response "
+        "per line).  Jobs run concurrently over --slots worker slots; learned "
+        "theories are published to --registry-dir and served to queries.  "
+        "Stop with a {\"op\": \"shutdown\"} request or Ctrl-C.",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7341, help="0 = ephemeral")
+    serve_p.add_argument("--slots", type=int, default=2, help="concurrent learning jobs")
+    serve_p.add_argument(
+        "--state-dir", default=None,
+        help="durable job records + checkpoints (enables restart recovery)",
+    )
+    serve_p.add_argument(
+        "--registry-dir", default=None,
+        help="theory registry root (enables register_as and query ops)",
+    )
+    serve_p.add_argument(
+        "--chunk-epochs", type=int, default=1,
+        help="epochs per chunk for preemptible jobs (cancellation latency)",
+    )
+
+    jobs_p = sub.add_parser(
+        "jobs", help="client verbs against a running `repro serve`"
+    )
+    # --host/--port live on the leaf subcommands (not on `jobs` itself):
+    # argparse classifies every argv token against the active parser's
+    # option table before subcommand dispatch, so a `jobs`-level --port
+    # would make the leaf-level `--p` ambiguous (--port/--profile).
+    client = argparse.ArgumentParser(add_help=False)
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7341)
+    jobs_sub = jobs_p.add_subparsers(dest="jobs_command", required=True)
+    js = jobs_sub.add_parser("submit", help="queue one learning job", parents=[common, client])
+    js.add_argument("dataset", choices=sorted(DATASETS))
+    js.add_argument("--algo", choices=("mdie", "p2mdie", "covpar", "independent"), default="mdie")
+    js.add_argument("--p", type=int, default=1)
+    js.add_argument("--seed", type=int, default=0)
+    js.add_argument("--scale", choices=("small", "paper"), default="small")
+    js.add_argument("--backend", choices=("sim", "local"), default="sim")
+    js.add_argument("--priority", type=int, default=0, help="higher runs first")
+    js.add_argument("--preemptible", action="store_true",
+                    help="run in epoch chunks (cancellable mid-run, crash-resumable)")
+    js.add_argument("--register-as", default=None, metavar="NAME",
+                    help="publish the learned theory to the server's registry")
+    js.add_argument("--wait", action="store_true", help="block until the job finishes")
+    jst = jobs_sub.add_parser(
+        "status", help="status of one job (or all jobs)", parents=[common, client]
+    )
+    jst.add_argument("job", nargs="?", default=None)
+    jc = jobs_sub.add_parser(
+        "cancel", help="cancel a queued or preemptible running job", parents=[common, client]
+    )
+    jc.add_argument("job")
+    jw = jobs_sub.add_parser(
+        "wait", help="block until a job reaches a terminal state", parents=[common, client]
+    )
+    jw.add_argument("job")
+    jw.add_argument("--timeout", type=float, default=None)
+    jobs_sub.add_parser(
+        "shutdown", help="stop the server (running jobs park/finish)",
+        parents=[common, client],
+    )
+
+    reg_p = sub.add_parser(
+        "registry", help="inspect/promote theory artifacts on disk", parents=[common]
+    )
+    reg_p.add_argument("--registry-dir", required=True, metavar="DIR")
+    reg_sub = reg_p.add_subparsers(dest="registry_command", required=True)
+    reg_sub.add_parser("list", help="all names, versions and promotions")
+    rshow = reg_sub.add_parser("show", help="one record: theory + provenance")
+    rshow.add_argument("name")
+    rshow.add_argument("--version", type=int, default=None)
+    rdiff = reg_sub.add_parser("diff", help="clause diff between two versions")
+    rdiff.add_argument("name")
+    rdiff.add_argument("old", type=int)
+    rdiff.add_argument("new", type=int)
+    rprom = reg_sub.add_parser("promote", help="bless a version as the served default")
+    rprom.add_argument("name")
+    rprom.add_argument("version", type=int)
+
+    query_p = sub.add_parser(
+        "query",
+        help="batched coverage queries against a registered theory",
+        parents=[common],
+        description="Classify ground examples under a registered theory "
+        "(offline — reads the registry directly; no server needed).  "
+        "Examples come from --examples (one term per line) or default to "
+        "the theory's training dataset (reports confusion counts).",
+    )
+    query_p.add_argument("name", help="registered theory name")
+    query_p.add_argument("--registry-dir", required=True, metavar="DIR")
+    query_p.add_argument("--version", type=int, default=None)
+    query_p.add_argument(
+        "--examples", default=None, metavar="FILE",
+        help="file with one ground term per line ('-' = stdin)",
+    )
     return ap
 
 
@@ -378,6 +484,198 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    def announce(server) -> None:
+        print(
+            f"% serving on {args.host}:{server.port} "
+            f"(slots={args.slots}, registry={args.registry_dir or 'off'})"
+        )
+        sys.stdout.flush()
+
+    try:
+        serve(
+            host=args.host, port=args.port, slots=args.slots,
+            state_dir=args.state_dir, registry_dir=args.registry_dir,
+            chunk_epochs=args.chunk_epochs, ready=announce,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("% interrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    # Connection errors are mapped to a friendly message *here*, not in
+    # main(): elsewhere a ConnectionError subclass is most likely a
+    # BrokenPipeError from truncated stdout (`repro trace | head`), which
+    # has nothing to do with the service.
+    try:
+        return _jobs_verbs(args)
+    except ConnectionError as exc:
+        print(
+            f"repro: cannot reach the service ({exc}); is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 2
+    except TimeoutError as exc:
+        print(f"repro: service request timed out ({exc})", file=sys.stderr)
+        return 2
+
+
+def _jobs_verbs(args) -> int:
+    from repro.service.jobs import JobSpec
+    from repro.service.server import ServiceClient
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        if args.jobs_command == "submit":
+            spec = JobSpec(
+                dataset=args.dataset, algo=args.algo, p=args.p, seed=args.seed,
+                scale=args.scale, backend=args.backend, priority=args.priority,
+                preemptible=args.preemptible, register_as=args.register_as,
+            )
+            job = client.submit(spec)
+            print(f"% submitted {job}")
+            if args.wait:
+                resp = client.wait(job)
+                return _print_job_response(resp)
+            return 0
+        if args.jobs_command == "status":
+            if args.job is None:
+                resp = client.request({"op": "jobs"})
+                if not resp.get("ok"):
+                    print(f"repro: {resp.get('error')}", file=sys.stderr)
+                    return 1
+                for rec in resp["jobs"]:
+                    print(
+                        f"{rec['job']}  {rec['state']:<10} {rec['spec']['algo']:<12}"
+                        f"{rec['spec']['dataset']:<16} epochs={rec['epochs_done']}"
+                    )
+                return 0
+            return _print_job_response(client.request({"op": "status", "job": args.job}))
+        if args.jobs_command == "cancel":
+            resp = client.request({"op": "cancel", "job": args.job})
+            if not resp.get("ok"):
+                print(f"repro: {resp.get('error')}", file=sys.stderr)
+                return 1
+            print(f"% cancelled={resp['cancelled']}")
+            return 0 if resp["cancelled"] else 1
+        if args.jobs_command == "shutdown":
+            resp = client.request({"op": "shutdown"})
+            print("% server shutting down")
+            return 0 if resp.get("ok") else 1
+        resp = client.wait(args.job, timeout=args.timeout)
+        return _print_job_response(resp)
+
+
+def _print_job_response(resp: dict) -> int:
+    if not resp.get("ok"):
+        print(f"repro: {resp.get('error')}", file=sys.stderr)
+        return 1
+    print(f"% {resp['job']}: {resp['state']} (epochs={resp['epochs_done']})")
+    if resp.get("error"):
+        print(f"% error: {resp['error']}")
+    outcome = resp.get("outcome")
+    if outcome:
+        print(outcome["theory"])
+        print(
+            f"% epochs={outcome['epochs']} uncovered={outcome['uncovered']} "
+            f"seconds={outcome['seconds']} training-accuracy={outcome['train_accuracy']}%"
+        )
+    return 0 if resp["state"] in ("done", "cancelled") else 1
+
+
+def _cmd_registry(args) -> int:
+    from repro.service.registry import TheoryRegistry
+
+    try:
+        return _registry_verbs(args, TheoryRegistry(args.registry_dir))
+    except (ValueError, OSError) as exc:
+        # RegistryError is a ValueError: unknown names/versions, corrupt
+        # artifacts and unreadable dirs are user errors, not tracebacks.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
+
+def _registry_verbs(args, reg) -> int:
+    if args.registry_command == "list":
+        names = reg.names()
+        if not names:
+            print("% registry is empty")
+            return 0
+        for name in names:
+            versions = reg.versions(name)
+            promoted = reg.promoted_version(name)
+            mark = f" (promoted: v{promoted})" if promoted is not None else ""
+            print(f"{name}: versions {versions}{mark}")
+        return 0
+    if args.registry_command == "show":
+        record = reg.get(args.name, args.version)
+        print(theory_to_prolog(record.to_theory(), header=f"{record.name} v{record.version}"))
+        for k, v in record.provenance:
+            print(f"% {k}={v}")
+        return 0
+    if args.registry_command == "diff":
+        diff = reg.diff(args.name, args.old, args.new)
+        for c in diff["added"]:
+            print(f"+ {c}")
+        for c in diff["removed"]:
+            print(f"- {c}")
+        print(
+            f"% {len(diff['added'])} added, {len(diff['removed'])} removed, "
+            f"{len(diff['unchanged'])} unchanged"
+        )
+        return 0
+    version = reg.promote(args.name, args.version)
+    print(f"% promoted {args.name} v{version}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    try:
+        return _query_verb(args)
+    except (ValueError, OSError) as exc:
+        # RegistryError / ParseError are ValueErrors; a missing examples
+        # file is an OSError — all expected user errors.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
+
+def _query_verb(args) -> int:
+    from repro.logic import parse_term
+    from repro.service.query import QueryEngine
+    from repro.service.registry import TheoryRegistry
+
+    reg = TheoryRegistry(args.registry_dir)
+    engine = QueryEngine(registry=reg)
+    record = reg.get(args.name, args.version)
+    if args.examples is not None:
+        fh = sys.stdin if args.examples == "-" else open(args.examples, encoding="utf-8")
+        with fh:
+            examples = [
+                parse_term(line.strip().rstrip("."))
+                for line in fh
+                if line.strip() and not line.lstrip().startswith("%")
+            ]
+        result = engine.query(args.name, examples, version=args.version)
+        for example, hit in zip(examples, result.decisions()):
+            print(f"{example}  {'+' if hit else '-'}")
+        print(f"% covered {result.n_covered}/{result.n} (ops={result.ops})")
+        return 0
+    # Default: classify the training dataset and report confusion counts.
+    # (dataset_for shares the query engine's dataset cache, so the KB the
+    # prepare step builds is not generated a second time here.)
+    ds = engine.dataset_for(args.name, args.version)
+    res_pos = engine.query(args.name, ds.pos, version=args.version)
+    res_neg = engine.query(args.name, ds.neg, version=args.version)
+    tp, fp = res_pos.n_covered, res_neg.n_covered
+    fn, tn = res_pos.n - tp, res_neg.n - fp
+    total = res_pos.n + res_neg.n
+    print(f"% {record.name} v{record.version} on {ds.name}:")
+    print(f"% tp={tp} fn={fn} tn={tn} fp={fp} accuracy={100.0 * (tp + tn) / total:.1f}%")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -387,6 +685,10 @@ def main(argv=None) -> int:
         "tables": _cmd_tables,
         "trace": _cmd_trace,
         "export": _cmd_export,
+        "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
+        "registry": _cmd_registry,
+        "query": _cmd_query,
     }[args.command]
     try:
         if getattr(args, "profile", None):

@@ -66,6 +66,9 @@ DATASETS: dict[str, Callable[..., Dataset]] = {}
 
 
 def register_dataset(name: str):
+    """Decorator: register a ``generator(seed=..., scale=...) -> Dataset``
+    under ``name`` (making it available to ``make_dataset`` and the CLI)."""
+
     def deco(fn: Callable[..., Dataset]):
         DATASETS[name] = fn
         return fn

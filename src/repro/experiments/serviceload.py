@@ -1,0 +1,162 @@
+"""Service workload generation and measurement.
+
+The service benchmark (``benchmarks/bench_service.py``) and the
+experiments layer share these helpers: build a fleet of learning-job
+specs, drive a :class:`~repro.service.scheduler.JobScheduler` to
+completion under wall-clock timing, and measure batched-query latency
+scaling against the one-shot baseline.
+
+Measurements are wall-clock by design — the service layer exists to
+overlap real work (local-backend jobs are OS processes; queries run in
+the serving process), so virtual time has no meaning here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.datasets import make_dataset
+from repro.ilp import predicts
+from repro.logic.engine import Engine
+from repro.service.jobs import JobOutcome, JobSpec, run_job
+from repro.service.query import QueryEngine
+from repro.service.registry import TheoryRegistry
+from repro.service.scheduler import JobScheduler
+
+__all__ = [
+    "make_job_fleet",
+    "run_job_fleet",
+    "measure_query_scaling",
+]
+
+
+def make_job_fleet(
+    n_jobs: int,
+    dataset: str = "trains",
+    algo: str = "p2mdie",
+    p: int = 2,
+    backend: str = "local",
+    base_seed: int = 0,
+) -> list[JobSpec]:
+    """``n_jobs`` independent learning specs with distinct seeds.
+
+    Distinct seeds make the fleet a realistic multi-tenant mix (each job
+    learns on its own generated dataset instance) while staying fully
+    deterministic.
+    """
+    return [
+        JobSpec(dataset=dataset, algo=algo, p=p, backend=backend, seed=base_seed + i)
+        for i in range(n_jobs)
+    ]
+
+
+def run_job_fleet(
+    specs: Sequence[JobSpec],
+    slots: int,
+    state_dir: Optional[str] = None,
+    verify_parity: bool = False,
+    timeout: float = 1800.0,
+) -> dict:
+    """Run ``specs`` to completion over ``slots``; wall-clock throughput.
+
+    With ``verify_parity`` every job outcome is additionally checked
+    bit-identical against a direct in-process :func:`run_job` of the
+    same spec — the service guarantee the benchmark gates on.
+    """
+    scheduler = JobScheduler(slots=slots, state_dir=state_dir)
+    t0 = time.perf_counter()
+    job_ids = [scheduler.submit(spec) for spec in specs]
+    scheduler.wait_all(timeout=timeout)
+    wall = time.perf_counter() - t0
+    outcomes: list[JobOutcome] = [scheduler.result(j) for j in job_ids]
+    scheduler.close()
+    parity = True
+    if verify_parity:
+        for spec, outcome in zip(specs, outcomes):
+            direct = run_job(spec.replace(backend="sim"))
+            parity = parity and list(direct.theory) == list(outcome.theory)
+    return {
+        "n_jobs": len(specs),
+        "slots": slots,
+        "wall_s": round(wall, 4),
+        "jobs_per_s": round(len(specs) / wall, 4) if wall else 0.0,
+        "epochs": sum(o.epochs for o in outcomes),
+        "parity": parity,
+    }
+
+
+def measure_query_scaling(
+    batch_sizes: Sequence[int],
+    dataset: str = "trains",
+    seed: int = 0,
+    scale: str = "small",
+    registry_root: Optional[str] = None,
+) -> dict:
+    """Per-query latency of batched coverage vs the one-shot baseline.
+
+    Learns one theory (sequential MDIE), registers it, then for each
+    batch size measures (a) the batched
+    :meth:`~repro.service.query.QueryEngine.query` path — prepared
+    engine, one clause rename per batch, first-match candidate
+    narrowing — and (b) the naive loop calling
+    :func:`repro.ilp.theory.predicts` per example on the same warm
+    engine.  Both must classify every example identically (gated).
+
+    Batches cycle the dataset's pos+neg pool to the requested size, so
+    large batches really answer thousands of ground queries.
+    """
+    import itertools
+    import tempfile
+
+    ds = make_dataset(dataset, seed=seed, scale=scale)
+    learned = run_job(JobSpec(dataset=dataset, algo="mdie", seed=seed, scale=scale))
+    own_tmp = None
+    if registry_root is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-queryreg-")
+        registry_root = own_tmp.name
+    try:
+        registry = TheoryRegistry(registry_root)
+        registry.publish(
+            f"{dataset}-bench",
+            learned.theory,
+            config_sig=learned.config_sig,
+            provenance={"dataset": dataset, "seed": str(seed), "scale": scale},
+        )
+        engine = QueryEngine(registry=registry)
+        pool = ds.pos + ds.neg
+        baseline_engine = Engine(
+            ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel
+        )
+        rows = []
+        parity = True
+        for size in batch_sizes:
+            batch = list(itertools.islice(itertools.cycle(pool), size))
+            t0 = time.perf_counter()
+            result = engine.query(f"{dataset}-bench", batch)
+            batched_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            oneshot = [predicts(baseline_engine, learned.theory, e) for e in batch]
+            oneshot_s = time.perf_counter() - t0
+            parity = parity and result.decisions() == oneshot
+            rows.append(
+                {
+                    "batch": size,
+                    "batched_s": round(batched_s, 6),
+                    "oneshot_s": round(oneshot_s, 6),
+                    "batched_us_per_query": round(1e6 * batched_s / size, 3),
+                    "oneshot_us_per_query": round(1e6 * oneshot_s / size, 3),
+                    "speedup": round(oneshot_s / batched_s, 3) if batched_s else 0.0,
+                }
+            )
+        return {
+            "dataset": dataset,
+            "theory_size": len(learned.theory),
+            "pool": len(pool),
+            "rows": rows,
+            "prepared": engine.stats(),
+            "parity": parity,
+        }
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()

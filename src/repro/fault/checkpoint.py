@@ -260,6 +260,11 @@ def save_checkpoint(path: str, state: CheckpointState) -> str:
 
 
 def load_checkpoint(path: str) -> CheckpointState:
+    """Read one ``.ckpt`` file back into a :class:`CheckpointState`.
+
+    Raises :class:`CheckpointError` on truncated, corrupt or
+    non-checkpoint payloads (decoder underruns included).
+    """
     with open(path, "rb") as fh:
         data = fh.read()
     try:

@@ -51,6 +51,7 @@ class TheoryReport:
 
 
 def confusion(engine: Engine, theory: Theory, pos: Sequence[Term], neg: Sequence[Term]) -> TheoryReport:
+    """Confusion counts of ``theory`` over a labelled pos/neg example set."""
     tp = sum(1 for e in pos if predicts(engine, theory, e))
     fp = sum(1 for e in neg if predicts(engine, theory, e))
     return TheoryReport(tp=tp, fn=len(pos) - tp, tn=len(neg) - fp, fp=fp)

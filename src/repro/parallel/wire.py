@@ -732,9 +732,14 @@ _DECODERS: dict = {
 def register_codec(payload_type: type, code: int, enc, dec) -> None:
     """Register an out-of-package payload codec (append-only codes).
 
-    Lets higher layers (the checkpoint format lives in
-    :mod:`repro.fault.checkpoint`) ship their payloads in the wire format
-    without creating an import cycle back into this module's registry.
+    Lets higher layers ship their payloads in the wire format without
+    creating an import cycle back into this module's registry.  Codes
+    0-20 are the in-package messages above; currently reserved by
+    out-of-package formats (never reuse or renumber):
+
+    * 21 — :class:`repro.fault.checkpoint.CheckpointState` (``.ckpt`` files)
+    * 22 — :class:`repro.service.registry.RegistryRecord` (``.theory`` files)
+    * 23 — :class:`repro.service.jobs.JobRecord` (scheduler ``job.rec`` files)
     """
     if code in _DECODERS or payload_type in _ENCODERS:
         prev = _ENCODERS.get(payload_type)

@@ -1,0 +1,234 @@
+"""Batched coverage/prediction queries against registered theories.
+
+Theory *application* is orders of magnitude cheaper than theory
+*learning*, but the naive per-example path (``predicts``: rename every
+clause, unify, prove — per example) still re-pays two setup costs on
+every call: rebuilding the dataset's knowledge base/engine, and renaming
+each clause apart.  The query engine amortizes both:
+
+* a **prepared-theory cache**: the first query against ``(name,
+  version)`` builds the dataset KB (from the record's provenance), an
+  :class:`~repro.logic.engine.Engine` and the clause list once; every
+  later batch reuses them (KB indexes and the engine's ground-goal memo
+  stay warm across batches);
+* **micro-batching**: a batch is evaluated clause-by-clause via
+  :func:`repro.ilp.coverage.coverage_eval` — one ``rename_apart`` per
+  clause per batch instead of per example — and each clause only tests
+  the examples no earlier clause covered (first-match semantics; the
+  remaining-candidates mask is sound because theory coverage is the
+  union of clause coverages).
+
+**Determinism invariant**: the covered bitset a batch returns is
+bit-identical to OR-ing one-shot ``coverage_eval`` calls per clause
+(and to per-example :func:`repro.ilp.theory.predicts`) — pinned by
+``tests/service/test_query.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.datasets import make_dataset
+from repro.ilp.coverage import coverage_eval, popcount
+from repro.logic.clause import Theory
+from repro.logic.engine import Engine
+from repro.logic.terms import Term, is_ground
+
+__all__ = ["QueryEngine", "QueryResult", "PreparedTheory"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Coverage of one query batch."""
+
+    #: bit i set ⇔ examples[i] is covered (predicted positive).
+    covered: int
+    #: number of examples in the batch.
+    n: int
+    #: engine operations spent answering the batch.
+    ops: int
+
+    @property
+    def n_covered(self) -> int:
+        return popcount(self.covered)
+
+    def decisions(self) -> list[bool]:
+        """Per-example predictions, batch order."""
+        return [bool((self.covered >> i) & 1) for i in range(self.n)]
+
+
+@dataclass
+class PreparedTheory:
+    """A theory bound to a warm engine over its dataset's KB.
+
+    One prepared entry serializes its own batches: the engine's
+    per-query mutable state (op budget counter, ``last_exhausted``)
+    must not interleave across threads, so concurrent server requests
+    against the *same* theory queue here while different theories (and
+    learning jobs) still overlap freely.
+    """
+
+    theory: Theory
+    engine: Engine
+    #: batches answered from this entry (cache effectiveness counter).
+    batches: int = 0
+
+    def __post_init__(self):
+        import threading
+
+        self._lock = threading.Lock()
+
+    def query(self, examples: Sequence[Term], micro_batch: int = 1024) -> QueryResult:
+        """Coverage of ``examples``; every example must be ground.
+
+        ``micro_batch`` bounds the slice evaluated per clause pass (it
+        caps transient bitset width on very large batches; results are
+        independent of its value).
+        """
+        for e in examples:
+            if not is_ground(e):
+                raise ValueError(f"query example must be ground: {e}")
+        with self._lock:
+            ops0 = self.engine.total_ops
+            covered = 0
+            for lo in range(0, len(examples), micro_batch):
+                chunk = examples[lo : lo + micro_batch]
+                covered |= self._query_chunk(chunk) << lo
+            self.batches += 1
+            return QueryResult(
+                covered=covered, n=len(examples), ops=self.engine.total_ops - ops0
+            )
+
+    def _query_chunk(self, chunk: Sequence[Term]) -> int:
+        # First-match semantics: later clauses only test what earlier
+        # clauses left uncovered.  The union is identical to evaluating
+        # every clause on the full chunk (monotone: covered stays covered).
+        remaining = (1 << len(chunk)) - 1
+        covered = 0
+        for clause in self.theory:
+            bits, _ = coverage_eval(self.engine, clause, chunk, candidates=remaining)
+            covered |= bits
+            remaining &= ~bits
+            if not remaining:
+                break
+        return covered
+
+
+class QueryEngine:
+    """Serve coverage queries against a :class:`TheoryRegistry`.
+
+    One instance may be shared by many server threads: the prepared
+    cache is locked (cheaply — expensive dataset builds happen outside
+    the lock), and each :class:`PreparedTheory` serializes its own
+    engine, so batches against one theory queue while everything else
+    overlaps.
+    """
+
+    def __init__(self, registry=None):
+        import threading
+
+        self.registry = registry
+        self._prepared: dict[tuple, PreparedTheory] = {}
+        self._datasets: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        #: prepared-cache counters (amortization visibility).
+        self.prepared_hits = 0
+        self.prepared_misses = 0
+
+    # -- preparation -------------------------------------------------------------
+
+    def _dataset(self, name: str, seed: int, scale: str):
+        key = (name, seed, scale)
+        with self._lock:
+            ds = self._datasets.get(key)
+        if ds is None:
+            # Built outside the lock: dataset generation can take seconds
+            # and must not stall cache hits for other theories.  A racing
+            # duplicate build is harmless (last writer wins; both are
+            # equal by construction).
+            ds = make_dataset(name, seed=seed, scale=scale)
+            with self._lock:
+                ds = self._datasets.setdefault(key, ds)
+        return ds
+
+    def prepare(self, name: str, version: Optional[int] = None) -> PreparedTheory:
+        """Prepared entry for a registered theory (build once, reuse)."""
+        if self.registry is None:
+            raise ValueError("QueryEngine has no registry attached")
+        resolved = self.registry.resolve_version(name, version)
+        key = (name, resolved)
+        with self._lock:
+            prepared = self._prepared.get(key)
+            if prepared is not None:
+                self.prepared_hits += 1
+                return prepared
+        record = self.registry.get(name, resolved)
+        prov = record.provenance_dict()
+        dataset = prov.get("dataset")
+        if dataset is None:
+            raise ValueError(
+                f"registry record {name} v{resolved} has no dataset provenance; "
+                "pass a KB explicitly via prepare_theory()"
+            )
+        ds = self._dataset(
+            dataset, int(prov.get("seed", "0")), prov.get("scale", "small")
+        )
+        fresh = self._prepare(record.to_theory(), ds.kb, ds.config)
+        with self._lock:
+            prepared = self._prepared.get(key)
+            if prepared is not None:  # lost a prepare race: reuse the winner
+                self.prepared_hits += 1
+                return prepared
+            self.prepared_misses += 1
+            self._prepared[key] = fresh
+            return fresh
+
+    def prepare_theory(self, theory: Theory, kb, config) -> PreparedTheory:
+        """Prepared entry for an unregistered theory over an explicit KB."""
+        return self._prepare(theory, kb, config)
+
+    @staticmethod
+    def _prepare(theory: Theory, kb, config) -> PreparedTheory:
+        engine = Engine(kb, config.engine_budget(), kernel=config.coverage_kernel)
+        return PreparedTheory(theory=theory, engine=engine)
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(
+        self,
+        name: str,
+        examples: Sequence[Term],
+        version: Optional[int] = None,
+        micro_batch: int = 1024,
+    ) -> QueryResult:
+        """Batched coverage of ``examples`` under a registered theory."""
+        return self.prepare(name, version).query(examples, micro_batch=micro_batch)
+
+    def dataset_for(self, name: str, version: Optional[int] = None):
+        """The (cached) dataset a registered theory was learned on.
+
+        Callers that want to classify a theory's own training examples
+        reuse the dataset the prepare step already built instead of
+        regenerating it.
+        """
+        record = self.registry.get(name, self.registry.resolve_version(name, version))
+        prov = record.provenance_dict()
+        dataset = prov.get("dataset")
+        if dataset is None:
+            raise ValueError(
+                f"registry record {name} has no dataset provenance"
+            )
+        return self._dataset(
+            dataset, int(prov.get("seed", "0")), prov.get("scale", "small")
+        )
+
+    def stats(self) -> dict:
+        """Prepared-cache effectiveness counters."""
+        with self._lock:
+            return {
+                "prepared_hits": self.prepared_hits,
+                "prepared_misses": self.prepared_misses,
+                "prepared_entries": len(self._prepared),
+                "batches": sum(p.batches for p in self._prepared.values()),
+            }

@@ -1,0 +1,450 @@
+"""Concurrent learning-job scheduler over a shared pool of backend slots.
+
+The scheduler owns ``slots`` worker threads.  Each thread pops the
+highest-priority queued job (ties FIFO) and executes it through
+:func:`repro.service.jobs.run_job`.  Jobs on the ``local`` backend do
+their work in real child processes, so slots give genuine parallelism;
+``sim`` jobs interleave under the GIL but still share the queue,
+priorities and lifecycle.
+
+Lifecycle::
+
+    queued -> running -> done | failed
+       \\         \\-> cancelled   (preemptible jobs: between chunks)
+        \\-> cancelled             (any queued job)
+
+**Preemption & resume.**  A job with ``preemptible=True`` (and a
+checkpoint-capable algorithm) runs in epoch *chunks*: each chunk resumes
+from the newest checkpoint and advances ``chunk_epochs`` covering epochs
+(reusing :mod:`repro.fault.checkpoint` — the same machinery behind
+``repro resume``).  Between chunks the scheduler honours cancellation
+and shutdown requests; because every chunk boundary is an ordinary
+checkpoint, the final theory is bit-identical to a one-shot run.
+
+**Durability.**  With a ``state_dir``, every job persists a wire-encoded
+:class:`~repro.service.jobs.JobRecord` per state transition plus its
+checkpoints, and a fresh scheduler over the same directory
+:meth:`~JobScheduler.recover_jobs` — interrupted (``running``) and
+``queued`` jobs are re-queued, resuming mid-run where a checkpoint
+exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.parallel import wire
+from repro.service.jobs import JobOutcome, JobRecord, JobSpec, run_job
+
+__all__ = ["JobScheduler", "SchedulerError", "TERMINAL_STATES"]
+
+#: states a job never leaves.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class SchedulerError(RuntimeError):
+    """Unknown job id, bad transition, or use after close."""
+
+
+@dataclass
+class _Job:
+    """Scheduler-internal mutable job handle."""
+
+    record: JobRecord
+    outcome: Optional[JobOutcome] = None
+    cancel: threading.Event = field(default_factory=threading.Event)
+    #: owned TemporaryDirectory when the scheduler has no state_dir.
+    _tmp: Optional[tempfile.TemporaryDirectory] = None
+
+    def cleanup_tmp(self) -> None:
+        """Drop the owned checkpoint temp dir (terminal states only)."""
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+
+class JobScheduler:
+    """Run many learning jobs concurrently over ``slots`` worker threads.
+
+    Parameters
+    ----------
+    slots:
+        Number of jobs executed concurrently (the shared backend pool).
+    state_dir:
+        Durable root: per-job records + checkpoints live in
+        ``state_dir/<job-id>/``.  ``None`` keeps everything in memory
+        (preemptible jobs checkpoint into a temporary directory).
+    registry:
+        Optional :class:`~repro.service.registry.TheoryRegistry`; jobs
+        with ``register_as`` publish their learned theory on success.
+    chunk_epochs:
+        Epochs per chunk for preemptible jobs (cancellation latency
+        knob; smaller = more responsive, more per-chunk setup).
+    start:
+        Start worker threads immediately (pass ``False`` to stage jobs
+        first — used by tests and by ``recover_jobs``-then-start flows).
+    """
+
+    def __init__(
+        self,
+        slots: int = 2,
+        state_dir: Optional[str] = None,
+        registry=None,
+        chunk_epochs: int = 1,
+        start: bool = True,
+    ):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if chunk_epochs < 1:
+            raise ValueError("chunk_epochs must be >= 1")
+        self.slots = slots
+        self.state_dir = state_dir
+        self.registry = registry
+        self.chunk_epochs = chunk_epochs
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._jobs: dict[str, _Job] = {}
+        self._queue: list[tuple[int, int, str]] = []  # (-priority, seq, job_id)
+        self._seq = 0
+        self._stop = False
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        if state_dir:
+            os.makedirs(state_dir, exist_ok=True)
+        self._started = False
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.slots):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-job-slot-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the scheduler down.
+
+        ``drain=True`` waits for every queued/running job to reach a
+        terminal state first.  ``drain=False`` stops as soon as possible:
+        queued jobs stay ``queued`` and preemptible running jobs park at
+        their next chunk boundary, still ``running`` — both are
+        re-queued by :meth:`recover_jobs` on a fresh scheduler over the
+        same ``state_dir``.
+        """
+        if drain:
+            self.wait_all(timeout=timeout)
+        with self._cv:
+            self._stop = True
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc == (None, None, None))
+
+    # -- submission & queries ----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        """Queue one job; returns its id (``job-NNNN``, submission order)."""
+        with self._cv:
+            if self._closed:
+                raise SchedulerError("scheduler is closed")
+            self._seq += 1
+            job_id = f"job-{self._seq:04d}"
+            record = JobRecord(job_id=job_id, seq=self._seq, spec=spec, state="queued")
+            job = _Job(record=record)
+            self._jobs[job_id] = job
+            self._persist(job)
+            heapq.heappush(self._queue, (-spec.priority, self._seq, job_id))
+            self._cv.notify()
+            return job_id
+
+    def _get(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict:
+        """Plain-data status of one job (includes the outcome when done)."""
+        with self._lock:
+            job = self._get(job_id)
+            d = job.record.to_dict()
+            if job.outcome is not None:
+                d["outcome"] = job.outcome.summary()
+            return d
+
+    def jobs(self) -> list[dict]:
+        """Status of every known job, in submission order."""
+        with self._lock:
+            return [j.record.to_dict() for j in sorted(self._jobs.values(), key=lambda j: j.record.seq)]
+
+    def result(self, job_id: str) -> JobOutcome:
+        """The outcome of a ``done`` job (raises otherwise)."""
+        with self._lock:
+            job = self._get(job_id)
+            if job.record.state != "done":
+                raise SchedulerError(f"job {job_id} is {job.record.state}, not done")
+            if job.outcome is None:
+                raise SchedulerError(
+                    f"job {job_id} finished under a previous scheduler; its outcome "
+                    "is not retained across restarts (published theories live in "
+                    "the registry)"
+                )
+            return job.outcome
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation.
+
+        Queued jobs cancel immediately.  A *running* preemptible job is
+        flagged and parks ``cancelled`` at its next chunk boundary
+        (checkpoints retained).  A running non-preemptible job cannot be
+        interrupted — returns ``False`` (it will still run to
+        completion).  Terminal jobs return ``False``.
+        """
+        with self._cv:
+            job = self._get(job_id)
+            state = job.record.state
+            if state == "queued":
+                self._transition(job, "cancelled")
+                self._cv.notify_all()
+                return True
+            spec = job.record.spec
+            if state == "running" and spec.preemptible and spec.checkpointable:
+                # (JobSpec validation rejects preemptible non-checkpointable
+                # specs; the checkpointable guard is defense in depth — the
+                # flag is only honoured on the chunked path.)
+                job.cancel.set()
+                return True
+            return False
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Block until the job reaches a terminal state; returns status."""
+        with self._cv:
+            job = self._get(job_id)
+            ok = self._cv.wait_for(
+                lambda: job.record.state in TERMINAL_STATES, timeout=timeout
+            )
+            if not ok:
+                raise SchedulerError(f"timed out waiting for {job_id}")
+        return self.status(job_id)
+
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until no job is queued or running."""
+        with self._cv:
+            ok = self._cv.wait_for(
+                lambda: all(
+                    j.record.state in TERMINAL_STATES for j in self._jobs.values()
+                ),
+                timeout=timeout,
+            )
+            if not ok:
+                raise SchedulerError("timed out draining the job queue")
+
+    # -- durability --------------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> Optional[str]:
+        return os.path.join(self.state_dir, job_id) if self.state_dir else None
+
+    def _persist(self, job: _Job) -> None:
+        jdir = self._job_dir(job.record.job_id)
+        if jdir is None:
+            return
+        os.makedirs(jdir, exist_ok=True)
+        data = wire.encode_always(job.record)
+        tmp = os.path.join(jdir, "job.rec.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, os.path.join(jdir, "job.rec"))
+
+    def recover_jobs(self) -> list[str]:
+        """Reload jobs persisted under ``state_dir`` by a prior scheduler.
+
+        ``queued`` and ``running`` records are re-queued (a ``running``
+        job resumes from its newest checkpoint, where one exists —
+        non-checkpointed interrupted jobs simply start over, which is
+        safe because job execution is deterministic and side-effect-free
+        until completion).  Terminal records are loaded for status only.
+        Returns the re-queued job ids.
+        """
+        if not self.state_dir:
+            raise SchedulerError("recover_jobs needs a state_dir")
+        requeued: list[str] = []
+        with self._cv:
+            for name in sorted(os.listdir(self.state_dir)):
+                rec_path = os.path.join(self.state_dir, name, "job.rec")
+                if not os.path.isfile(rec_path) or name in self._jobs:
+                    continue
+                with open(rec_path, "rb") as fh:
+                    record = wire.decode(fh.read())
+                if not isinstance(record, JobRecord):
+                    continue
+                job = _Job(record=record)
+                self._jobs[record.job_id] = job
+                self._seq = max(self._seq, record.seq)
+                if record.state in ("queued", "running"):
+                    record = record.replace(state="queued")
+                    job.record = record
+                    self._persist(job)
+                    heapq.heappush(
+                        self._queue, (-record.spec.priority, record.seq, record.job_id)
+                    )
+                    requeued.append(record.job_id)
+            self._cv.notify_all()
+        return requeued
+
+    # -- execution ---------------------------------------------------------------
+
+    def _transition(self, job: _Job, state: str, **kw) -> None:
+        # Caller holds the lock.
+        job.record = job.record.replace(state=state, **kw)
+        self._persist(job)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._stop and not self._queue:
+                    self._cv.wait()
+                if self._stop:
+                    return
+                _, _, job_id = heapq.heappop(self._queue)
+                job = self._jobs[job_id]
+                if job.record.state != "queued":  # cancelled while queued
+                    continue
+                self._transition(job, "running")
+            try:
+                self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 - job isolation boundary
+                with self._cv:
+                    self._transition(job, "failed", error=f"{type(exc).__name__}: {exc}")
+                    self._cv.notify_all()
+                job.cleanup_tmp()
+
+    def _checkpoint_dir_for(self, job: _Job) -> str:
+        jdir = self._job_dir(job.record.job_id)
+        if jdir is not None:
+            path = os.path.join(jdir, "ckpt")
+        else:
+            if job._tmp is None:
+                job._tmp = tempfile.TemporaryDirectory(prefix="repro-job-")
+            path = job._tmp.name
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    @staticmethod
+    def _latest_checkpoint(ckpt_dir: str):
+        import re
+
+        from repro.fault.checkpoint import load_checkpoint
+
+        # Numeric max: epoch_%04d pads to 4 digits but keeps growing, and
+        # "epoch_10000" sorts before "epoch_9999" lexicographically.
+        best = None
+        best_epoch = -1
+        for n in os.listdir(ckpt_dir):
+            m = re.match(r"^epoch_(\d+)\.ckpt$", n)
+            if m and int(m.group(1)) > best_epoch:
+                best_epoch = int(m.group(1))
+                best = n
+        if best is None:
+            return None
+        return load_checkpoint(os.path.join(ckpt_dir, best))
+
+    def _execute(self, job: _Job) -> None:
+        spec = job.record.spec
+        if spec.preemptible and spec.checkpointable:
+            outcome = self._run_chunked(job)
+        else:
+            ckpt = self._checkpoint_dir_for(job) if spec.checkpointable and self.state_dir else None
+            # A recovered job resumes from whatever checkpoint the
+            # interrupted scheduler left behind instead of recomputing
+            # completed epochs (bit-identical either way).
+            resume = self._latest_checkpoint(ckpt) if ckpt else None
+            outcome = run_job(spec, checkpoint_dir=ckpt, resume=resume)
+        if outcome is None:  # parked (shutdown) or cancelled mid-run
+            with self._cv:
+                self._cv.notify_all()
+            return
+        # Publish before the terminal transition so a registry failure
+        # surfaces as a failed job, not a silently unpublished one.
+        if spec.register_as and self.registry is not None:
+            self._publish(job, outcome)
+        with self._cv:
+            job.outcome = outcome
+            self._transition(job, "done", epochs_done=outcome.epochs)
+            self._cv.notify_all()
+        job.cleanup_tmp()
+
+    def _run_chunked(self, job: _Job) -> Optional[JobOutcome]:
+        """Advance a preemptible job chunk by chunk; None = did not finish."""
+        spec = job.record.spec
+        ckpt_dir = self._checkpoint_dir_for(job)
+        while True:
+            state = self._latest_checkpoint(ckpt_dir)
+            done_epochs = state.epoch if state is not None else 0
+            target = done_epochs + self.chunk_epochs
+            if spec.max_epochs is not None:
+                target = min(target, spec.max_epochs)
+            outcome = run_job(
+                spec, checkpoint_dir=ckpt_dir, resume=state, max_epochs=target
+            )
+            with self._cv:
+                job.record = job.record.replace(epochs_done=outcome.epochs)
+                self._persist(job)
+                hit_cap = spec.max_epochs is not None and outcome.epochs >= spec.max_epochs
+                # No-progress chunks mean the run terminated for its own
+                # reasons (stall, exhausted seed pool) exactly at a chunk
+                # boundary — treat as finished rather than spinning.
+                stalled = outcome.epochs <= done_epochs
+                if outcome.finished or hit_cap or stalled:
+                    return outcome
+                if job.cancel.is_set():
+                    self._transition(job, "cancelled")
+                    self._cv.notify_all()
+                    # (Terminal without state_dir: the checkpoints can never
+                    # be resumed, so the owned temp dir goes too.)
+                    job.cleanup_tmp()
+                    return None
+                if self._stop:
+                    # Park as "running": recover_jobs re-queues and the
+                    # next chunk resumes from the checkpoint just written.
+                    return None
+
+    def _publish(self, job: _Job, outcome: JobOutcome) -> None:
+        spec = job.record.spec
+        provenance = {
+            "job": job.record.job_id,
+            "dataset": spec.dataset,
+            "scale": spec.scale,
+            "algo": spec.algo,
+            "p": str(spec.p),
+            "seed": str(spec.seed),
+            "backend": spec.backend,
+            "epochs": str(outcome.epochs),
+            "uncovered": str(outcome.uncovered),
+            "train_accuracy": f"{outcome.train_accuracy:.2f}",
+        }
+        self.registry.publish(
+            spec.register_as,
+            outcome.theory,
+            config_sig=outcome.config_sig,
+            provenance=provenance,
+        )

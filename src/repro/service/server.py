@@ -1,0 +1,294 @@
+"""The service front door: a JSON-lines socket API (stdlib only).
+
+Protocol
+--------
+One request per line, one response per line, both JSON objects over a
+plain TCP connection (``nc localhost 7341`` works).  Every response has
+``"ok"``; failures carry ``"error"`` instead of payload fields::
+
+    → {"op": "submit", "spec": {"dataset": "trains", "algo": "p2mdie", "p": 2}}
+    ← {"ok": true, "job": "job-0001"}
+    → {"op": "query", "theory": "trains-demo", "examples": ["eastbound(t1)"]}
+    ← {"ok": true, "n": 1, "n_covered": 1, "covered": [true]}
+
+Operations: ``ping``, ``submit``, ``jobs``, ``status``, ``wait``,
+``cancel``, ``query``, ``registry`` (actions ``list`` / ``versions`` /
+``show`` / ``diff`` / ``promote``), ``stats``, ``shutdown``.
+
+:class:`Service` is the transport-free core — a request dict in, a
+response dict out — so the protocol is unit-testable without sockets and
+reusable behind any other transport.  :func:`serve` wraps it in a
+threaded ``socketserver`` TCP server (one thread per connection; learning
+jobs run in the scheduler's own slot threads, so slow jobs never block
+queries).  :class:`ServiceClient` is the matching blocking client used
+by the ``repro jobs`` / ``repro serve``-side CLI verbs and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional
+
+from repro.logic import ParseError, parse_term
+from repro.service.jobs import JobSpec
+from repro.service.query import QueryEngine
+from repro.service.registry import RegistryError, TheoryRegistry
+from repro.service.scheduler import JobScheduler, SchedulerError
+
+__all__ = ["Service", "ServiceServer", "ServiceClient", "serve"]
+
+
+class Service:
+    """Transport-free request handler bundling the three subsystems.
+
+    Owns a :class:`JobScheduler` (learning), a :class:`TheoryRegistry`
+    (artifacts) and a :class:`QueryEngine` (application).  All handlers
+    are thread-safe: the scheduler and registry lock internally, and
+    handler dispatch itself is stateless.
+    """
+
+    def __init__(
+        self,
+        slots: int = 2,
+        state_dir: Optional[str] = None,
+        registry_dir: Optional[str] = None,
+        chunk_epochs: int = 1,
+    ):
+        self.registry = TheoryRegistry(registry_dir) if registry_dir else None
+        self.scheduler = JobScheduler(
+            slots=slots, state_dir=state_dir, registry=self.registry,
+            chunk_epochs=chunk_epochs,
+        )
+        self.query_engine = QueryEngine(registry=self.registry)
+        if state_dir:
+            self.scheduler.recover_jobs()
+
+    def close(self, drain: bool = False) -> None:
+        self.scheduler.close(drain=drain)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Answer one request dict; never raises (errors become fields)."""
+        try:
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None)
+            if not isinstance(op, str) or handler is None:
+                return {"ok": False, "error": f"unknown op {op!r}"}
+            return {"ok": True, **handler(request)}
+        except (SchedulerError, RegistryError, ParseError, ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- operations --------------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+    def _op_submit(self, request: dict) -> dict:
+        spec = JobSpec.from_dict(request["spec"])
+        if spec.register_as and self.registry is None:
+            raise ValueError("register_as needs the server started with a registry dir")
+        return {"job": self.scheduler.submit(spec)}
+
+    def _op_jobs(self, request: dict) -> dict:
+        return {"jobs": self.scheduler.jobs()}
+
+    def _op_status(self, request: dict) -> dict:
+        return self.scheduler.status(request["job"])
+
+    def _op_wait(self, request: dict) -> dict:
+        return self.scheduler.wait(request["job"], timeout=request.get("timeout"))
+
+    def _op_cancel(self, request: dict) -> dict:
+        return {"cancelled": self.scheduler.cancel(request["job"])}
+
+    def _op_query(self, request: dict) -> dict:
+        if self.registry is None:
+            raise ValueError("query needs the server started with a registry dir")
+        examples = [parse_term(s) for s in request["examples"]]
+        result = self.query_engine.query(
+            request["theory"], examples, version=request.get("version")
+        )
+        return {
+            "n": result.n,
+            "n_covered": result.n_covered,
+            "ops": result.ops,
+            "covered": result.decisions(),
+        }
+
+    def _op_registry(self, request: dict) -> dict:
+        if self.registry is None:
+            raise ValueError("server started without a registry dir")
+        reg = self.registry
+        action = request.get("action", "list")
+        if action == "list":
+            return {
+                "theories": [
+                    {
+                        "name": n,
+                        "versions": reg.versions(n),
+                        "promoted": reg.promoted_version(n),
+                    }
+                    for n in reg.names()
+                ]
+            }
+        if action == "versions":
+            return {"versions": reg.versions(request["name"])}
+        if action == "show":
+            record = reg.get(request["name"], request.get("version"))
+            return {"record": record.to_dict()}
+        if action == "diff":
+            diff = reg.diff(request["name"], request["old"], request["new"])
+            return {k: [str(c) for c in v] for k, v in diff.items()}
+        if action == "promote":
+            return {"promoted": reg.promote(request["name"], request["version"])}
+        raise ValueError(f"unknown registry action {action!r}")
+
+    def _op_stats(self, request: dict) -> dict:
+        jobs = self.scheduler.jobs()
+        by_state: dict[str, int] = {}
+        for j in jobs:
+            by_state[j["state"]] = by_state.get(j["state"], 0) + 1
+        return {
+            "slots": self.scheduler.slots,
+            "jobs": by_state,
+            "query": self.query_engine.stats(),
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # The transport layer watches for this marker and stops accepting.
+        return {"shutdown": True}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets in tests
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                response = self.server.service.handle(request)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("shutdown"):
+                self.server.initiate_shutdown()
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-lines TCP server around a :class:`Service`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: Service):
+        super().__init__(address, _Handler)
+        self.service = service
+        self._shutdown_thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def initiate_shutdown(self) -> None:
+        """Stop accepting connections (callable from a handler thread)."""
+        if self._shutdown_thread is None:
+            self._shutdown_thread = threading.Thread(target=self.shutdown, daemon=True)
+            self._shutdown_thread.start()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 7341,
+    slots: int = 2,
+    state_dir: Optional[str] = None,
+    registry_dir: Optional[str] = None,
+    chunk_epochs: int = 1,
+    ready=None,
+) -> None:
+    """Run the service until a ``shutdown`` request (blocking).
+
+    ``port=0`` binds an ephemeral port.  ``ready``, when given, is
+    called with the bound :class:`ServiceServer` once the socket is
+    listening (tests use it to learn the port; the CLI prints it).
+    """
+    service = Service(
+        slots=slots, state_dir=state_dir, registry_dir=registry_dir,
+        chunk_epochs=chunk_epochs,
+    )
+    with ServiceServer((host, port), service) as server:
+        if ready is not None:
+            ready(server)
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            service.close(drain=False)
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for :func:`serve` endpoints.
+
+    ``timeout`` (seconds) bounds *connection setup*; established
+    connections block indefinitely by default — ``wait`` requests
+    legitimately outlast any fixed socket timeout (learning jobs run for
+    minutes), and the server answers every request eventually.  Pass
+    ``read_timeout`` to bound individual responses instead.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: float = 60.0,
+        read_timeout: Optional[float] = None,
+    ):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(read_timeout)
+        self._file = self.sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request; return the decoded response dict."""
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self._file.close()
+        self.sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        resp = self.request({"op": "submit", "spec": spec.to_dict()})
+        if not resp.get("ok"):
+            raise RuntimeError(resp.get("error", "submit failed"))
+        return resp["job"]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        return self.request({"op": "wait", "job": job_id, "timeout": timeout})
+
+    def query(self, theory: str, examples: list[str], version: Optional[int] = None) -> dict:
+        return self.request(
+            {"op": "query", "theory": theory, "examples": examples, "version": version}
+        )

@@ -119,11 +119,18 @@ class TestRoundTrip:
         assert wire.decode(data) == msg
 
     def test_every_message_type_covered(self):
-        # The checkpoint payload registers its codec on import (it is a
-        # file format, not a network message, so it lives out of package).
+        # Out-of-package payloads register their codecs on import (file
+        # formats, not network messages): the checkpoint (code 21), the
+        # theory-registry record (22) and the scheduler job record (23).
         from repro.fault.checkpoint import CheckpointState
+        from repro.service.jobs import JobRecord
+        from repro.service.registry import RegistryRecord
 
-        assert {type(m) for m in MESSAGES} | {CheckpointState} == set(wire._ENCODERS)
+        assert {type(m) for m in MESSAGES} | {
+            CheckpointState,
+            RegistryRecord,
+            JobRecord,
+        } == set(wire._ENCODERS)
 
     def test_exotic_constants(self):
         msg = Repartition(

@@ -1,0 +1,104 @@
+"""QueryEngine: batched coverage must be bit-identical to one-shot eval."""
+
+import pytest
+
+from repro.ilp import predicts
+from repro.ilp.coverage import coverage_eval
+from repro.logic import parse_term
+from repro.logic.engine import Engine
+from repro.service import QueryEngine
+
+
+def fresh_engine(ds):
+    return Engine(ds.kb, ds.config.engine_budget(), kernel=ds.config.coverage_kernel)
+
+
+@pytest.fixture
+def published(registry, trains_theory):
+    registry.publish(
+        "trains-th",
+        trains_theory.theory,
+        config_sig=trains_theory.config_sig,
+        provenance={"dataset": "trains", "seed": "0", "scale": "small"},
+    )
+    return registry
+
+
+class TestBatchedParity:
+    def test_batch_equals_oneshot_coverage_eval(self, published, trains, trains_theory):
+        qe = QueryEngine(registry=published)
+        examples = trains.pos + trains.neg
+        result = qe.query("trains-th", examples)
+        # One-shot ground truth: full-candidate coverage_eval per clause, OR-ed.
+        expected = 0
+        for clause in trains_theory.theory:
+            bits, _ = coverage_eval(fresh_engine(trains), clause, examples)
+            expected |= bits
+        assert result.covered == expected
+        assert result.n == len(examples)
+
+    def test_batch_equals_per_example_predicts(self, published, trains, trains_theory):
+        qe = QueryEngine(registry=published)
+        examples = trains.pos + trains.neg
+        decisions = qe.query("trains-th", examples).decisions()
+        engine = fresh_engine(trains)
+        assert decisions == [
+            predicts(engine, trains_theory.theory, e) for e in examples
+        ]
+
+    def test_micro_batch_invariance(self, published, trains):
+        qe = QueryEngine(registry=published)
+        examples = trains.pos + trains.neg
+        full = qe.query("trains-th", examples, micro_batch=1024)
+        for micro in (1, 3, 7):
+            assert qe.query("trains-th", examples, micro_batch=micro).covered == full.covered
+
+    def test_empty_batch(self, published):
+        result = QueryEngine(registry=published).query("trains-th", [])
+        assert result.covered == 0 and result.n == 0 and result.n_covered == 0
+
+
+class TestPreparedCache:
+    def test_prepare_once_reuse_after(self, published, trains):
+        qe = QueryEngine(registry=published)
+        qe.query("trains-th", trains.pos[:4])
+        qe.query("trains-th", trains.pos[4:8])
+        qe.query("trains-th", trains.neg)
+        stats = qe.stats()
+        assert stats["prepared_misses"] == 1
+        assert stats["prepared_hits"] == 2
+        assert stats["prepared_entries"] == 1
+        assert stats["batches"] == 3
+
+    def test_versions_prepare_separately(self, published, trains_theory, trains):
+        published.publish(
+            "trains-th", trains_theory.theory,
+            provenance={"dataset": "trains", "seed": "0"},
+        )
+        qe = QueryEngine(registry=published)
+        qe.query("trains-th", trains.pos[:2], version=1)
+        qe.query("trains-th", trains.pos[:2], version=2)
+        assert qe.stats()["prepared_entries"] == 2
+
+
+class TestValidation:
+    def test_non_ground_example_rejected(self, published):
+        qe = QueryEngine(registry=published)
+        with pytest.raises(ValueError, match="ground"):
+            qe.query("trains-th", [parse_term("eastbound(X)")])
+
+    def test_no_registry(self):
+        with pytest.raises(ValueError, match="no registry"):
+            QueryEngine().prepare("anything")
+
+    def test_record_without_dataset_provenance(self, registry, trains_theory):
+        registry.publish("orphan", trains_theory.theory)
+        qe = QueryEngine(registry=registry)
+        with pytest.raises(ValueError, match="dataset provenance"):
+            qe.prepare("orphan")
+
+    def test_prepare_theory_without_registry(self, trains, trains_theory):
+        qe = QueryEngine()
+        prepared = qe.prepare_theory(trains_theory.theory, trains.kb, trains.config)
+        result = prepared.query(trains.pos)
+        assert result.n_covered == len(trains.pos)

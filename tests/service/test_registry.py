@@ -1,0 +1,112 @@
+"""TheoryRegistry: versioned artifacts, promotion, diff, corruption."""
+
+import pytest
+
+from repro.logic import Theory, parse_clause
+from repro.parallel import wire
+from repro.service import RegistryError, TheoryRegistry
+from repro.service.registry import RegistryRecord, theory_diff
+
+
+def clause(s):
+    return parse_clause(s)
+
+
+@pytest.fixture
+def theory_v1():
+    return Theory([clause("p(X) :- q(X).")])
+
+
+@pytest.fixture
+def theory_v2():
+    return Theory([clause("p(X) :- q(X)."), clause("p(X) :- r(X, Y), s(Y).")])
+
+
+class TestPublishGet:
+    def test_versions_append(self, registry, theory_v1, theory_v2):
+        r1 = registry.publish("target", theory_v1, config_sig="cfg")
+        r2 = registry.publish("target", theory_v2, config_sig="cfg")
+        assert (r1.version, r2.version) == (1, 2)
+        assert registry.versions("target") == [1, 2]
+        assert registry.names() == ["target"]
+        assert registry.latest_version("target") == 2
+
+    def test_get_round_trips_theory(self, registry, theory_v2):
+        registry.publish("t", theory_v2, config_sig="sig-abc",
+                         provenance={"dataset": "trains", "seed": 0})
+        rec = registry.get("t")
+        assert rec.to_theory() == theory_v2
+        assert rec.config_sig == "sig-abc"
+        assert rec.provenance_dict()["dataset"] == "trains"
+        # git SHA stamped automatically
+        assert "git_sha" in rec.provenance_dict()
+
+    def test_get_defaults_to_latest_then_promoted(self, registry, theory_v1, theory_v2):
+        registry.publish("t", theory_v1)
+        registry.publish("t", theory_v2)
+        assert registry.get("t").version == 2
+        registry.promote("t", 1)
+        assert registry.get("t").version == 1
+        assert registry.promoted_version("t") == 1
+        assert registry.get("t", 2).version == 2
+
+    def test_unknown_name_and_version(self, registry, theory_v1):
+        with pytest.raises(RegistryError, match="no theory registered"):
+            registry.get("missing")
+        registry.publish("t", theory_v1)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.get("t", 9)
+        with pytest.raises(RegistryError, match="no version 9"):
+            registry.promote("t", 9)
+
+    def test_invalid_names_rejected(self, registry, theory_v1):
+        for bad in ("../escape", "", ".hidden", "a/b"):
+            with pytest.raises(RegistryError, match="invalid theory name"):
+                registry.publish(bad, theory_v1)
+
+    def test_names_skips_stray_entries(self, registry, theory_v1, tmp_path):
+        import os
+
+        registry.publish("real", theory_v1)
+        # Stray contents a shared root accumulates: a dotdir, a non-theory
+        # dir, a plain file.  The listing must skip them, not raise.
+        os.makedirs(os.path.join(registry.root, ".git"))
+        os.makedirs(os.path.join(registry.root, "empty-dir"))
+        with open(os.path.join(registry.root, "notes.txt"), "w") as fh:
+            fh.write("hi")
+        assert registry.names() == ["real"]
+
+    def test_corrupt_artifact_surfaces_as_registry_error(self, registry, theory_v1):
+        registry.publish("t", theory_v1)
+        path = registry._path("t", 1)
+        with open(path, "wb") as fh:
+            fh.write(b"\xc3garbage")
+        with pytest.raises(RegistryError, match="corrupt|not a registry"):
+            registry.get("t", 1)
+
+    def test_record_bytes_deterministic(self, theory_v2):
+        rec = RegistryRecord(
+            format_version=1, name="t", version=3, theory=tuple(theory_v2),
+            config_sig="cfg", provenance=(("a", "1"), ("b", "2")),
+            epoch_summary=((1, 4, 10),),
+        )
+        data = wire.encode_always(rec)
+        assert wire.decode(data) == rec
+        assert wire.encode_always(rec) == data
+
+
+class TestDiff:
+    def test_diff_by_variant_key(self, registry, theory_v1, theory_v2):
+        registry.publish("t", theory_v1)
+        registry.publish("t", theory_v2)
+        diff = registry.diff("t", 1, 2)
+        assert [str(c) for c in diff["added"]] == [str(clause("p(X) :- r(X, Y), s(Y)."))]
+        assert diff["removed"] == []
+        assert len(diff["unchanged"]) == 1
+
+    def test_renamed_variants_are_unchanged(self):
+        old = Theory([clause("p(X) :- q(X).")])
+        new = Theory([clause("p(Z) :- q(Z).")])  # renamed variant: same rule
+        diff = theory_diff(old, new)
+        assert diff["added"] == [] and diff["removed"] == []
+        assert len(diff["unchanged"]) == 1

@@ -142,3 +142,52 @@ class TestExport:
         kb, pos, neg, modes = load_problem(tmp_path / "out")
         assert pos and neg
         ModeSet(modes).validate()
+
+
+class TestService:
+    """Offline service verbs (the socket path is covered by tests/service)."""
+
+    @pytest.fixture
+    def populated_registry(self, tmp_path):
+        from repro.service import JobSpec, TheoryRegistry, run_job
+
+        outcome = run_job(JobSpec(dataset="trains", algo="mdie", seed=0))
+        registry = TheoryRegistry(str(tmp_path / "reg"))
+        for _ in range(2):
+            registry.publish(
+                "trains-th", outcome.theory, config_sig=outcome.config_sig,
+                provenance={"dataset": "trains", "seed": "0", "scale": "small"},
+            )
+        return str(tmp_path / "reg")
+
+    def test_registry_list_show_promote(self, populated_registry, capsys):
+        assert main(["registry", "--registry-dir", populated_registry, "list"]) == 0
+        assert "trains-th: versions [1, 2]" in capsys.readouterr().out
+        assert main(["registry", "--registry-dir", populated_registry, "promote", "trains-th", "1"]) == 0
+        capsys.readouterr()
+        assert main(["registry", "--registry-dir", populated_registry, "show", "trains-th"]) == 0
+        out = capsys.readouterr().out
+        assert "trains-th v1" in out and "eastbound" in out
+
+    def test_registry_diff(self, populated_registry, capsys):
+        assert main(["registry", "--registry-dir", populated_registry, "diff", "trains-th", "1", "2"]) == 0
+        assert "0 added, 0 removed" in capsys.readouterr().out
+
+    def test_query_dataset_confusion(self, populated_registry, capsys):
+        assert main(["query", "trains-th", "--registry-dir", populated_registry]) == 0
+        out = capsys.readouterr().out
+        assert "tp=" in out and "accuracy=" in out
+
+    def test_query_examples_file(self, populated_registry, tmp_path, capsys):
+        examples = tmp_path / "examples.txt"
+        examples.write_text("% comment\neastbound(east1).\n\n")
+        assert main([
+            "query", "trains-th", "--registry-dir", populated_registry,
+            "--examples", str(examples),
+        ]) == 0
+        assert "covered" in capsys.readouterr().out
+
+    def test_jobs_unreachable_server_exits_cleanly(self, capsys):
+        # Port 1 is never listening; the client must not traceback.
+        assert main(["jobs", "status", "--port", "1"]) == 2
+        assert "is `repro serve` running?" in capsys.readouterr().err
