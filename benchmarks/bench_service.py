@@ -13,6 +13,17 @@ work — virtual time has no meaning here):
   per-example ``predicts`` loop on the same warm engine.  Batched and
   one-shot classifications must agree exactly (asserted); the report
   records the per-query latency amortization.
+* **Shard scaling** — the same batched query evaluated shard-parallel
+  over 1, 2 and 4 worker threads; every sharded covered-bitset is
+  asserted bit-identical to the sequential path (the query tier's core
+  guarantee), with throughput gated only on machines with real cores.
+* **Streaming latency** — time-to-first-shard-frame vs full-batch
+  latency of one streamed query (shards serialized on one worker, so
+  the decoupling is structural, not a scheduling accident); first
+  frame strictly below full batch is asserted unconditionally.
+* **Transport bytes** — one identical batched query over the JSON-lines
+  and the negotiated binary wire transports against a live server;
+  wire must cost strictly fewer bytes on the socket (asserted).
 
 Knobs:
 
@@ -36,6 +47,9 @@ import pathlib
 from repro.experiments.serviceload import (
     make_job_fleet,
     measure_query_scaling,
+    measure_shard_scaling,
+    measure_streaming_latency,
+    measure_transport_bytes,
     run_job_fleet,
 )
 
@@ -48,6 +62,13 @@ OUT_PATH = ROOT / "BENCH_service.json"
 SLOTS = (1, 2) if SMOKE else (1, 2, 4)
 N_JOBS = 4 if SMOKE else 8
 BATCHES = (1, 10, 100) if SMOKE else (1, 10, 100, 1000)
+SHARDS = (1, 2, 4)
+# The query-tier legs stay at full size even in smoke mode: they are
+# pure-query (milliseconds), and the issue's acceptance criteria pin the
+# streaming comparison to the 1000-example leg.
+SHARD_BATCH = 1000
+STREAM_BATCH = 1000
+WIRE_BATCH = 200
 
 
 def run_benchmark() -> dict:
@@ -63,6 +84,9 @@ def run_benchmark() -> dict:
         throughput.append(row)
 
     queries = measure_query_scaling(BATCHES, dataset=DATASET, seed=SEED)
+    shard_scaling = measure_shard_scaling(SHARDS, batch=SHARD_BATCH, dataset=DATASET, seed=SEED)
+    streaming = measure_streaming_latency(batch=STREAM_BATCH, shards=4, dataset=DATASET, seed=SEED)
+    transport = measure_transport_bytes(batch=WIRE_BATCH, dataset=DATASET, seed=SEED)
     return {
         "dataset": DATASET,
         "seed": SEED,
@@ -70,6 +94,9 @@ def run_benchmark() -> dict:
         "cpu_count": os.cpu_count() or 1,
         "throughput": throughput,
         "queries": queries,
+        "shard_scaling": shard_scaling,
+        "streaming": streaming,
+        "transport": transport,
     }
 
 
@@ -92,6 +119,29 @@ def render(report: dict) -> str:
             f"{row['batch']:>6} {row['batched_us_per_query']:>13.1f} "
             f"{row['oneshot_us_per_query']:>14.1f} {row['speedup']:>8.2f}x"
         )
+    shard = report["shard_scaling"]
+    lines.append(
+        f"{'shards':>6} {'wall s':>9} {'ex/s':>10} {'vs seq':>8}   "
+        f"(batch={shard['batch']}, sequential {shard['sequential_s']:.4f}s)"
+    )
+    for row in shard["rows"]:
+        lines.append(
+            f"{row['shards']:>6} {row['wall_s']:>9.4f} {row['examples_per_s']:>10.0f} "
+            f"{row['speedup_vs_seq']:>7.2f}x"
+        )
+    stream = report["streaming"]
+    lines.append(
+        f"streaming: first frame {1e3 * stream['first_frame_s']:.2f} ms vs "
+        f"full batch {1e3 * stream['full_batch_s']:.2f} ms "
+        f"({stream['shards']} shards, batch={stream['batch']}, "
+        f"first at {100 * stream['first_fraction']:.0f}% of full)"
+    )
+    wire = report["transport"]
+    lines.append(
+        f"transport: wire {wire['wire']['bytes_total']} B vs "
+        f"json {wire['json']['bytes_total']} B per {wire['batch']}-example query "
+        f"({100 * wire['wire_fraction']:.0f}% of JSON-lines)"
+    )
     return "\n".join(lines)
 
 
@@ -108,6 +158,25 @@ def check(report: dict) -> None:
     assert report["queries"]["parity"], (
         "batched query results diverged from one-shot evaluation!"
     )
+    assert report["shard_scaling"]["parity"], (
+        "sharded query results diverged from the sequential path!"
+    )
+    assert report["streaming"]["parity"], (
+        "streamed/reassembled query results diverged from the sequential path!"
+    )
+    assert report["transport"]["parity"], (
+        "wire-transport query results diverged from JSON-lines!"
+    )
+    # Structural guarantees: asserted on every machine, every mode.
+    stream = report["streaming"]
+    assert stream["first_frame_s"] < stream["full_batch_s"], (
+        f"streaming bought no latency: first={stream['first_frame_s']} "
+        f"full={stream['full_batch_s']}"
+    )
+    wire = report["transport"]
+    assert wire["wire"]["bytes_total"] < wire["json"]["bytes_total"], (
+        f"wire transport not smaller than JSON-lines: {wire}"
+    )
     walls = {r["slots"]: r["wall_s"] for r in report["throughput"]}
     slots = sorted(walls)
     if len(slots) >= 2 and not SMOKE and report["cpu_count"] >= 4:
@@ -118,6 +187,14 @@ def check(report: dict) -> None:
         # machines are noisy).
         assert walls[slots[-1]] < walls[slots[0]], (
             f"no throughput scaling: {walls}"
+        )
+    shard_walls = {r["shards"]: r["wall_s"] for r in report["shard_scaling"]["rows"]}
+    shard_counts = sorted(shard_walls)
+    if len(shard_counts) >= 2 and not SMOKE and report["cpu_count"] >= 4:
+        # Same convention as slots: shard threads only overlap with real
+        # cores under them; elsewhere the gate is parity-and-report-only.
+        assert shard_walls[shard_counts[-1]] < shard_walls[shard_counts[0]], (
+            f"no shard scaling: {shard_walls}"
         )
 
 

@@ -207,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-epochs", type=int, default=1,
         help="epochs per chunk for preemptible jobs (cancellation latency)",
     )
+    serve_p.add_argument(
+        "--auth-token", default=None, metavar="TOKEN",
+        help="require clients to authenticate with this token (hello op)",
+    )
+    serve_p.add_argument(
+        "--max-jobs-per-client", type=int, default=0, metavar="N",
+        help="reject submits from clients with N active jobs already (0 = unlimited)",
+    )
+    serve_p.add_argument(
+        "--query-shards", type=int, default=0, metavar="K",
+        help="default shard count for coverage queries (0 = sequential)",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="client verbs against a running `repro serve`"
@@ -218,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
     client = argparse.ArgumentParser(add_help=False)
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7341)
+    client.add_argument("--token", default=None, help="server auth token")
+    client.add_argument(
+        "--transport", choices=("json", "wire"), default="json",
+        help="client transport (wire = compact binary framing)",
+    )
     jobs_sub = jobs_p.add_subparsers(dest="jobs_command", required=True)
     js = jobs_sub.add_parser("submit", help="queue one learning job", parents=[common, client])
     js.add_argument("dataset", choices=sorted(DATASETS))
@@ -245,6 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jw.add_argument("job")
     jw.add_argument("--timeout", type=float, default=None)
+    jg = jobs_sub.add_parser(
+        "gc", help="drop old finished jobs from the server", parents=[common, client]
+    )
+    jg.add_argument(
+        "--keep", type=int, default=0,
+        help="retain the newest N terminal jobs (default: drop all)",
+    )
     jobs_sub.add_parser(
         "shutdown", help="stop the server (running jobs park/finish)",
         parents=[common, client],
@@ -266,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
     rprom = reg_sub.add_parser("promote", help="bless a version as the served default")
     rprom.add_argument("name")
     rprom.add_argument("version", type=int)
+    rgc = reg_sub.add_parser("gc", help="drop old versions of a theory")
+    rgc.add_argument("name")
+    rgc.add_argument(
+        "--keep", type=int, default=1,
+        help="retain the newest N versions (the promoted one always survives)",
+    )
 
     query_p = sub.add_parser(
         "query",
@@ -283,6 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--examples", default=None, metavar="FILE",
         help="file with one ground term per line ('-' = stdin)",
     )
+    query_p.add_argument(
+        "--shards", type=int, default=0,
+        help="evaluate the batch shard-parallel over K worker threads",
+    )
+
+    load_p = sub.add_parser(
+        "loadgen",
+        help="drive query traffic at a running server; report percentiles",
+        parents=[common, client],
+        description="Open-loop load generation against a running `repro "
+        "serve`: fire query batches on a deterministic arrival schedule "
+        "(uniform, burst, or heavy-tail) and report p50/p95/p99 latency "
+        "measured from each request's scheduled send time, so server "
+        "backlog shows up as tail latency.  Examples are drawn from the "
+        "named dataset's pos+neg pool, cycled to --batch.",
+    )
+    load_p.add_argument("theory", help="registered theory name to query")
+    load_p.add_argument("--dataset", choices=sorted(DATASETS), default="trains")
+    load_p.add_argument("--seed", type=int, default=0)
+    load_p.add_argument("--scale", choices=("small", "paper"), default="small")
+    load_p.add_argument("--batch", type=int, default=100, help="examples per request")
+    load_p.add_argument("--requests", type=int, default=50, metavar="N")
+    load_p.add_argument("--rate", type=float, default=20.0, help="target requests/s")
+    load_p.add_argument(
+        "--pattern", choices=("uniform", "burst", "heavytail"), default="uniform"
+    )
+    load_p.add_argument("--shards", type=int, default=0, help="shards per query (0 = server default)")
+    load_p.add_argument("--stream", action="store_true", help="use streaming queries")
+    load_p.add_argument("--concurrency", type=int, default=8, help="client connections")
     return ap
 
 
@@ -488,9 +547,11 @@ def _cmd_serve(args) -> int:
     from repro.service.server import serve
 
     def announce(server) -> None:
+        auth = "on" if args.auth_token else "off"
         print(
             f"% serving on {args.host}:{server.port} "
-            f"(slots={args.slots}, registry={args.registry_dir or 'off'})"
+            f"(slots={args.slots}, registry={args.registry_dir or 'off'}, "
+            f"auth={auth}, query-shards={args.query_shards or 'seq'})"
         )
         sys.stdout.flush()
 
@@ -499,6 +560,9 @@ def _cmd_serve(args) -> int:
             host=args.host, port=args.port, slots=args.slots,
             state_dir=args.state_dir, registry_dir=args.registry_dir,
             chunk_epochs=args.chunk_epochs, ready=announce,
+            auth_token=args.auth_token,
+            max_jobs_per_client=args.max_jobs_per_client,
+            query_shards=args.query_shards,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         print("% interrupted", file=sys.stderr)
@@ -527,7 +591,10 @@ def _jobs_verbs(args) -> int:
     from repro.service.jobs import JobSpec
     from repro.service.server import ServiceClient
 
-    with ServiceClient(host=args.host, port=args.port) as client:
+    with ServiceClient(
+        host=args.host, port=args.port,
+        token=args.token, transport=args.transport,
+    ) as client:
         if args.jobs_command == "submit":
             spec = JobSpec(
                 dataset=args.dataset, algo=args.algo, p=args.p, seed=args.seed,
@@ -564,6 +631,15 @@ def _jobs_verbs(args) -> int:
             resp = client.request({"op": "shutdown"})
             print("% server shutting down")
             return 0 if resp.get("ok") else 1
+        if args.jobs_command == "gc":
+            resp = client.request({"op": "gc", "target": "jobs", "keep": args.keep})
+            if not resp.get("ok"):
+                print(f"repro: {resp.get('error')}", file=sys.stderr)
+                return 1
+            removed = resp["removed"]
+            print(f"% removed {len(removed)} terminal job(s)"
+                  + (f": {' '.join(removed)}" if removed else ""))
+            return 0
         resp = client.wait(args.job, timeout=args.timeout)
         return _print_job_response(resp)
 
@@ -626,6 +702,12 @@ def _registry_verbs(args, reg) -> int:
             f"{len(diff['unchanged'])} unchanged"
         )
         return 0
+    if args.registry_command == "gc":
+        removed = reg.gc(args.name, keep=args.keep)
+        gone = ", ".join(f"v{v}" for v in removed) if removed else "nothing"
+        print(f"% {args.name}: removed {gone} "
+              f"(surviving versions: {reg.versions(args.name)})")
+        return 0
     version = reg.promote(args.name, args.version)
     print(f"% promoted {args.name} v{version}")
     return 0
@@ -657,7 +739,9 @@ def _query_verb(args) -> int:
                 for line in fh
                 if line.strip() and not line.lstrip().startswith("%")
             ]
-        result = engine.query(args.name, examples, version=args.version)
+        result = engine.query(
+            args.name, examples, version=args.version, shards=args.shards or None
+        )
         for example, hit in zip(examples, result.decisions()):
             print(f"{example}  {'+' if hit else '-'}")
         print(f"% covered {result.n_covered}/{result.n} (ops={result.ops})")
@@ -666,14 +750,69 @@ def _query_verb(args) -> int:
     # (dataset_for shares the query engine's dataset cache, so the KB the
     # prepare step builds is not generated a second time here.)
     ds = engine.dataset_for(args.name, args.version)
-    res_pos = engine.query(args.name, ds.pos, version=args.version)
-    res_neg = engine.query(args.name, ds.neg, version=args.version)
+    shards = args.shards or None
+    res_pos = engine.query(args.name, ds.pos, version=args.version, shards=shards)
+    res_neg = engine.query(args.name, ds.neg, version=args.version, shards=shards)
     tp, fp = res_pos.n_covered, res_neg.n_covered
     fn, tn = res_pos.n - tp, res_neg.n - fp
     total = res_pos.n + res_neg.n
     print(f"% {record.name} v{record.version} on {ds.name}:")
     print(f"% tp={tp} fn={fn} tn={tn} fp={fp} accuracy={100.0 * (tp + tn) / total:.1f}%")
     return 0
+
+
+def _cmd_loadgen(args) -> int:
+    try:
+        return _loadgen_run(args)
+    except ConnectionError as exc:
+        print(
+            f"repro: cannot reach the service ({exc}); is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _loadgen_run(args) -> int:
+    import itertools
+
+    from repro.experiments.loadgen import run_loadgen
+    from repro.service.server import ServiceClient
+
+    if args.batch < 1:
+        print("repro: --batch must be >= 1", file=sys.stderr)
+        return 2
+    ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    pool = itertools.cycle(str(e) for e in (*ds.pos, *ds.neg))
+    examples = [next(pool) for _ in range(args.batch)]
+
+    def make_client():
+        return ServiceClient(
+            host=args.host, port=args.port,
+            token=args.token, transport=args.transport,
+        )
+
+    report = run_loadgen(
+        make_client, args.theory, examples,
+        n_requests=args.requests, rate=args.rate, pattern=args.pattern,
+        seed=args.seed, shards=args.shards or None, stream=args.stream,
+        concurrency=args.concurrency,
+    )
+    print(
+        f"% {report['pattern']} x{report['n_requests']} @ {report['rate']}/s "
+        f"(batch={report['batch']}, shards={report['shards'] or 'server'}, "
+        f"stream={report['stream']}): achieved {report['achieved_rps']}/s "
+        f"in {report['wall_s']}s, errors={report['errors']}"
+    )
+    for label, key in (("latency", "latency"), ("first-frame", "first_frame")):
+        stats = report.get(key)
+        if stats:
+            print(
+                f"%   {label}: p50={stats['p50_ms']}ms p95={stats['p95_ms']}ms "
+                f"p99={stats['p99_ms']}ms max={stats['max_ms']}ms"
+            )
+    for sample in report["error_samples"]:
+        print(f"%   error: {sample}", file=sys.stderr)
+    return 0 if report["errors"] == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -689,6 +828,7 @@ def main(argv=None) -> int:
         "jobs": _cmd_jobs,
         "registry": _cmd_registry,
         "query": _cmd_query,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     try:
         if getattr(args, "profile", None):

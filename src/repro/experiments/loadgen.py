@@ -1,0 +1,212 @@
+"""Open-loop load generation against a live service endpoint.
+
+The service benchmarks measure *capability* (how fast can a batch go);
+this module measures *behaviour under traffic*: requests are fired on a
+precomputed arrival schedule — independent of how fast responses come
+back — and per-request latency is taken from the **scheduled** send
+time, so a server that falls behind accumulates visible queueing delay
+instead of silently slowing the generator down (the classic coordinated-
+omission trap in closed-loop load tests).
+
+Three arrival patterns, all deterministic given the seed:
+
+* ``uniform`` — constant gaps at the target rate (the baseline).
+* ``burst`` — the same average rate delivered in back-to-back groups
+  with idle gaps between them: how flash crowds actually arrive.
+* ``heavytail`` — Pareto inter-arrival gaps (finite mean, unbounded
+  tail) scaled to the target rate: long quiet stretches punctuated by
+  pile-ups, the shape real query traffic takes.
+
+Reported latencies are percentile-based (p50/p95/p99) because service
+latency distributions are skewed — a mean hides exactly the tail the
+north star ("serve the millions") cares about.  Streamed queries report
+two distributions: time to *first* shard frame and time to the *end*
+frame, which is the streaming tier's headline trade visible per request.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "arrival_schedule",
+    "latency_stats",
+    "percentile",
+    "run_loadgen",
+    "PATTERNS",
+]
+
+PATTERNS = ("uniform", "burst", "heavytail")
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("no samples")
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def latency_stats(samples: Sequence[float]) -> dict:
+    """p50/p95/p99 + bounds of a latency sample, in milliseconds."""
+    ms = [1e3 * s for s in samples]
+    return {
+        "n": len(ms),
+        "p50_ms": round(percentile(ms, 50), 3),
+        "p95_ms": round(percentile(ms, 95), 3),
+        "p99_ms": round(percentile(ms, 99), 3),
+        "mean_ms": round(sum(ms) / len(ms), 3),
+        "max_ms": round(max(ms), 3),
+    }
+
+
+def arrival_schedule(
+    n: int,
+    rate: float,
+    pattern: str = "uniform",
+    seed: int = 0,
+    burst_size: int = 8,
+    pareto_alpha: float = 1.5,
+) -> list[float]:
+    """``n`` send offsets (seconds from start), averaging ``rate`` req/s.
+
+    Deterministic given ``seed``.  ``burst`` delivers ``burst_size``
+    requests back-to-back, then stays idle until the next group keeps
+    the long-run average at ``rate``; ``heavytail`` draws Pareto gaps
+    with shape ``pareto_alpha`` (the smaller, the heavier the tail)
+    rescaled so the mean gap is exactly ``1 / rate``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; known: {PATTERNS}")
+    gap = 1.0 / rate
+    if pattern == "uniform":
+        return [i * gap for i in range(n)]
+    if pattern == "burst":
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        return [(i // burst_size) * (gap * burst_size) for i in range(n)]
+    # heavytail: Pareto(alpha) has mean alpha/(alpha-1) (for alpha > 1);
+    # dividing it out makes the schedule's average rate match `rate`
+    # exactly in expectation whatever the shape parameter.
+    rng = random.Random(seed)
+    mean = pareto_alpha / (pareto_alpha - 1.0) if pareto_alpha > 1.0 else None
+    offsets = []
+    t = 0.0
+    for _ in range(n):
+        offsets.append(t)
+        draw = rng.paretovariate(pareto_alpha)
+        t += gap * (draw / mean if mean is not None else draw)
+    return offsets
+
+
+def run_loadgen(
+    make_client: Callable[[], object],
+    theory: str,
+    examples: Sequence[str],
+    n_requests: int = 50,
+    rate: float = 20.0,
+    pattern: str = "uniform",
+    seed: int = 0,
+    shards: Optional[int] = None,
+    stream: bool = False,
+    concurrency: int = 8,
+    burst_size: int = 8,
+) -> dict:
+    """Drive ``n_requests`` queries on an arrival schedule; report percentiles.
+
+    ``make_client`` builds one connected client per worker (sockets are
+    not shareable across threads); each request is a full batched query
+    of ``examples`` against ``theory``.  With ``stream=True`` requests
+    use the streaming protocol and the report carries both first-frame
+    and end-frame latency distributions.
+
+    Latency is measured from each request's *scheduled* send time — a
+    backlogged server (or exhausted worker pool) shows up as tail
+    latency, never as a quietly stretched test.
+    """
+    schedule = arrival_schedule(
+        n_requests, rate, pattern, seed=seed, burst_size=burst_size
+    )
+    local = threading.local()
+    lock = threading.Lock()
+    totals: list[float] = []
+    firsts: list[float] = []
+    errors: list[str] = []
+    clients: list = []
+
+    def client():
+        if not hasattr(local, "client"):
+            local.client = make_client()
+            with lock:
+                clients.append(local.client)
+        return local.client
+
+    t0 = time.perf_counter() + 0.05  # grace for worker startup
+
+    def fire(offset: float) -> None:
+        delay = (t0 + offset) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        start = t0 + offset  # scheduled time: queueing delay counts
+        try:
+            c = client()
+            if stream:
+                first = None
+                for frame in c.query_stream(theory, list(examples), shards=shards):
+                    if first is None:
+                        first = time.perf_counter() - start
+                with lock:
+                    firsts.append(first)
+                    totals.append(time.perf_counter() - start)
+            else:
+                c.query(theory, list(examples), shards=shards)
+                with lock:
+                    totals.append(time.perf_counter() - start)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(
+        max_workers=max(1, concurrency), thread_name_prefix="repro-loadgen"
+    ) as pool:
+        futures = [pool.submit(fire, off) for off in schedule]
+        for f in futures:
+            f.result()
+    for c in clients:
+        try:
+            c.close()
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+    wall = time.perf_counter() - t0
+    report = {
+        "pattern": pattern,
+        "rate": rate,
+        "n_requests": n_requests,
+        "batch": len(examples),
+        "stream": stream,
+        "shards": shards or 0,
+        "wall_s": round(wall, 4),
+        "achieved_rps": round(len(totals) / wall, 3) if wall > 0 else 0.0,
+        "errors": len(errors),
+        "error_samples": errors[:3],
+    }
+    if totals:
+        report["latency"] = latency_stats(totals)
+    if firsts:
+        report["first_frame"] = latency_stats(firsts)
+    return report

@@ -28,6 +28,9 @@ __all__ = [
     "make_job_fleet",
     "run_job_fleet",
     "measure_query_scaling",
+    "measure_shard_scaling",
+    "measure_streaming_latency",
+    "measure_transport_bytes",
 ]
 
 
@@ -160,3 +163,196 @@ def measure_query_scaling(
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
+
+
+def _published_theory(registry_root: str, dataset: str, seed: int, scale: str):
+    """Learn one sequential-MDIE theory and publish it under the bench name.
+
+    Shared setup of the query-tier measurements: the learned theory is
+    the *sequential* baseline by construction, so every sharded /
+    streamed / remote-transport result can be compared against it.
+    Returns ``(dataset, outcome, name, registry)``.
+    """
+    ds = make_dataset(dataset, seed=seed, scale=scale)
+    learned = run_job(JobSpec(dataset=dataset, algo="mdie", seed=seed, scale=scale))
+    name = f"{dataset}-bench"
+    registry = TheoryRegistry(registry_root)
+    registry.publish(
+        name,
+        learned.theory,
+        config_sig=learned.config_sig,
+        provenance={"dataset": dataset, "seed": str(seed), "scale": scale},
+    )
+    return ds, learned, name, registry
+
+
+def _cycled_batch(ds, size: int) -> list:
+    import itertools
+
+    return list(itertools.islice(itertools.cycle(ds.pos + ds.neg), size))
+
+
+def measure_shard_scaling(
+    shard_counts: Sequence[int],
+    batch: int = 1000,
+    dataset: str = "trains",
+    seed: int = 0,
+    scale: str = "small",
+) -> dict:
+    """Sharded batched-query throughput vs the sequential path.
+
+    One batch of ``batch`` examples (the dataset pool cycled), evaluated
+    once sequentially and then with each shard count; every sharded
+    covered-bitset must equal the sequential one bit for bit (the
+    parity flag the benchmark gates on).  Each configuration gets one
+    warm-up run first, so engine-pool construction is not billed to the
+    steady-state number.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-shardbench-") as root:
+        ds, _learned, name, registry = _published_theory(root, dataset, seed, scale)
+        engine = QueryEngine(registry=registry)
+        examples = _cycled_batch(ds, batch)
+        engine.query(name, examples)  # warm the prepared-theory cache
+        t0 = time.perf_counter()
+        seq = engine.query(name, examples)
+        seq_s = time.perf_counter() - t0
+        rows = []
+        parity = True
+        for shards in shard_counts:
+            engine.query(name, examples, shards=shards)  # warm the engine pool
+            t0 = time.perf_counter()
+            res = engine.query(name, examples, shards=shards)
+            wall = time.perf_counter() - t0
+            parity = parity and res.covered == seq.covered and res.n == seq.n
+            rows.append(
+                {
+                    "shards": shards,
+                    "wall_s": round(wall, 6),
+                    "examples_per_s": round(batch / wall, 1) if wall else 0.0,
+                    "speedup_vs_seq": round(seq_s / wall, 3) if wall else 0.0,
+                }
+            )
+        return {
+            "batch": batch,
+            "dataset": dataset,
+            "sequential_s": round(seq_s, 6),
+            "rows": rows,
+            "parity": parity,
+        }
+
+
+def measure_streaming_latency(
+    batch: int = 1000,
+    shards: int = 4,
+    dataset: str = "trains",
+    seed: int = 0,
+    scale: str = "small",
+) -> dict:
+    """Time-to-first-shard-frame vs full-batch latency of one stream.
+
+    Runs on a single-worker shard executor so the shards serialize: the
+    first frame then lands after ~1/``shards`` of the total work by
+    construction, which is the latency decoupling the streaming tier
+    sells (and what the benchmark asserts — ``first_frame_s`` strictly
+    below ``full_batch_s``).  The reassembled result must match the
+    sequential path bit for bit.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-streambench-") as root:
+        ds, _learned, name, registry = _published_theory(root, dataset, seed, scale)
+        engine = QueryEngine(registry=registry, shard_workers=1)
+        examples = _cycled_batch(ds, batch)
+        seq = engine.query(name, examples)
+        t0 = time.perf_counter()  # clock covers stream open + shard work
+        stream = engine.query_stream(name, examples, shards=shards)
+        first_s = None
+        for _frame in stream.frames():
+            if first_s is None:
+                first_s = time.perf_counter() - t0
+        full_s = time.perf_counter() - t0
+        result = stream.result()
+        return {
+            "batch": batch,
+            "shards": result.shards,
+            "first_frame_s": round(first_s, 6),
+            "full_batch_s": round(full_s, 6),
+            "first_fraction": round(first_s / full_s, 4) if full_s else 0.0,
+            "parity": result.covered == seq.covered and result.n == seq.n,
+        }
+
+
+def measure_transport_bytes(
+    batch: int = 200,
+    dataset: str = "trains",
+    seed: int = 0,
+    scale: str = "small",
+) -> dict:
+    """Bytes on the socket for one batched query, JSON-lines vs wire.
+
+    Starts a real server, runs the *same* query over both negotiated
+    transports, and reads each client's byte counters (hello/negotiation
+    overhead included — that is part of the transport's price).  Both
+    responses must classify identically.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.service.server import ServiceClient, serve
+
+    with tempfile.TemporaryDirectory(prefix="repro-wirebench-") as root:
+        reg_root = os.path.join(root, "registry")
+        ds, _learned, name, _registry = _published_theory(reg_root, dataset, seed, scale)
+        ready = threading.Event()
+        box = {}
+
+        def _ready(server) -> None:
+            box["port"] = server.port
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve,
+            kwargs=dict(
+                host="127.0.0.1", port=0, slots=1,
+                state_dir=os.path.join(root, "state"),
+                registry_dir=reg_root, ready=_ready,
+            ),
+            daemon=True,
+        )
+        thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("benchmark server did not come up")
+        examples = [str(e) for e in _cycled_batch(ds, batch)]
+        legs = {}
+        decisions = {}
+        try:
+            for transport in ("json", "wire"):
+                with ServiceClient(
+                    host="127.0.0.1", port=box["port"], transport=transport
+                ) as client:
+                    resp = client.query(name, examples)
+                    if not resp.get("ok"):
+                        raise RuntimeError(resp.get("error", "query failed"))
+                    decisions[transport] = (resp["covered"], resp["n"])
+                    legs[transport] = {
+                        "bytes_sent": client.bytes_sent,
+                        "bytes_received": client.bytes_received,
+                        "bytes_total": client.bytes_sent + client.bytes_received,
+                    }
+        finally:
+            with ServiceClient(host="127.0.0.1", port=box["port"]) as client:
+                client.request({"op": "shutdown"})
+            thread.join(timeout=15)
+        return {
+            "batch": batch,
+            "dataset": dataset,
+            "json": legs["json"],
+            "wire": legs["wire"],
+            "wire_fraction": round(
+                legs["wire"]["bytes_total"] / legs["json"]["bytes_total"], 4
+            ),
+            "parity": decisions["json"] == decisions["wire"],
+        }

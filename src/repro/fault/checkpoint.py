@@ -279,6 +279,7 @@ def load_checkpoint(path: str) -> CheckpointState:
 
 
 def checkpoint_path(directory: str, epoch: int) -> str:
+    """The ``epoch_NNNN.ckpt`` naming rule for epoch-boundary checkpoints."""
     return os.path.join(directory, f"epoch_{epoch:04d}.ckpt")
 
 

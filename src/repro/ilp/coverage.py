@@ -34,6 +34,7 @@ __all__ = [
     "covers",
     "coverage_bitset",
     "coverage_eval",
+    "theory_covered_bits",
     "CoverageStats",
     "popcount",
     "bitset_from_indices",
@@ -126,6 +127,42 @@ def coverage_bitset(
 ) -> int:
     """Bitset of examples covered by ``rule``."""
     return coverage_eval(engine, rule, examples, candidates)[0]
+
+
+def theory_covered_bits(
+    engine: Engine,
+    clauses: Sequence[Clause],
+    examples: Sequence[Term],
+    micro_batch: int = 1024,
+) -> int:
+    """Bitset of examples covered by *any* clause of a theory.
+
+    First-match semantics: later clauses only test the examples no
+    earlier clause covered, which is sound because theory coverage is
+    the union of clause coverages (monotone — covered stays covered).
+    ``micro_batch`` bounds the slice evaluated per clause pass (it caps
+    transient bitset width on very large batches); the returned bitset
+    is independent of its value, and of how callers split ``examples``
+    into spans — each example's decision depends only on the clause
+    list, the KB and the engine budget.  This is the shared evaluation
+    kernel of the query tier: the sequential
+    :class:`repro.service.query.PreparedTheory` path and every shard of
+    the parallel path call it over their slice, so sharded merges are
+    bit-identical to the sequential answer by construction.
+    """
+    covered = 0
+    for lo in range(0, len(examples), micro_batch):
+        chunk = examples[lo : lo + micro_batch]
+        remaining = (1 << len(chunk)) - 1
+        chunk_bits = 0
+        for clause in clauses:
+            bits, _ = coverage_eval(engine, clause, chunk, candidates=remaining)
+            chunk_bits |= bits
+            remaining &= ~bits
+            if not remaining:
+                break
+        covered |= chunk_bits << lo
+    return covered
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,14 @@ tasks, only ``evaluate`` and ``mark_covered``.  Under a fault plan the
 evaluation rounds run through the self-healing collectives instead, and
 the master checkpoints its search state (seed-pool masks + RNG) at epoch
 boundaries so ``repro resume`` continues it bit-identically.
+
+The same partitioned-coverage idea resurfaces at *query* time in the
+service layer: :func:`repro.parallel.partition.shard_spans` splits a
+query batch into contiguous spans and
+:func:`repro.ilp.coverage.theory_covered_bits` evaluates each span on a
+leased engine — see ``repro.service.query``.  Learning-time partitions
+shuffle (the paper's random even split); query-time spans stay
+contiguous because results must reassemble positionally.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from repro.fault.plan import FaultPlan
 from repro.fault.recovery import FTMasterMixin, PoolSupervisor
 from repro.ilp.bottom import SaturationError, build_bottom, build_bottom_cached
 from repro.ilp.config import ILPConfig
+from repro.ilp.coverage import coverage_bitset
 from repro.ilp.heuristics import is_good, score_rule
 from repro.ilp.modes import ModeSet
 from repro.ilp.refinement import SearchRule, refinements, start_rule
@@ -306,8 +315,6 @@ class CoverageParallelMaster(FTMasterMixin, SimProcess):
             # Master-side alive view: it owns the seed pool, so it tracks
             # global coverage with one local evaluation (charged).
             ops0 = engine.total_ops
-            from repro.ilp.coverage import coverage_bitset
-
             bits = coverage_bitset(engine, rule.clause, self.pos)
             yield ctx.compute(engine.total_ops - ops0, label="mark_covered")
             alive &= ~bits

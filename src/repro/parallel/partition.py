@@ -13,7 +13,7 @@ from typing import Sequence
 
 from repro.logic.terms import Term
 
-__all__ = ["Partition", "partition_examples"]
+__all__ = ["Partition", "partition_examples", "shard_spans"]
 
 
 @dataclass(frozen=True)
@@ -58,3 +58,26 @@ def partition_examples(
             )
         )
     return out
+
+
+def shard_spans(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans covering ``range(n)``, balanced to ±1.
+
+    The query tier's order-preserving counterpart of
+    :func:`partition_examples`: learning partitions shuffle (the paper's
+    random even split), but query shards must reassemble positionally,
+    so each shard takes one contiguous slice.  Earlier spans get the
+    extra examples, every span is non-empty, and asking for more shards
+    than examples simply yields fewer spans.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, n) or 1
+    base, extra = divmod(n, shards)
+    spans = []
+    lo = 0
+    for k in range(shards):
+        hi = lo + base + (1 if k < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans

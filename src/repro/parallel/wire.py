@@ -740,6 +740,10 @@ def register_codec(payload_type: type, code: int, enc, dec) -> None:
     * 21 — :class:`repro.fault.checkpoint.CheckpointState` (``.ckpt`` files)
     * 22 — :class:`repro.service.registry.RegistryRecord` (``.theory`` files)
     * 23 — :class:`repro.service.jobs.JobRecord` (scheduler ``job.rec`` files)
+    * 24 — :class:`repro.service.wiremsg.WireJson` (service wire transport)
+    * 25 — :class:`repro.service.wiremsg.WireQuery`
+    * 26 — :class:`repro.service.wiremsg.WireShard`
+    * 27 — :class:`repro.service.wiremsg.WireQueryEnd`
     """
     if code in _DECODERS or payload_type in _ENCODERS:
         prev = _ENCODERS.get(payload_type)

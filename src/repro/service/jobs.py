@@ -31,6 +31,7 @@ __all__ = [
     "JobSpec",
     "JobRecord",
     "JobOutcome",
+    "OutcomeSummary",
     "run_job",
 ]
 
@@ -169,12 +170,52 @@ class JobSpec:
 
 
 @dataclass(frozen=True)
+class OutcomeSummary:
+    """Wire-persistable digest of a finished job's :class:`JobOutcome`.
+
+    Exactly the plain-data view :meth:`JobOutcome.summary` serves over
+    the protocol — embedded in the durable :class:`JobRecord` so ``done``
+    jobs keep their outcome (theory text included) across scheduler
+    restarts instead of degrading to a bare state string.
+    """
+
+    rules: int
+    epochs: int
+    seconds: float
+    uncovered: int
+    ops: int
+    mbytes: float
+    train_accuracy: float
+    #: the learned theory as Prolog text.
+    theory: str
+
+    @classmethod
+    def from_outcome(cls, outcome: "JobOutcome") -> "OutcomeSummary":
+        return cls(**outcome.summary())
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": self.rules,
+            "epochs": self.epochs,
+            "seconds": self.seconds,
+            "uncovered": self.uncovered,
+            "ops": self.ops,
+            "mbytes": self.mbytes,
+            "train_accuracy": self.train_accuracy,
+            "theory": self.theory,
+        }
+
+
+@dataclass(frozen=True)
 class JobRecord:
     """Durable scheduler-side view of one job (spec + lifecycle state).
 
     Persisted per state transition (wire code 23) when the scheduler has
     a ``state_dir``, so an interrupted scheduler can recover its queue —
-    see :meth:`repro.service.scheduler.JobScheduler.recover_jobs`.
+    see :meth:`repro.service.scheduler.JobScheduler.recover_jobs`.  The
+    terminal ``done`` transition embeds an :class:`OutcomeSummary`, so
+    finished jobs survive restarts with their results, and ``failed``
+    ones with their error.
     """
 
     job_id: str
@@ -185,6 +226,8 @@ class JobRecord:
     #: covering epochs completed so far (chunked jobs advance this).
     epochs_done: int = 0
     error: str = ""
+    #: present on persisted ``done`` records.
+    outcome: Optional[OutcomeSummary] = None
 
     def replace(self, **kw) -> "JobRecord":
         return replace(self, **kw)
@@ -194,6 +237,8 @@ class JobRecord:
              "epochs_done": self.epochs_done, "spec": self.spec.to_dict()}
         if self.error:
             d["error"] = self.error
+        if self.outcome is not None:
+            d["outcome"] = self.outcome.to_dict()
         return d
 
 
@@ -354,6 +399,36 @@ def _enc_job_record(e, r: JobRecord) -> None:
     e.flag(s.register_as is not None)
     if s.register_as is not None:
         e.sym(s.register_as)
+    e.flag(r.outcome is not None)
+    if r.outcome is not None:
+        o = r.outcome
+        e.u(o.rules)
+        e.u(o.epochs)
+        # Floats travel as repr text: exact round-trip, symbol-table cheap.
+        e.sym(repr(o.seconds))
+        e.u(o.uncovered)
+        e.u(o.ops)
+        e.sym(repr(o.mbytes))
+        e.sym(repr(o.train_accuracy))
+        e.sym(o.theory)
+
+
+def _dec_outcome_summary(d) -> OutcomeSummary:
+    rules = d.u()
+    epochs = d.u()
+    seconds = float(d.sym())
+    uncovered = d.u()
+    ops = d.u()
+    return OutcomeSummary(
+        rules=rules,
+        epochs=epochs,
+        seconds=seconds,
+        uncovered=uncovered,
+        ops=ops,
+        mbytes=float(d.sym()),
+        train_accuracy=float(d.sym()),
+        theory=d.sym(),
+    )
 
 
 def _dec_job_record(d) -> JobRecord:
@@ -375,9 +450,10 @@ def _dec_job_record(d) -> JobRecord:
         preemptible=d.flag(),
         register_as=d.sym() if d.flag() else None,
     )
+    outcome = _dec_outcome_summary(d) if d.flag() else None
     return JobRecord(
         job_id=job_id, seq=seq, spec=spec, state=state,
-        epochs_done=epochs_done, error=error,
+        epochs_done=epochs_done, error=error, outcome=outcome,
     )
 
 

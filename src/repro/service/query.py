@@ -1,4 +1,4 @@
-"""Batched coverage/prediction queries against registered theories.
+"""Batched, sharded and streaming coverage queries against registered theories.
 
 Theory *application* is orders of magnitude cheaper than theory
 *learning*, but the naive per-example path (``predicts``: rename every
@@ -12,30 +12,49 @@ each clause apart.  The query engine amortizes both:
   later batch reuses them (KB indexes and the engine's ground-goal memo
   stay warm across batches);
 * **micro-batching**: a batch is evaluated clause-by-clause via
-  :func:`repro.ilp.coverage.coverage_eval` — one ``rename_apart`` per
-  clause per batch instead of per example — and each clause only tests
-  the examples no earlier clause covered (first-match semantics; the
-  remaining-candidates mask is sound because theory coverage is the
-  union of clause coverages).
+  :func:`repro.ilp.coverage.theory_covered_bits` — one ``rename_apart``
+  per clause per batch instead of per example, and each clause only
+  tests the examples no earlier clause covered (first-match semantics);
+* **sharding**: the same data-parallel move the learning side makes
+  (partition the examples, evaluate in parallel, merge — see
+  :mod:`repro.parallel.coverage_parallel`): a batch is cut into
+  contiguous spans by :func:`repro.parallel.partition.shard_spans`,
+  each span evaluated on its own engine over the shared KB by a worker
+  thread, and the per-span bitsets OR-merged back into batch order;
+* **streaming**: :meth:`QueryEngine.query_stream` hands each shard's
+  result out as soon as it (and every earlier shard) is done, so a
+  consumer sees first results after ~1/shards of the batch work instead
+  of all of it.
 
-**Determinism invariant**: the covered bitset a batch returns is
-bit-identical to OR-ing one-shot ``coverage_eval`` calls per clause
-(and to per-example :func:`repro.ilp.theory.predicts`) — pinned by
-``tests/service/test_query.py``.
+**Determinism invariant**: the covered bitset a batch returns is a pure
+per-example function of (clause list, KB, engine budget) — independent
+of micro-batch size, shard count, shard scheduling and transport — so
+sharded and streamed answers are bit-identical to the sequential path
+(pinned by ``tests/service/test_query.py`` and
+``tests/service/test_streaming.py``).
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.datasets import make_dataset
-from repro.ilp.coverage import coverage_eval, popcount
+from repro.ilp.coverage import popcount, theory_covered_bits
 from repro.logic.clause import Theory
 from repro.logic.engine import Engine
 from repro.logic.terms import Term, is_ground
+from repro.parallel.partition import shard_spans
 
-__all__ = ["QueryEngine", "QueryResult", "PreparedTheory"]
+__all__ = [
+    "QueryEngine",
+    "QueryResult",
+    "PreparedTheory",
+    "ShardResult",
+    "QueryStream",
+]
 
 
 @dataclass(frozen=True)
@@ -46,8 +65,10 @@ class QueryResult:
     covered: int
     #: number of examples in the batch.
     n: int
-    #: engine operations spent answering the batch.
+    #: engine operations spent answering the batch (summed over shards).
     ops: int
+    #: spans the batch was evaluated in (1 = sequential path).
+    shards: int = 1
 
     @property
     def n_covered(self) -> int:
@@ -58,26 +79,52 @@ class QueryResult:
         return [bool((self.covered >> i) & 1) for i in range(self.n)]
 
 
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's slice of a streamed query batch.
+
+    ``covered`` is local to the span — bit ``i`` refers to example
+    ``lo + i`` — so a consumer reassembles the batch bitset as
+    ``merged |= covered << lo`` whatever order frames are applied in.
+    """
+
+    shard: int
+    lo: int
+    n: int
+    covered: int
+    ops: int
+
+    def decisions(self) -> list[bool]:
+        """Per-example predictions for this span, span order."""
+        return [bool((self.covered >> i) & 1) for i in range(self.n)]
+
+
 @dataclass
 class PreparedTheory:
     """A theory bound to a warm engine over its dataset's KB.
 
-    One prepared entry serializes its own batches: the engine's
-    per-query mutable state (op budget counter, ``last_exhausted``)
-    must not interleave across threads, so concurrent server requests
-    against the *same* theory queue here while different theories (and
-    learning jobs) still overlap freely.
+    One prepared entry serializes its own *sequential* batches: the
+    engine's per-query mutable state (op budget counter,
+    ``last_exhausted``) must not interleave across threads, so
+    concurrent server requests against the *same* theory queue here
+    while different theories (and learning jobs) still overlap freely.
+    Sharded queries bypass the queue instead: every shard leases a
+    private engine over the same KB from :meth:`lease_engine`, so
+    shards of one batch — and whole batches against one theory — can
+    genuinely overlap.
     """
 
     theory: Theory
     engine: Engine
+    #: KB + config retained to build per-shard engines on demand.
+    kb: object = None
+    config: object = None
     #: batches answered from this entry (cache effectiveness counter).
     batches: int = 0
 
     def __post_init__(self):
-        import threading
-
         self._lock = threading.Lock()
+        self._engine_pool: list[Engine] = []
 
     def query(self, examples: Sequence[Term], micro_batch: int = 1024) -> QueryResult:
         """Coverage of ``examples``; every example must be ground.
@@ -86,33 +133,199 @@ class PreparedTheory:
         caps transient bitset width on very large batches; results are
         independent of its value).
         """
-        for e in examples:
-            if not is_ground(e):
-                raise ValueError(f"query example must be ground: {e}")
+        check_ground(examples)
         with self._lock:
             ops0 = self.engine.total_ops
-            covered = 0
-            for lo in range(0, len(examples), micro_batch):
-                chunk = examples[lo : lo + micro_batch]
-                covered |= self._query_chunk(chunk) << lo
+            covered = theory_covered_bits(
+                self.engine, tuple(self.theory), examples, micro_batch=micro_batch
+            )
             self.batches += 1
             return QueryResult(
                 covered=covered, n=len(examples), ops=self.engine.total_ops - ops0
             )
 
-    def _query_chunk(self, chunk: Sequence[Term]) -> int:
-        # First-match semantics: later clauses only test what earlier
-        # clauses left uncovered.  The union is identical to evaluating
-        # every clause on the full chunk (monotone: covered stays covered).
-        remaining = (1 << len(chunk)) - 1
-        covered = 0
-        for clause in self.theory:
-            bits, _ = coverage_eval(self.engine, clause, chunk, candidates=remaining)
-            covered |= bits
-            remaining &= ~bits
-            if not remaining:
-                break
-        return covered
+    # -- shard engines -----------------------------------------------------------
+
+    def lease_engine(self) -> Engine:
+        """A private engine over this theory's KB (pooled across queries).
+
+        Engines are cheap to build — the KB owns the fact indexes — but
+        each keeps its own ground-goal memo, so recycling leased engines
+        keeps shard memos warm across batches.
+        """
+        with self._lock:
+            if self._engine_pool:
+                return self._engine_pool.pop()
+        budget = self.config.engine_budget() if self.config is not None else self.engine.budget
+        kernel = self.config.coverage_kernel if self.config is not None else self.engine.kernel
+        return Engine(self.kb if self.kb is not None else self.engine.kb, budget, kernel=kernel)
+
+    def release_engine(self, engine: Engine) -> None:
+        with self._lock:
+            self._engine_pool.append(engine)
+
+    def eval_span(self, engine: Engine, examples: Sequence[Term], lo: int, hi: int,
+                  micro_batch: int = 1024) -> tuple[int, int]:
+        """(covered, ops) of ``examples[lo:hi]`` on a leased engine.
+
+        ``covered`` is span-local (bit 0 = example ``lo``), exactly the
+        sequential path's answer for the same slice.
+        """
+        ops0 = engine.total_ops
+        covered = theory_covered_bits(
+            engine, tuple(self.theory), examples[lo:hi], micro_batch=micro_batch
+        )
+        return covered, engine.total_ops - ops0
+
+    def count_batch(self) -> None:
+        with self._lock:
+            self.batches += 1
+
+
+def check_ground(examples: Sequence[Term]) -> None:
+    for e in examples:
+        if not is_ground(e):
+            raise ValueError(f"query example must be ground: {e}")
+
+
+class QueryStream:
+    """One in-flight sharded query, streamed shard-by-shard.
+
+    Shard tasks are submitted up front; :meth:`next_frame` hands frames
+    out in **shard order** (ascending spans), each as soon as it and all
+    earlier shards are done — a consumer that applies frames as they
+    arrive therefore sees a strictly growing prefix of the batch.  The
+    final frame is followed by ``None``; :meth:`result` then has the
+    merged batch answer, bit-identical to the sequential path.
+
+    :meth:`cancel` is thread-safe and is how the serving layer avoids
+    leaking work when a client disconnects mid-stream: not-yet-started
+    shard tasks are cancelled at the executor, and frames stop.  (A
+    shard already executing runs its slice to completion — Python
+    threads cannot be interrupted mid-evaluation — but its result is
+    dropped and its engine returned to the pool.)
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedTheory,
+        examples: Sequence[Term],
+        spans: list[tuple[int, int]],
+        executor: ThreadPoolExecutor,
+        micro_batch: int = 1024,
+        stats=None,
+    ):
+        self.prepared = prepared
+        self.n = len(examples)
+        self.spans = spans
+        self._micro_batch = micro_batch
+        self._cancelled = threading.Event()
+        self._stats = stats
+        self._next = 0
+        self._merged = 0
+        self._ops = 0
+        self._futures: list[Future] = [
+            executor.submit(self._run_shard, k, examples, lo, hi)
+            for k, (lo, hi) in enumerate(spans)
+        ]
+
+    def _run_shard(self, shard: int, examples, lo: int, hi: int) -> ShardResult:
+        if self._stats is not None:
+            self._stats.shard_started()
+        try:
+            if self._cancelled.is_set():
+                raise CancelledError()
+            engine = self.prepared.lease_engine()
+            try:
+                covered, ops = self.prepared.eval_span(
+                    engine, examples, lo, hi, micro_batch=self._micro_batch
+                )
+            finally:
+                self.prepared.release_engine(engine)
+            return ShardResult(shard=shard, lo=lo, n=hi - lo, covered=covered, ops=ops)
+        finally:
+            if self._stats is not None:
+                self._stats.shard_finished()
+
+    def next_frame(self, timeout: Optional[float] = None) -> Optional[ShardResult]:
+        """Block for the next in-order shard frame; None when done/cancelled."""
+        if self._cancelled.is_set() or self._next >= len(self._futures):
+            return None
+        try:
+            frame = self._futures[self._next].result(timeout=timeout)
+        except CancelledError:
+            return None
+        self._next += 1
+        self._merged |= frame.covered << frame.lo
+        self._ops += frame.ops
+        return frame
+
+    def frames(self) -> Iterator[ShardResult]:
+        """Iterate the remaining frames in shard order."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame
+
+    @property
+    def done(self) -> bool:
+        return self._next >= len(self._futures) and not self._cancelled.is_set()
+
+    def result(self) -> QueryResult:
+        """The merged batch answer (every frame must have been consumed)."""
+        if not self.done:
+            raise RuntimeError("stream not fully consumed (or cancelled)")
+        return QueryResult(
+            covered=self._merged, n=self.n, ops=self._ops, shards=len(self.spans)
+        )
+
+    def cancel(self) -> None:
+        """Stop streaming and cancel every not-yet-started shard task."""
+        if self._cancelled.is_set():
+            return
+        self._cancelled.set()
+        for f in self._futures:
+            f.cancel()
+        if self._stats is not None:
+            self._stats.stream_cancelled()
+
+
+class _StreamStats:
+    """Thread-safe counters for in-flight shard work (leak visibility)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.streams_started = 0
+        self.streams_cancelled = 0
+        self.shard_tasks_started = 0
+        self.shard_tasks_active = 0
+
+    def stream_started(self):
+        with self._lock:
+            self.streams_started += 1
+
+    def stream_cancelled(self):
+        with self._lock:
+            self.streams_cancelled += 1
+
+    def shard_started(self):
+        with self._lock:
+            self.shard_tasks_started += 1
+            self.shard_tasks_active += 1
+
+    def shard_finished(self):
+        with self._lock:
+            self.shard_tasks_active -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "streams_started": self.streams_started,
+                "streams_cancelled": self.streams_cancelled,
+                "shard_tasks_started": self.shard_tasks_started,
+                "shard_tasks_active": self.shard_tasks_active,
+            }
 
 
 class QueryEngine:
@@ -121,17 +334,25 @@ class QueryEngine:
     One instance may be shared by many server threads: the prepared
     cache is locked (cheaply — expensive dataset builds happen outside
     the lock), and each :class:`PreparedTheory` serializes its own
-    engine, so batches against one theory queue while everything else
-    overlaps.
+    sequential engine while sharded work runs on leased per-shard
+    engines, so batches overlap freely.
+
+    ``shard_workers`` sizes the shared shard thread pool (default: the
+    machine's CPU count) — shards beyond it queue, which also serializes
+    shards on a single-CPU host instead of time-slicing them under the
+    GIL (keeping first-shard latency well below full-batch latency).
     """
 
-    def __init__(self, registry=None):
-        import threading
+    def __init__(self, registry=None, shard_workers: Optional[int] = None):
+        import os
 
         self.registry = registry
         self._prepared: dict[tuple, PreparedTheory] = {}
         self._datasets: dict[tuple, object] = {}
         self._lock = threading.Lock()
+        self._shard_workers = max(1, shard_workers or os.cpu_count() or 1)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stream_stats = _StreamStats()
         #: prepared-cache counters (amortization visibility).
         self.prepared_hits = 0
         self.prepared_misses = 0
@@ -191,7 +412,16 @@ class QueryEngine:
     @staticmethod
     def _prepare(theory: Theory, kb, config) -> PreparedTheory:
         engine = Engine(kb, config.engine_budget(), kernel=config.coverage_kernel)
-        return PreparedTheory(theory=theory, engine=engine)
+        return PreparedTheory(theory=theory, engine=engine, kb=kb, config=config)
+
+    def _shard_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._shard_workers,
+                    thread_name_prefix="repro-query-shard",
+                )
+            return self._executor
 
     # -- querying ----------------------------------------------------------------
 
@@ -201,9 +431,51 @@ class QueryEngine:
         examples: Sequence[Term],
         version: Optional[int] = None,
         micro_batch: int = 1024,
+        shards: Optional[int] = None,
     ) -> QueryResult:
-        """Batched coverage of ``examples`` under a registered theory."""
-        return self.prepare(name, version).query(examples, micro_batch=micro_batch)
+        """Batched coverage of ``examples`` under a registered theory.
+
+        ``shards`` > 1 evaluates the batch shard-parallel (contiguous
+        spans on leased engines, merged in order); None or 1 keeps the
+        sequential prepared-engine path.  The merged bitset is
+        bit-identical either way.
+        """
+        if shards is None or shards <= 1 or len(examples) <= 1:
+            return self.prepare(name, version).query(examples, micro_batch=micro_batch)
+        stream = self.query_stream(
+            name, examples, version=version, micro_batch=micro_batch, shards=shards
+        )
+        for _ in stream.frames():
+            pass
+        return stream.result()
+
+    def query_stream(
+        self,
+        name: str,
+        examples: Sequence[Term],
+        version: Optional[int] = None,
+        micro_batch: int = 1024,
+        shards: Optional[int] = None,
+    ) -> QueryStream:
+        """Open a sharded streaming query; frames arrive in shard order.
+
+        Consumers must either drain :meth:`QueryStream.frames` or call
+        :meth:`QueryStream.cancel` — the serving layer cancels on client
+        disconnect so no orphaned shard work survives the connection.
+        """
+        prepared = self.prepare(name, version)
+        check_ground(examples)
+        spans = shard_spans(len(examples), shards or 1)
+        prepared.count_batch()
+        self._stream_stats.stream_started()
+        return QueryStream(
+            prepared,
+            examples,
+            spans,
+            self._shard_executor(),
+            micro_batch=micro_batch,
+            stats=self._stream_stats,
+        )
 
     def dataset_for(self, name: str, version: Optional[int] = None):
         """The (cached) dataset a registered theory was learned on.
@@ -224,11 +496,13 @@ class QueryEngine:
         )
 
     def stats(self) -> dict:
-        """Prepared-cache effectiveness counters."""
+        """Prepared-cache and streaming-shard effectiveness counters."""
         with self._lock:
-            return {
+            out = {
                 "prepared_hits": self.prepared_hits,
                 "prepared_misses": self.prepared_misses,
                 "prepared_entries": len(self._prepared),
                 "batches": sum(p.batches for p in self._prepared.values()),
             }
+        out.update(self._stream_stats.snapshot())
+        return out

@@ -335,3 +335,33 @@ class TheoryRegistry:
                 fh.write(f"{version}\n")
             os.replace(tmp, path)
             return version
+
+    def gc(self, name: str, keep: int = 1) -> list[int]:
+        """Drop old versions of ``name``, keeping the newest ``keep``.
+
+        Retention for long-lived registries: version artifacts are
+        removed oldest-first, always keeping the newest ``keep`` (≥ 1 —
+        a registered name never loses its last version) **and** the
+        promoted version, whatever its age: a gc must never pull the
+        served theory out from under running queries.  Version numbers
+        are never reused — :meth:`publish` continues from the highest
+        version ever allocated, because the newest version always
+        survives.  Returns the removed version numbers, ascending.
+        """
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        with self._lock:
+            versions = self.versions(name)
+            if not versions:
+                raise RegistryError(f"no theory registered under {name!r}")
+            promoted = self.promoted_version(name)
+            survivors = set(versions[-keep:])
+            if promoted is not None:
+                survivors.add(promoted)
+            removed = []
+            for v in versions:
+                if v in survivors:
+                    continue
+                os.remove(self._path(name, v))
+                removed.append(v)
+            return removed

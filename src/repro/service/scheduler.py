@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.parallel import wire
-from repro.service.jobs import JobOutcome, JobRecord, JobSpec, run_job
+from repro.service.jobs import JobOutcome, JobRecord, JobSpec, OutcomeSummary, run_job
 
 __all__ = ["JobScheduler", "SchedulerError", "TERMINAL_STATES"]
 
@@ -311,6 +311,38 @@ class JobScheduler:
             self._cv.notify_all()
         return requeued
 
+    def gc(self, keep: int = 0) -> list[str]:
+        """Drop terminal jobs older than the newest ``keep`` of them.
+
+        Retention for long-lived servers: done/failed/cancelled jobs
+        (and their ``state_dir`` record + checkpoint directories) are
+        removed oldest-first, keeping the ``keep`` most recent terminal
+        jobs for inspection (0 = drop all terminal jobs).  Queued and
+        running jobs are never touched, and job ids are never reused —
+        the submission sequence keeps counting.  Returns the removed ids.
+        """
+        import shutil
+
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        with self._cv:
+            terminal = [
+                j
+                for j in sorted(self._jobs.values(), key=lambda j: j.record.seq)
+                if j.record.state in TERMINAL_STATES
+            ]
+            victims = terminal[: len(terminal) - keep] if keep else terminal
+            removed = []
+            for job in victims:
+                job_id = job.record.job_id
+                del self._jobs[job_id]
+                job.cleanup_tmp()
+                jdir = self._job_dir(job_id)
+                if jdir is not None and os.path.isdir(jdir):
+                    shutil.rmtree(jdir, ignore_errors=True)
+                removed.append(job_id)
+            return removed
+
     # -- execution ---------------------------------------------------------------
 
     def _transition(self, job: _Job, state: str, **kw) -> None:
@@ -389,7 +421,13 @@ class JobScheduler:
             self._publish(job, outcome)
         with self._cv:
             job.outcome = outcome
-            self._transition(job, "done", epochs_done=outcome.epochs)
+            # The durable record embeds the outcome digest, so `done`
+            # survives a scheduler restart with its result, not just its
+            # state string.
+            self._transition(
+                job, "done", epochs_done=outcome.epochs,
+                outcome=OutcomeSummary.from_outcome(outcome),
+            )
             self._cv.notify_all()
         job.cleanup_tmp()
 

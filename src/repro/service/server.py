@@ -1,44 +1,95 @@
-"""The service front door: a JSON-lines socket API (stdlib only).
+"""The service front door: an async socket tier (stdlib only).
 
 Protocol
 --------
-One request per line, one response per line, both JSON objects over a
-plain TCP connection (``nc localhost 7341`` works).  Every response has
-``"ok"``; failures carry ``"error"`` instead of payload fields::
+The default transport is JSON-lines — one request per line, one response
+per line, both JSON objects over plain TCP (``nc localhost 7341``
+works).  Every response has ``"ok"``; failures carry ``"error"`` instead
+of payload fields::
 
     → {"op": "submit", "spec": {"dataset": "trains", "algo": "p2mdie", "p": 2}}
     ← {"ok": true, "job": "job-0001"}
     → {"op": "query", "theory": "trains-demo", "examples": ["eastbound(t1)"]}
     ← {"ok": true, "n": 1, "n_covered": 1, "covered": [true]}
 
-Operations: ``ping``, ``submit``, ``jobs``, ``status``, ``wait``,
-``cancel``, ``query``, ``registry`` (actions ``list`` / ``versions`` /
-``show`` / ``diff`` / ``promote``), ``stats``, ``shutdown``.
+Operations: ``ping``, ``hello``, ``submit``, ``jobs``, ``status``,
+``wait``, ``cancel``, ``query``, ``registry`` (actions ``list`` /
+``versions`` / ``show`` / ``diff`` / ``promote``), ``gc`` (targets
+``jobs`` / ``registry``), ``stats``, ``shutdown``.
 
+**Hello, auth and transport negotiation.**  ``hello`` is the optional
+handshake: it authenticates the connection (when the server was started
+with ``--auth-token``, every other op except ``ping`` is rejected until
+a hello carries the right token) and negotiates the transport.  A client
+asking for ``"transport": "wire"`` gets the hello response on JSON-lines
+and then the connection switches to the compact binary framing of
+:mod:`repro.service.wiremsg` (4-byte length prefix + wire-codec
+message); servers without the hello op reject it, so clients fall back
+to JSON-lines automatically.
+
+**Streaming queries.**  ``{"op": "query", ..., "stream": true,
+"shards": k}`` shards the batch over the query engine's worker pool and
+streams one response *per shard* as it completes (ascending spans:
+``"frame": "shard"`` with span-local ``covered``), then an end-of-batch
+summary (``"frame": "end"`` with the merged result) — so first results
+arrive after ~1/k of the batch work.  The merged answer is bit-identical
+to the sequential path.  If the client disconnects mid-stream the server
+cancels the remaining shard work.
+
+Architecture
+------------
 :class:`Service` is the transport-free core — a request dict in, a
 response dict out — so the protocol is unit-testable without sockets and
-reusable behind any other transport.  :func:`serve` wraps it in a
-threaded ``socketserver`` TCP server (one thread per connection; learning
-jobs run in the scheduler's own slot threads, so slow jobs never block
-queries).  :class:`ServiceClient` is the matching blocking client used
-by the ``repro jobs`` / ``repro serve``-side CLI verbs and the tests.
+reusable behind any other transport.  :class:`ServiceServer` wraps it in
+an **asyncio event loop**: one task per connection (thousands of idle
+connections cost no threads), with blocking operations (``wait`` can
+legitimately block for minutes; queries hold a CPU) dispatched to a
+bounded thread pool so the loop itself never stalls.  Learning jobs run
+in the scheduler's own slot threads, so slow jobs never block queries.
+:class:`ServiceClient` is the matching blocking client used by the
+``repro jobs`` / ``repro serve``-side CLI verbs and the tests.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
-import socketserver
 import threading
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
 
 from repro.logic import ParseError, parse_term
+from repro.parallel.wire import WireError
+from repro.service import wiremsg
 from repro.service.jobs import JobSpec
-from repro.service.query import QueryEngine
+from repro.service.query import QueryEngine, QueryResult, QueryStream
 from repro.service.registry import RegistryError, TheoryRegistry
 from repro.service.scheduler import JobScheduler, SchedulerError
 
-__all__ = ["Service", "ServiceServer", "ServiceClient", "serve"]
+__all__ = ["Service", "ServiceServer", "ServiceClient", "ClientContext", "serve"]
+
+#: transports a server can negotiate in the hello op.
+TRANSPORTS = ("json", "wire")
+
+
+@dataclass
+class ClientContext:
+    """Per-connection state threaded through :meth:`Service.handle`.
+
+    ``client_id`` keys the per-client job quota (the peer address by
+    default; a hello may override it with a self-reported name, which is
+    fine — quotas are a fairness knob, not a security boundary; the
+    security boundary is the token).
+    """
+
+    client_id: str = "local"
+    authenticated: bool = False
+    transport: str = "json"
+    #: bytes read ahead of the current parse point (pipelined requests
+    #: surfaced by the mid-stream disconnect watch).
+    pushback: bytes = b""
 
 
 class Service:
@@ -48,6 +99,13 @@ class Service:
     (artifacts) and a :class:`QueryEngine` (application).  All handlers
     are thread-safe: the scheduler and registry lock internally, and
     handler dispatch itself is stateless.
+
+    ``auth_token`` gates every op except ``ping``/``hello`` behind a
+    shared-secret hello.  ``max_jobs_per_client`` bounds each client's
+    *active* (queued or running) jobs — over-quota submits are rejected
+    with a friendly error instead of silently queueing forever.
+    ``query_shards`` is the server-side default shard count for queries
+    that don't pick their own.
     """
 
     def __init__(
@@ -56,13 +114,24 @@ class Service:
         state_dir: Optional[str] = None,
         registry_dir: Optional[str] = None,
         chunk_epochs: int = 1,
+        auth_token: Optional[str] = None,
+        max_jobs_per_client: int = 0,
+        query_shards: int = 0,
+        shard_workers: Optional[int] = None,
     ):
         self.registry = TheoryRegistry(registry_dir) if registry_dir else None
         self.scheduler = JobScheduler(
             slots=slots, state_dir=state_dir, registry=self.registry,
             chunk_epochs=chunk_epochs,
         )
-        self.query_engine = QueryEngine(registry=self.registry)
+        self.query_engine = QueryEngine(
+            registry=self.registry, shard_workers=shard_workers
+        )
+        self.auth_token = auth_token
+        self.max_jobs_per_client = max_jobs_per_client
+        self.query_shards = query_shards
+        self._quota_lock = threading.Lock()
+        self._client_jobs: dict[str, list[str]] = {}
         if state_dir:
             self.scheduler.recover_jobs()
 
@@ -71,55 +140,151 @@ class Service:
 
     # -- dispatch ----------------------------------------------------------------
 
-    def handle(self, request: dict) -> dict:
+    def handle(self, request: dict, ctx: Optional[ClientContext] = None) -> dict:
         """Answer one request dict; never raises (errors become fields)."""
+        if ctx is None:
+            # Direct (in-process) callers are implicitly trusted — the
+            # token protects the socket boundary, not the library API.
+            ctx = ClientContext(client_id="local", authenticated=True)
         try:
             op = request.get("op")
             handler = getattr(self, f"_op_{op}", None)
             if not isinstance(op, str) or handler is None:
                 return {"ok": False, "error": f"unknown op {op!r}"}
-            return {"ok": True, **handler(request)}
+            if (
+                self.auth_token is not None
+                and not ctx.authenticated
+                and op not in ("ping", "hello")
+            ):
+                return {
+                    "ok": False,
+                    "error": 'authentication required: send {"op": "hello", '
+                    '"token": "..."} first',
+                }
+            return {"ok": True, **handler(request, ctx)}
         except (SchedulerError, RegistryError, ParseError, ValueError, KeyError, TypeError) as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 
     # -- operations --------------------------------------------------------------
 
-    def _op_ping(self, request: dict) -> dict:
+    def _op_ping(self, request: dict, ctx: ClientContext) -> dict:
         return {"pong": True}
 
-    def _op_submit(self, request: dict) -> dict:
+    def _op_hello(self, request: dict, ctx: ClientContext) -> dict:
+        if self.auth_token is not None:
+            token = request.get("token")
+            if token != self.auth_token:
+                raise ValueError("bad or missing token")
+        ctx.authenticated = True
+        if isinstance(request.get("client"), str) and request["client"]:
+            ctx.client_id = request["client"]
+        requested = request.get("transport", "json")
+        granted = requested if requested in TRANSPORTS else "json"
+        return {
+            "server": "repro-service",
+            "transports": list(TRANSPORTS),
+            "transport": granted,
+            "auth": self.auth_token is not None,
+            "client": ctx.client_id,
+        }
+
+    def _op_submit(self, request: dict, ctx: ClientContext) -> dict:
         spec = JobSpec.from_dict(request["spec"])
         if spec.register_as and self.registry is None:
             raise ValueError("register_as needs the server started with a registry dir")
-        return {"job": self.scheduler.submit(spec)}
+        if not self.max_jobs_per_client:
+            return {"job": self.scheduler.submit(spec)}
+        with self._quota_lock:
+            active = [
+                j
+                for j in self._client_jobs.get(ctx.client_id, [])
+                if self.scheduler.status(j)["state"] in ("queued", "running")
+            ]
+            if len(active) >= self.max_jobs_per_client:
+                raise ValueError(
+                    f"quota exceeded: client {ctx.client_id!r} already has "
+                    f"{len(active)} active job(s) of {self.max_jobs_per_client} "
+                    "allowed; wait for one to finish or cancel it"
+                )
+            job = self.scheduler.submit(spec)
+            self._client_jobs[ctx.client_id] = active + [job]
+            return {"job": job}
 
-    def _op_jobs(self, request: dict) -> dict:
+    def _op_jobs(self, request: dict, ctx: ClientContext) -> dict:
         return {"jobs": self.scheduler.jobs()}
 
-    def _op_status(self, request: dict) -> dict:
+    def _op_status(self, request: dict, ctx: ClientContext) -> dict:
         return self.scheduler.status(request["job"])
 
-    def _op_wait(self, request: dict) -> dict:
+    def _op_wait(self, request: dict, ctx: ClientContext) -> dict:
         return self.scheduler.wait(request["job"], timeout=request.get("timeout"))
 
-    def _op_cancel(self, request: dict) -> dict:
+    def _op_cancel(self, request: dict, ctx: ClientContext) -> dict:
         return {"cancelled": self.scheduler.cancel(request["job"])}
 
-    def _op_query(self, request: dict) -> dict:
+    # -- queries -----------------------------------------------------------------
+
+    def _resolve_shards(self, requested) -> Optional[int]:
+        shards = int(requested or 0) or self.query_shards
+        return shards if shards and shards > 1 else None
+
+    def query_result(
+        self,
+        name: str,
+        examples,
+        version: Optional[int] = None,
+        micro_batch: int = 1024,
+        shards=None,
+    ) -> QueryResult:
+        """One batched query over already-parsed example terms."""
+        if self.registry is None:
+            raise ValueError("query needs the server started with a registry dir")
+        return self.query_engine.query(
+            name,
+            examples,
+            version=version,
+            micro_batch=micro_batch or 1024,
+            shards=self._resolve_shards(shards),
+        )
+
+    def open_query_stream(self, request: dict) -> QueryStream:
+        """Open the sharded stream behind a ``"stream": true`` query.
+
+        The transport layer owns the returned stream: it must drain
+        every frame or :meth:`~repro.service.query.QueryStream.cancel`
+        it (it cancels on client disconnect).
+        """
         if self.registry is None:
             raise ValueError("query needs the server started with a registry dir")
         examples = [parse_term(s) for s in request["examples"]]
-        result = self.query_engine.query(
-            request["theory"], examples, version=request.get("version")
+        return self.query_engine.query_stream(
+            request["theory"],
+            examples,
+            version=request.get("version"),
+            micro_batch=int(request.get("micro_batch") or 1024),
+            shards=self._resolve_shards(request.get("shards")) or 1,
+        )
+
+    def _op_query(self, request: dict, ctx: ClientContext) -> dict:
+        examples = [parse_term(s) for s in request["examples"]]
+        result = self.query_result(
+            request["theory"],
+            examples,
+            version=request.get("version"),
+            micro_batch=int(request.get("micro_batch") or 1024),
+            shards=request.get("shards"),
         )
         return {
             "n": result.n,
             "n_covered": result.n_covered,
             "ops": result.ops,
+            "shards": result.shards,
             "covered": result.decisions(),
         }
 
-    def _op_registry(self, request: dict) -> dict:
+    # -- registry / retention ----------------------------------------------------
+
+    def _op_registry(self, request: dict, ctx: ClientContext) -> dict:
         if self.registry is None:
             raise ValueError("server started without a registry dir")
         reg = self.registry
@@ -147,7 +312,21 @@ class Service:
             return {"promoted": reg.promote(request["name"], request["version"])}
         raise ValueError(f"unknown registry action {action!r}")
 
-    def _op_stats(self, request: dict) -> dict:
+    def _op_gc(self, request: dict, ctx: ClientContext) -> dict:
+        target = request.get("target", "jobs")
+        if target == "jobs":
+            removed = self.scheduler.gc(keep=int(request.get("keep", 0)))
+            return {"target": "jobs", "removed": removed}
+        if target == "registry":
+            if self.registry is None:
+                raise ValueError("server started without a registry dir")
+            removed = self.registry.gc(
+                request["name"], keep=int(request.get("keep", 1))
+            )
+            return {"target": "registry", "removed": removed}
+        raise ValueError(f"unknown gc target {target!r}")
+
+    def _op_stats(self, request: dict, ctx: ClientContext) -> dict:
         jobs = self.scheduler.jobs()
         by_state: dict[str, int] = {}
         for j in jobs:
@@ -158,55 +337,385 @@ class Service:
             "query": self.query_engine.stats(),
         }
 
-    def _op_shutdown(self, request: dict) -> dict:
+    def _op_shutdown(self, request: dict, ctx: ClientContext) -> dict:
         # The transport layer watches for this marker and stops accepting.
         return {"shutdown": True}
 
 
-class _Handler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:  # pragma: no cover - exercised via sockets in tests
-        while True:
-            line = self.rfile.readline()
-            if not line:
-                return
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-            except ValueError as exc:
-                response = {"ok": False, "error": f"bad request: {exc}"}
-            else:
-                response = self.server.service.handle(request)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
-            if response.get("shutdown"):
-                self.server.initiate_shutdown()
-                return
+def _query_frames(stream: QueryStream) -> Iterator[dict]:
+    """Render a drained stream's frames as protocol dicts (shared by tests)."""
+    for frame in stream.frames():
+        yield {
+            "ok": True,
+            "frame": "shard",
+            "shard": frame.shard,
+            "lo": frame.lo,
+            "n": frame.n,
+            "ops": frame.ops,
+            "covered": frame.decisions(),
+        }
+    result = stream.result()
+    yield {
+        "ok": True,
+        "frame": "end",
+        "n": result.n,
+        "n_covered": result.n_covered,
+        "ops": result.ops,
+        "shards": result.shards,
+        "covered": result.decisions(),
+    }
 
 
-class ServiceServer(socketserver.ThreadingTCPServer):
-    """Threaded JSON-lines TCP server around a :class:`Service`."""
+class ServiceServer:
+    """Asyncio front end multiplexing many connections over one loop.
 
-    allow_reuse_address = True
-    daemon_threads = True
+    Connections cost one task each, not one thread; blocking service
+    operations run on ``self._ops`` (sized generously because ``wait``
+    parks a worker for the duration of a learning job).  Use
+    :func:`serve` for the blocking entry point; tests reach the bound
+    port through the ``ready`` callback.
+    """
 
-    def __init__(self, address: tuple[str, int], service: Service):
-        super().__init__(address, _Handler)
+    #: executor headroom beyond scheduler slots: concurrent waits + queries.
+    OPS_WORKERS = 32
+
+    def __init__(self, service: Service):
         self.service = service
-        self._shutdown_thread: Optional[threading.Thread] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._ops = ThreadPoolExecutor(
+            max_workers=max(self.OPS_WORKERS, service.scheduler.slots * 4),
+            thread_name_prefix="repro-svc-op",
+        )
 
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
+    async def start(self, host: str, port: int) -> None:
+        self._shutdown = asyncio.Event()
+        # The reader limit bounds one JSON line; large query batches are
+        # legitimate, so allow what the wire framing allows.
+        self._server = await asyncio.start_server(
+            self._on_client, host, port, limit=wiremsg.MAX_FRAME
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
 
     def initiate_shutdown(self) -> None:
-        """Stop accepting connections (callable from a handler thread)."""
-        if self._shutdown_thread is None:
-            self._shutdown_thread = threading.Thread(target=self.shutdown, daemon=True)
-            self._shutdown_thread.start()
+        """Stop accepting and unwind :meth:`run_until_shutdown` (loop-thread)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def run_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        # Blocked waits are unstuck by Service.close cancelling their jobs
+        # (the caller's `finally`), so don't join the worker threads here.
+        self._ops.shutdown(wait=False, cancel_futures=True)
+
+    # -- per-connection protocol loop --------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        ctx = ClientContext(client_id=peer[0] if peer else "unknown")
+        try:
+            while not self._shutdown.is_set():
+                if ctx.transport == "wire":
+                    alive = await self._serve_wire_once(reader, writer, ctx)
+                else:
+                    alive = await self._serve_json_once(reader, writer, ctx)
+                if not alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_json_once(self, reader, writer, ctx) -> bool:
+        line = await self._readline(reader, ctx)
+        if not line:
+            return False
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            await self._send_json(writer, {"ok": False, "error": f"bad request: {exc}"})
+            return True
+        if request.get("op") == "query" and request.get("stream"):
+            return await self._stream_query(
+                request, ctx, reader, writer,
+                send=lambda resp: self._send_json(writer, resp),
+            )
+        response = await self._run_op(request, ctx)
+        await self._send_json(writer, response)
+        if response.get("ok") and request.get("op") == "hello":
+            # Switch only after the acknowledgement went out on JSON-lines.
+            if response.get("transport") == "wire":
+                ctx.transport = "wire"
+        if response.get("shutdown"):
+            self.initiate_shutdown()
+            return False
+        return True
+
+    async def _serve_wire_once(self, reader, writer, ctx) -> bool:
+        msg = await self._read_frame(reader, ctx)
+        if msg is None:
+            return False
+        if isinstance(msg, wiremsg.WireQuery):
+            return await self._wire_query(msg, ctx, reader, writer)
+        if not isinstance(msg, wiremsg.WireJson):
+            await self._send_frame(
+                writer,
+                wiremsg.WireJson({"ok": False, "error": f"unexpected {type(msg).__name__}"}),
+            )
+            return True
+        request = msg.payload
+        if not isinstance(request, dict):
+            await self._send_frame(
+                writer, wiremsg.WireJson({"ok": False, "error": "request must be a JSON object"})
+            )
+            return True
+        if request.get("op") == "query" and request.get("stream"):
+            return await self._stream_query(
+                request, ctx, reader, writer,
+                send=lambda resp: self._send_frame(writer, _frame_to_wire(resp)),
+            )
+        response = await self._run_op(request, ctx)
+        await self._send_frame(writer, wiremsg.WireJson(response))
+        if response.get("shutdown"):
+            self.initiate_shutdown()
+            return False
+        return True
+
+    async def _wire_query(self, msg: wiremsg.WireQuery, ctx, reader, writer) -> bool:
+        """A native wire query: terms arrive parsed, bitsets leave packed."""
+        svc = self.service
+        if svc.auth_token is not None and not ctx.authenticated:
+            await self._send_frame(
+                writer, wiremsg.WireJson({"ok": False, "error": "authentication required"})
+            )
+            return True
+        loop = asyncio.get_running_loop()
+        if msg.stream:
+            def opener():
+                return svc.query_engine.query_stream(
+                    msg.name,
+                    msg.examples,
+                    version=msg.version,
+                    micro_batch=msg.micro_batch,
+                    shards=svc._resolve_shards(msg.shards) or 1,
+                )
+
+            return await self._stream_query(
+                None, ctx, reader, writer,
+                send=lambda m: self._send_frame(writer, m),
+                opener=opener, wire=True,
+            )
+        try:
+            result = await loop.run_in_executor(
+                self._ops,
+                lambda: svc.query_result(
+                    msg.name, msg.examples, version=msg.version,
+                    micro_batch=msg.micro_batch, shards=msg.shards,
+                ),
+            )
+        except (SchedulerError, RegistryError, ParseError, ValueError, KeyError) as exc:
+            await self._send_frame(
+                writer, wiremsg.WireJson({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            )
+            return True
+        await self._send_frame(
+            writer,
+            wiremsg.WireQueryEnd(
+                covered=result.covered, n=result.n, ops=result.ops, shards=result.shards
+            ),
+        )
+        return True
+
+    async def _stream_query(
+        self, request, ctx, reader, writer,
+        send: Callable, opener: Optional[Callable] = None, wire: bool = False,
+    ) -> bool:
+        """Stream one sharded query; True iff the connection stays usable.
+
+        The disconnect watch races every frame against a read on the
+        client socket: an EOF there means the client is gone, so the
+        stream is cancelled and its not-yet-started shard tasks never
+        run (the leak the streaming tests pin).  Data that arrives
+        instead of EOF is a pipelined request — pushed back for the main
+        loop, never dropped.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            stream = await loop.run_in_executor(
+                self._ops, opener or (lambda: self.service.open_query_stream(request))
+            )
+        except (SchedulerError, RegistryError, ParseError, ValueError, KeyError) as exc:
+            err = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            await send(wiremsg.WireJson(err) if wire else err)
+            return True
+        eof_watch = asyncio.ensure_future(reader.read(4096))
+        frame_task = None
+        alive = True
+        try:
+            while True:
+                if frame_task is None:
+                    frame_task = loop.run_in_executor(self._ops, stream.next_frame)
+                done, _ = await asyncio.wait(
+                    {frame_task, eof_watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if eof_watch in done:
+                    data = eof_watch.result()
+                    if not data:  # client disconnected mid-stream
+                        stream.cancel()
+                        alive = False
+                        break
+                    ctx.pushback += data
+                    eof_watch = asyncio.ensure_future(reader.read(4096))
+                    continue
+                frame = frame_task.result()
+                frame_task = None
+                if frame is None:
+                    break
+                if wire:
+                    await send(
+                        wiremsg.WireShard(
+                            shard=frame.shard, lo=frame.lo, n=frame.n,
+                            covered=frame.covered, ops=frame.ops,
+                        )
+                    )
+                else:
+                    await send(
+                        {
+                            "ok": True, "frame": "shard", "shard": frame.shard,
+                            "lo": frame.lo, "n": frame.n, "ops": frame.ops,
+                            "covered": frame.decisions(),
+                        }
+                    )
+            if alive and stream.done:
+                result = stream.result()
+                if wire:
+                    await send(
+                        wiremsg.WireQueryEnd(
+                            covered=result.covered, n=result.n,
+                            ops=result.ops, shards=result.shards,
+                        )
+                    )
+                else:
+                    await send(
+                        {
+                            "ok": True, "frame": "end", "n": result.n,
+                            "n_covered": result.n_covered, "ops": result.ops,
+                            "shards": result.shards, "covered": result.decisions(),
+                        }
+                    )
+        except ConnectionError:
+            stream.cancel()
+            alive = False
+        finally:
+            if frame_task is not None:
+                # Let the in-flight next_frame call retire before returning
+                # the connection to the main loop (or closing it).
+                stream.cancel()
+                try:
+                    await frame_task
+                except Exception:
+                    pass
+            if not eof_watch.done():
+                # Must settle before the main loop reads again: two
+                # coroutines waiting on one StreamReader is an error, and
+                # cancellation only lands at the next loop step.
+                eof_watch.cancel()
+                try:
+                    await eof_watch
+                except asyncio.CancelledError:
+                    pass
+            if eof_watch.done() and not eof_watch.cancelled():
+                data = eof_watch.result()
+                if data:
+                    ctx.pushback += data
+                else:
+                    alive = False
+        return alive
+
+    # -- plumbing ----------------------------------------------------------------
+
+    async def _run_op(self, request: dict, ctx: ClientContext) -> dict:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ops, self.service.handle, request, ctx)
+
+    @staticmethod
+    async def _send_json(writer, response: dict) -> None:
+        writer.write((json.dumps(response) + "\n").encode("utf-8"))
+        await writer.drain()
+
+    @staticmethod
+    async def _send_frame(writer, message) -> None:
+        writer.write(wiremsg.pack_frame(message))
+        await writer.drain()
+
+    @staticmethod
+    async def _readline(reader, ctx: ClientContext) -> bytes:
+        if ctx.pushback:
+            head, sep, rest = ctx.pushback.partition(b"\n")
+            if sep:
+                ctx.pushback = rest
+                return head + sep
+            ctx.pushback = b""
+            return head + await reader.readline()
+        return await reader.readline()
+
+    async def _read_exact(self, reader, ctx: ClientContext, n: int) -> Optional[bytes]:
+        buf = ctx.pushback[:n]
+        ctx.pushback = ctx.pushback[n:]
+        while len(buf) < n:
+            chunk = await reader.read(n - len(buf))
+            if not chunk:
+                return None
+            buf += chunk
+        return bytes(buf)
+
+    async def _read_frame(self, reader, ctx: ClientContext):
+        header = await self._read_exact(reader, ctx, wiremsg.FRAME_HEADER.size)
+        if header is None:
+            return None
+        (length,) = wiremsg.FRAME_HEADER.unpack(header)
+        if length > wiremsg.MAX_FRAME:
+            raise WireError(f"wire frame too large ({length} bytes)")
+        data = await self._read_exact(reader, ctx, length)
+        if data is None:
+            return None
+        from repro.parallel import wire
+
+        return wire.decode(data)
+
+
+def _frame_to_wire(resp: dict):
+    """Map a streaming-protocol dict onto its wire message."""
+    if resp.get("frame") == "shard":
+        covered = 0
+        for i, bit in enumerate(resp["covered"]):
+            if bit:
+                covered |= 1 << i
+        return wiremsg.WireShard(
+            shard=resp["shard"], lo=resp["lo"], n=resp["n"],
+            covered=covered, ops=resp["ops"],
+        )
+    if resp.get("frame") == "end":
+        covered = 0
+        for i, bit in enumerate(resp["covered"]):
+            if bit:
+                covered |= 1 << i
+        return wiremsg.WireQueryEnd(
+            covered=covered, n=resp["n"], ops=resp["ops"], shards=resp["shards"]
+        )
+    return wiremsg.WireJson(resp)
 
 
 def serve(
@@ -217,28 +726,45 @@ def serve(
     registry_dir: Optional[str] = None,
     chunk_epochs: int = 1,
     ready=None,
+    auth_token: Optional[str] = None,
+    max_jobs_per_client: int = 0,
+    query_shards: int = 0,
+    shard_workers: Optional[int] = None,
 ) -> None:
     """Run the service until a ``shutdown`` request (blocking).
 
     ``port=0`` binds an ephemeral port.  ``ready``, when given, is
-    called with the bound :class:`ServiceServer` once the socket is
-    listening (tests use it to learn the port; the CLI prints it).
+    called with the listening :class:`ServiceServer` once the socket is
+    bound (tests use it to learn the port; the CLI prints it).
     """
     service = Service(
         slots=slots, state_dir=state_dir, registry_dir=registry_dir,
-        chunk_epochs=chunk_epochs,
+        chunk_epochs=chunk_epochs, auth_token=auth_token,
+        max_jobs_per_client=max_jobs_per_client, query_shards=query_shards,
+        shard_workers=shard_workers,
     )
-    with ServiceServer((host, port), service) as server:
+
+    async def main():
+        server = ServiceServer(service)
+        await server.start(host, port)
         if ready is not None:
             ready(server)
-        try:
-            server.serve_forever(poll_interval=0.1)
-        finally:
-            service.close(drain=False)
+        await server.run_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    finally:
+        service.close(drain=False)
 
 
 class ServiceClient:
-    """Blocking JSON-lines client for :func:`serve` endpoints.
+    """Blocking client for :func:`serve` endpoints.
+
+    Speaks JSON-lines by default; ``transport="wire"`` negotiates the
+    compact binary framing via a hello (falling back to JSON-lines
+    against servers that predate it), and ``token`` authenticates the
+    connection the same way.  ``bytes_sent`` / ``bytes_received`` count
+    transport bytes, so transports can be compared on real workloads.
 
     ``timeout`` (seconds) bounds *connection setup*; established
     connections block indefinitely by default — ``wait`` requests
@@ -253,19 +779,70 @@ class ServiceClient:
         port: int = 7341,
         timeout: float = 60.0,
         read_timeout: Optional[float] = None,
+        token: Optional[str] = None,
+        transport: str = "json",
     ):
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}")
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.settimeout(read_timeout)
         self._file = self.sock.makefile("rwb")
+        self.transport = "json"
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        if token is not None or transport != "json":
+            self.hello(token=token, transport=transport)
 
-    def request(self, payload: dict) -> dict:
-        """Send one request; return the decoded response dict."""
-        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+    # -- transport ---------------------------------------------------------------
+
+    def _request_json(self, payload: dict) -> dict:
+        data = (json.dumps(payload) + "\n").encode("utf-8")
+        self._file.write(data)
         self._file.flush()
+        self.bytes_sent += len(data)
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
+        self.bytes_received += len(line)
         return json.loads(line)
+
+    def _send_msg(self, message) -> None:
+        self.bytes_sent += wiremsg.write_frame_to(self._file, message)
+
+    def _recv_msg(self):
+        message, n = wiremsg.read_frame_from(self._file)
+        self.bytes_received += n
+        if message is None:
+            raise ConnectionError("server closed the connection")
+        return message
+
+    def hello(
+        self, token: Optional[str] = None, transport: str = "json", client: Optional[str] = None
+    ) -> dict:
+        """Authenticate and/or negotiate the transport for this connection."""
+        req = {"op": "hello", "transport": transport}
+        if token is not None:
+            req["token"] = token
+        if client is not None:
+            req["client"] = client
+        resp = self._request_json(req)
+        if not resp.get("ok"):
+            if token is None and "unknown op" in resp.get("error", ""):
+                return resp  # legacy server: stay on JSON-lines
+            raise RuntimeError(resp.get("error", "hello failed"))
+        if resp.get("transport") == "wire":
+            self.transport = "wire"
+        return resp
+
+    def request(self, payload: dict) -> dict:
+        """Send one request; return the decoded response dict."""
+        if self.transport == "json":
+            return self._request_json(payload)
+        self._send_msg(wiremsg.WireJson(payload))
+        message = self._recv_msg()
+        if not isinstance(message, wiremsg.WireJson):
+            raise ConnectionError(f"unexpected wire message {type(message).__name__}")
+        return message.payload
 
     def close(self) -> None:
         self._file.close()
@@ -288,7 +865,105 @@ class ServiceClient:
     def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
         return self.request({"op": "wait", "job": job_id, "timeout": timeout})
 
-    def query(self, theory: str, examples: list[str], version: Optional[int] = None) -> dict:
-        return self.request(
-            {"op": "query", "theory": theory, "examples": examples, "version": version}
+    def query(
+        self,
+        theory: str,
+        examples: list[str],
+        version: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> dict:
+        """One batched query; response dict is transport-independent."""
+        if self.transport == "json":
+            return self._request_json(
+                {
+                    "op": "query", "theory": theory, "examples": examples,
+                    "version": version, "shards": shards,
+                }
+            )
+        self._send_msg(
+            wiremsg.WireQuery(
+                name=theory,
+                examples=tuple(parse_term(s) for s in examples),
+                version=version,
+                shards=shards or 0,
+            )
         )
+        return self._query_end_dict(self._recv_msg())
+
+    def query_stream(
+        self,
+        theory: str,
+        examples: list[str],
+        version: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> Iterator[dict]:
+        """Stream a sharded query; yields shard frames, then the end frame.
+
+        Every yielded dict has ``"frame"`` (``"shard"`` or ``"end"``);
+        shard frames carry span-local ``covered`` at offset ``lo``, the
+        end frame the merged batch result.
+        """
+        if self.transport == "json":
+            req = {
+                "op": "query", "theory": theory, "examples": examples,
+                "version": version, "shards": shards, "stream": True,
+            }
+            data = (json.dumps(req) + "\n").encode("utf-8")
+            self._file.write(data)
+            self._file.flush()
+            self.bytes_sent += len(data)
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection mid-stream")
+                self.bytes_received += len(line)
+                resp = json.loads(line)
+                if not resp.get("ok"):
+                    raise RuntimeError(resp.get("error", "query failed"))
+                yield resp
+                if resp.get("frame") == "end":
+                    return
+        else:
+            self._send_msg(
+                wiremsg.WireQuery(
+                    name=theory,
+                    examples=tuple(parse_term(s) for s in examples),
+                    version=version,
+                    shards=shards or 0,
+                    stream=True,
+                )
+            )
+            while True:
+                message = self._recv_msg()
+                if isinstance(message, wiremsg.WireShard):
+                    yield {
+                        "ok": True, "frame": "shard", "shard": message.shard,
+                        "lo": message.lo, "n": message.n, "ops": message.ops,
+                        "covered": [
+                            bool((message.covered >> i) & 1) for i in range(message.n)
+                        ],
+                    }
+                    continue
+                if isinstance(message, wiremsg.WireQueryEnd):
+                    yield self._query_end_dict(message)
+                    return
+                if isinstance(message, wiremsg.WireJson):
+                    raise RuntimeError(message.payload.get("error", "query failed"))
+                raise ConnectionError(
+                    f"unexpected wire message {type(message).__name__}"
+                )
+
+    def _query_end_dict(self, message) -> dict:
+        if isinstance(message, wiremsg.WireJson):
+            return message.payload  # an error response
+        if not isinstance(message, wiremsg.WireQueryEnd):
+            raise ConnectionError(f"unexpected wire message {type(message).__name__}")
+        return {
+            "ok": True,
+            "frame": "end",
+            "n": message.n,
+            "n_covered": message.covered.bit_count(),
+            "ops": message.ops,
+            "shards": message.shards,
+            "covered": [bool((message.covered >> i) & 1) for i in range(message.n)],
+        }

@@ -1,0 +1,198 @@
+"""Service-protocol messages in the compact wire encoding (codes 24-27).
+
+The service's default transport is JSON-lines — debuggable with ``nc``
+and fine for control traffic — but query payloads are dominated by two
+things JSON represents badly: example term lists (rendered as strings,
+re-parsed server-side) and covered bitsets (hex strings).  The
+:mod:`repro.parallel.wire` codec already carries both natively between
+cluster nodes, so the server offers it as a **negotiated alternative
+client transport**: a client asks for ``"transport": "wire"`` in its
+JSON hello, and on acknowledgement the connection switches from
+newline-delimited JSON to length-prefixed wire frames (4-byte big-endian
+length, then one wire message).  Servers that predate the hello op
+reject it, so clients fall back to JSON-lines automatically.
+
+Four message types cover the protocol:
+
+* :class:`WireJson` — any control request/response, as a JSON envelope.
+  Keeps dispatch uniform: ops other than ``query`` gain nothing from a
+  binary layout, so they ride unchanged inside one wire symbol.
+* :class:`WireQuery` — a coverage query: terms travel as tagged wire
+  terms with a per-message symbol table, not strings.
+* :class:`WireShard` — one streamed shard frame (span-local bitset).
+* :class:`WireQueryEnd` — end-of-batch summary with the merged bitset.
+
+Codes are registered append-only via :func:`repro.parallel.wire.register_codec`
+(24-27; see that docstring's reservation list).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.logic.terms import Term
+from repro.parallel import wire
+
+__all__ = [
+    "WireJson",
+    "WireQuery",
+    "WireShard",
+    "WireQueryEnd",
+    "pack_frame",
+    "FRAME_HEADER",
+    "MAX_FRAME",
+    "read_frame_from",
+    "write_frame_to",
+]
+
+#: struct format of the frame length prefix (4-byte big-endian).
+FRAME_HEADER = struct.Struct(">I")
+
+#: refuse frames above this size (64 MiB) — a desynchronized or hostile
+#: peer must not make the server allocate arbitrary buffers.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WireJson:
+    """A JSON-lines request/response carried verbatim over wire framing."""
+
+    payload: dict
+
+
+@dataclass(frozen=True)
+class WireQuery:
+    """A ``query`` request with examples as native wire terms."""
+
+    name: str
+    examples: tuple[Term, ...]
+    version: Optional[int] = None
+    micro_batch: int = 1024
+    shards: int = 0  # 0 = server default
+    stream: bool = False
+
+
+@dataclass(frozen=True)
+class WireShard:
+    """One streamed shard result (bit i of ``covered`` = example lo+i)."""
+
+    shard: int
+    lo: int
+    n: int
+    covered: int
+    ops: int
+
+
+@dataclass(frozen=True)
+class WireQueryEnd:
+    """End-of-batch summary; ``covered`` is the merged batch bitset."""
+
+    covered: int
+    n: int
+    ops: int
+    shards: int
+
+
+# -- codecs (append-only codes 24-27) ---------------------------------------------
+
+
+def _enc_json(e, m: WireJson) -> None:
+    e.sym(json.dumps(m.payload, sort_keys=True, separators=(",", ":")))
+
+
+def _dec_json(d) -> WireJson:
+    return WireJson(payload=json.loads(d.sym()))
+
+
+def _enc_query(e, m: WireQuery) -> None:
+    e.sym(m.name)
+    e.flag(m.version is not None)
+    if m.version is not None:
+        e.u(m.version)
+    e.u(m.micro_batch)
+    e.u(m.shards)
+    e.flag(m.stream)
+    e.terms(m.examples)
+
+
+def _dec_query(d) -> WireQuery:
+    name = d.sym()
+    version = d.u() if d.flag() else None
+    micro_batch = d.u()
+    shards = d.u()
+    stream = d.flag()
+    return WireQuery(
+        name=name,
+        examples=d.terms(),
+        version=version,
+        micro_batch=micro_batch,
+        shards=shards,
+        stream=stream,
+    )
+
+
+def _enc_shard(e, m: WireShard) -> None:
+    e.u(m.shard)
+    e.u(m.lo)
+    e.u(m.n)
+    e.u(m.ops)
+    e.bitset(m.covered)
+
+
+def _dec_shard(d) -> WireShard:
+    shard, lo, n, ops = d.u(), d.u(), d.u(), d.u()
+    return WireShard(shard=shard, lo=lo, n=n, covered=d.bitset(), ops=ops)
+
+
+def _enc_query_end(e, m: WireQueryEnd) -> None:
+    e.u(m.n)
+    e.u(m.ops)
+    e.u(m.shards)
+    e.bitset(m.covered)
+
+
+def _dec_query_end(d) -> WireQueryEnd:
+    n, ops, shards = d.u(), d.u(), d.u()
+    return WireQueryEnd(covered=d.bitset(), n=n, ops=ops, shards=shards)
+
+
+wire.register_codec(WireJson, 24, _enc_json, _dec_json)
+wire.register_codec(WireQuery, 25, _enc_query, _dec_query)
+wire.register_codec(WireShard, 26, _enc_shard, _dec_shard)
+wire.register_codec(WireQueryEnd, 27, _enc_query_end, _dec_query_end)
+
+
+# -- framing ----------------------------------------------------------------------
+
+
+def pack_frame(message: object) -> bytes:
+    """Length-prefixed wire frame for one protocol message."""
+    data = wire.encode_always(message)
+    if data is None:
+        raise wire.WireError(f"no wire codec for {type(message).__name__}")
+    return FRAME_HEADER.pack(len(data)) + data
+
+
+def write_frame_to(fobj, message: object) -> int:
+    """Write one frame to a binary file object; returns bytes written."""
+    frame = pack_frame(message)
+    fobj.write(frame)
+    fobj.flush()
+    return len(frame)
+
+
+def read_frame_from(fobj) -> tuple[Optional[object], int]:
+    """(message, bytes read) from a binary file object; (None, n) on EOF."""
+    header = fobj.read(FRAME_HEADER.size)
+    if len(header) < FRAME_HEADER.size:
+        return None, len(header)
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise wire.WireError(f"wire frame too large ({length} bytes)")
+    data = fobj.read(length)
+    if len(data) < length:
+        return None, FRAME_HEADER.size + len(data)
+    return wire.decode(data), FRAME_HEADER.size + length

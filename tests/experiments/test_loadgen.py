@@ -1,0 +1,138 @@
+"""Open-loop load generator: schedules, percentiles, end-to-end runs."""
+
+import pytest
+
+from repro.experiments.loadgen import (
+    PATTERNS,
+    arrival_schedule,
+    latency_stats,
+    percentile,
+    run_loadgen,
+)
+
+
+class TestArrivalSchedule:
+    def test_uniform_constant_gaps(self):
+        sched = arrival_schedule(5, rate=10.0)
+        assert sched == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_burst_groups_share_a_send_time(self):
+        sched = arrival_schedule(8, rate=10.0, pattern="burst", burst_size=4)
+        assert sched[:4] == [0.0] * 4
+        assert sched[4:] == [pytest.approx(0.4)] * 4
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_deterministic_given_seed(self, pattern):
+        a = arrival_schedule(40, rate=25.0, pattern=pattern, seed=7)
+        b = arrival_schedule(40, rate=25.0, pattern=pattern, seed=7)
+        assert a == b
+        assert len(a) == 40
+        assert a[0] == 0.0
+        assert all(y >= x for x, y in zip(a, a[1:])), "offsets must be sorted"
+
+    def test_heavytail_seed_changes_schedule_and_rate_holds(self):
+        a = arrival_schedule(2000, rate=50.0, pattern="heavytail", seed=1)
+        b = arrival_schedule(2000, rate=50.0, pattern="heavytail", seed=2)
+        assert a != b
+        # Pareto gaps are rescaled so the mean gap is 1/rate: the
+        # long-run average rate stays near the target (tail-heavy, so
+        # a loose tolerance).
+        mean_gap = a[-1] / (len(a) - 1)
+        assert mean_gap == pytest.approx(1 / 50.0, rel=0.35)
+
+    def test_pattern_average_rates_agree(self):
+        n, rate = 64, 40.0
+        uni = arrival_schedule(n, rate)
+        bur = arrival_schedule(n, rate, pattern="burst", burst_size=8)
+        # Burst keeps the long-run average: last group starts when the
+        # uniform schedule would have reached it.
+        assert bur[-1] == pytest.approx(uni[-8])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n must"):
+            arrival_schedule(0, 10.0)
+        with pytest.raises(ValueError, match="rate"):
+            arrival_schedule(1, 0.0)
+        with pytest.raises(ValueError, match="unknown pattern"):
+            arrival_schedule(1, 10.0, pattern="tsunami")
+        with pytest.raises(ValueError, match="burst_size"):
+            arrival_schedule(1, 10.0, pattern="burst", burst_size=0)
+
+
+class TestPercentiles:
+    def test_interpolation(self):
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(xs, 0) == 10.0
+        assert percentile(xs, 100) == 40.0
+        assert percentile(xs, 50) == 25.0
+        assert percentile(list(reversed(xs)), 50) == 25.0, "order must not matter"
+
+    def test_single_sample_and_empty(self):
+        assert percentile([3.5], 99) == 3.5
+        with pytest.raises(ValueError, match="no samples"):
+            percentile([], 50)
+
+    def test_latency_stats_in_milliseconds(self):
+        stats = latency_stats([0.010, 0.020, 0.030, 0.040])
+        assert stats["n"] == 4
+        assert stats["p50_ms"] == pytest.approx(25.0)
+        assert stats["max_ms"] == pytest.approx(40.0)
+        assert stats["mean_ms"] == pytest.approx(25.0)
+        assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+
+
+class _FakeClient:
+    """Query endpoint that answers instantly (no sockets)."""
+
+    calls = []
+
+    def query(self, theory, examples, shards=None):
+        type(self).calls.append(("query", theory, len(examples), shards))
+        return {"ok": True, "n": len(examples)}
+
+    def query_stream(self, theory, examples, shards=None):
+        type(self).calls.append(("stream", theory, len(examples), shards))
+        yield {"frame": "shard"}
+        yield {"frame": "end"}
+
+    def close(self):
+        pass
+
+
+class _FailingClient(_FakeClient):
+    def query(self, theory, examples, shards=None):
+        raise ConnectionError("synthetic outage")
+
+
+class TestRunLoadgen:
+    def test_report_shape_and_request_count(self):
+        _FakeClient.calls = []
+        report = run_loadgen(
+            _FakeClient, "th", ["e(a)"] * 3, n_requests=10, rate=500.0,
+            pattern="burst", concurrency=4,
+        )
+        assert report["n_requests"] == 10 and report["errors"] == 0
+        assert report["pattern"] == "burst" and report["batch"] == 3
+        assert report["latency"]["n"] == 10
+        assert "first_frame" not in report
+        assert len(_FakeClient.calls) == 10
+        assert all(c == ("query", "th", 3, None) for c in _FakeClient.calls)
+
+    def test_stream_mode_reports_first_frame_distribution(self):
+        _FakeClient.calls = []
+        report = run_loadgen(
+            _FakeClient, "th", ["e(a)"], n_requests=6, rate=500.0,
+            stream=True, shards=2, concurrency=2,
+        )
+        assert report["stream"] and report["shards"] == 2
+        assert report["first_frame"]["n"] == 6
+        assert report["latency"]["n"] == 6
+        assert all(c[0] == "stream" and c[3] == 2 for c in _FakeClient.calls)
+
+    def test_errors_are_reported_not_raised(self):
+        report = run_loadgen(
+            _FailingClient, "th", ["e(a)"], n_requests=4, rate=500.0,
+        )
+        assert report["errors"] == 4
+        assert "ConnectionError" in report["error_samples"][0]
+        assert "latency" not in report

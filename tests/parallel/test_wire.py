@@ -119,17 +119,23 @@ class TestRoundTrip:
         assert wire.decode(data) == msg
 
     def test_every_message_type_covered(self):
-        # Out-of-package payloads register their codecs on import (file
-        # formats, not network messages): the checkpoint (code 21), the
-        # theory-registry record (22) and the scheduler job record (23).
+        # Out-of-package payloads register their codecs on import: file
+        # formats — the checkpoint (code 21), the theory-registry record
+        # (22), the scheduler job record (23) — and the service's wire
+        # transport messages (24-27).
         from repro.fault.checkpoint import CheckpointState
         from repro.service.jobs import JobRecord
         from repro.service.registry import RegistryRecord
+        from repro.service.wiremsg import WireJson, WireQuery, WireQueryEnd, WireShard
 
         assert {type(m) for m in MESSAGES} | {
             CheckpointState,
             RegistryRecord,
             JobRecord,
+            WireJson,
+            WireQuery,
+            WireShard,
+            WireQueryEnd,
         } == set(wire._ENCODERS)
 
     def test_exotic_constants(self):
@@ -238,3 +244,75 @@ class TestEndToEnd:
         assert list(map(str, r1.theory)) == list(map(str, r3.theory))
         assert r1.comm.messages == r3.comm.messages
         assert r1.comm.bytes_total < r3.comm.bytes_total
+
+
+class TestServiceWireMessages:
+    """The service transport's message types (codes 24-27) and framing."""
+
+    def service_messages(self):
+        from repro.service import wiremsg
+
+        return [
+            wiremsg.WireJson(payload={"op": "ping"}),
+            wiremsg.WireJson(payload={"ok": True, "jobs": [{"job": "j1", "state": "done"}]}),
+            wiremsg.WireQuery(name="trains-th", examples=POS, version=None),
+            wiremsg.WireQuery(
+                name="t", examples=NEG, version=3, micro_batch=64, shards=8, stream=True
+            ),
+            wiremsg.WireShard(shard=2, lo=100, n=50, covered=(1 << 49) | 5, ops=1234),
+            wiremsg.WireQueryEnd(covered=(1 << 200) | 7, n=201, ops=99, shards=4),
+        ]
+
+    def test_round_trip(self):
+        for msg in self.service_messages():
+            data = wire.encode(msg)
+            assert isinstance(data, bytes)
+            assert wire.decode(data) == msg
+
+    def test_frame_round_trip(self):
+        import io
+
+        from repro.service import wiremsg
+
+        buf = io.BytesIO()
+        sent = self.service_messages()
+        written = [wiremsg.write_frame_to(buf, m) for m in sent]
+        assert all(n > wiremsg.FRAME_HEADER.size for n in written)  # header + body
+        buf.seek(0)
+        got = []
+        total = 0
+        while True:
+            msg, nbytes = wiremsg.read_frame_from(buf)
+            if msg is None:
+                break
+            got.append(msg)
+            total += nbytes
+        assert got == sent
+        assert total == sum(written)
+
+    def test_frame_rejects_oversize(self):
+        import io
+
+        from repro.service import wiremsg
+
+        buf = io.BytesIO(wiremsg.FRAME_HEADER.pack(wiremsg.MAX_FRAME + 1) + b"x")
+        with pytest.raises(wire.WireError):
+            wiremsg.read_frame_from(buf)
+
+    def test_job_record_with_outcome_round_trip(self):
+        from repro.service.jobs import JobRecord, JobSpec, OutcomeSummary
+
+        summary = OutcomeSummary(
+            rules=2, epochs=3, seconds=1.25, uncovered=0, ops=4200,
+            mbytes=0.125, train_accuracy=97.5,
+            theory="eastbound(A) :-\n    has_car(A, B).\n",
+        )
+        for outcome in (None, summary):
+            rec = JobRecord(
+                job_id="job-0007", seq=7,
+                spec=JobSpec(dataset="trains", algo="p2mdie", p=2, seed=5),
+                state="done" if outcome else "queued",
+                epochs_done=3, outcome=outcome,
+            )
+            data = wire.encode(rec)
+            assert wire.decode(data) == rec

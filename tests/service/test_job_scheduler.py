@@ -187,3 +187,67 @@ class TestRegistryIntegration:
         assert prov["algo"] == "p2mdie"
         assert prov["job"] == job
         assert record.config_sig == outcome.config_sig
+
+
+class TestRetentionAndOutcomePersistence:
+    def test_gc_keeps_newest_terminal_jobs(self, tmp_path):
+        import os
+
+        sched = JobScheduler(slots=1, state_dir=str(tmp_path), start=False)
+        jobs = [sched.submit(JobSpec(dataset="trains", algo="mdie")) for _ in range(3)]
+        # Cancel before start: three terminal jobs, oldest-first by seq.
+        for j in jobs:
+            sched.cancel(j)
+        running = sched.submit(JobSpec(dataset="trains", algo="mdie"))
+        assert sched.gc(keep=1) == jobs[:2]
+        states = {j["job"] for j in sched.jobs()}
+        assert states == {jobs[2], running}
+        # The durable records went with them.
+        on_disk = {n for n in os.listdir(str(tmp_path)) if n.startswith("job-")}
+        assert on_disk == {jobs[2], running}
+        sched.close(drain=False)
+
+    def test_gc_zero_drops_all_terminal_never_active(self):
+        sched = JobScheduler(slots=1, start=False)
+        queued = sched.submit(JobSpec(dataset="trains", algo="mdie"))
+        victim = sched.submit(JobSpec(dataset="trains", algo="mdie"))
+        sched.cancel(victim)
+        assert sched.gc(keep=0) == [victim]
+        assert [j["job"] for j in sched.jobs()] == [queued]
+        with pytest.raises(SchedulerError, match="unknown job"):
+            sched.status(victim)
+        sched.close(drain=False)
+
+    def test_gc_rejects_negative_keep(self):
+        with JobScheduler(slots=1, start=False) as sched:
+            with pytest.raises(ValueError, match="keep"):
+                sched.gc(keep=-1)
+
+    def test_job_ids_never_reused_after_gc(self):
+        sched = JobScheduler(slots=1, start=False)
+        victim = sched.submit(JobSpec(dataset="trains", algo="mdie"))
+        sched.cancel(victim)
+        sched.gc(keep=0)
+        fresh = sched.submit(JobSpec(dataset="trains", algo="mdie"))
+        assert int(fresh.split("-")[1]) > int(victim.split("-")[1])
+        sched.close(drain=False)
+
+    def test_outcome_summary_survives_scheduler_restart(self, tmp_path):
+        sched = JobScheduler(slots=1, state_dir=str(tmp_path))
+        job = sched.submit(JobSpec(dataset="trains", algo="mdie", seed=0))
+        before = sched.wait(job, timeout=120)
+        assert before["state"] == "done"
+        sched.close()
+
+        sched2 = JobScheduler(slots=1, state_dir=str(tmp_path), start=False)
+        sched2.recover_jobs()
+        after = sched2.status(job)
+        assert after["state"] == "done"
+        # The summary (theory text included) rode along in the durable
+        # job record; only the full in-memory JobOutcome is gone.
+        assert after["outcome"] == before["outcome"]
+        assert after["outcome"]["rules"] >= 1
+        assert ":-" in after["outcome"]["theory"]
+        with pytest.raises(SchedulerError, match="previous scheduler"):
+            sched2.result(job)
+        sched2.close(drain=False)

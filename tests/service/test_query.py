@@ -102,3 +102,38 @@ class TestValidation:
         prepared = qe.prepare_theory(trains_theory.theory, trains.kb, trains.config)
         result = prepared.query(trains.pos)
         assert result.n_covered == len(trains.pos)
+
+
+class TestShardedQuery:
+    """The query(shards=k) surface; deeper coverage in test_streaming.py."""
+
+    @pytest.fixture
+    def published(self, registry, trains_theory):
+        registry.publish(
+            "trains-th",
+            trains_theory.theory,
+            config_sig=trains_theory.config_sig,
+            provenance={"dataset": "trains", "seed": "0", "scale": "small"},
+        )
+        return registry
+
+    def test_result_records_shard_count(self, published, trains):
+        qe = QueryEngine(registry=published)
+        examples = trains.pos + trains.neg
+        assert qe.query("trains-th", examples).shards == 1
+        assert qe.query("trains-th", examples, shards=4).shards == 4
+        # More shards than examples collapses to one span per example.
+        assert qe.query("trains-th", examples[:3], shards=50).shards == 3
+
+    def test_sharded_equals_sequential(self, published, trains):
+        qe = QueryEngine(registry=published)
+        examples = trains.pos + trains.neg
+        seq = qe.query("trains-th", examples)
+        shd = qe.query("trains-th", examples, shards=4)
+        assert (shd.covered, shd.n) == (seq.covered, seq.n)
+
+    def test_single_example_stays_sequential(self, published, trains):
+        qe = QueryEngine(registry=published)
+        result = qe.query("trains-th", trains.pos[:1], shards=8)
+        assert result.shards == 1
+        assert qe.stats()["streams_started"] == 0

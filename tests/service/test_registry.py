@@ -110,3 +110,40 @@ class TestDiff:
         diff = theory_diff(old, new)
         assert diff["added"] == [] and diff["removed"] == []
         assert len(diff["unchanged"]) == 1
+
+
+class TestRetentionGC:
+    def publish_n(self, registry, theory, n, name="t"):
+        for _ in range(n):
+            registry.publish(name, theory)
+
+    def test_gc_keeps_newest_versions(self, registry, theory_v1):
+        self.publish_n(registry, theory_v1, 4)
+        assert registry.gc("t", keep=2) == [1, 2]
+        assert registry.versions("t") == [3, 4]
+        # Surviving artifacts still load.
+        assert registry.get("t", 3).to_theory() == theory_v1
+
+    def test_gc_never_drops_promoted_version(self, registry, theory_v1):
+        self.publish_n(registry, theory_v1, 4)
+        registry.promote("t", 2)
+        assert registry.gc("t", keep=1) == [1, 3]
+        assert registry.versions("t") == [2, 4]
+        # The served (promoted) theory is untouched.
+        assert registry.get("t").version == 2
+
+    def test_gc_version_numbers_never_reused(self, registry, theory_v1, theory_v2):
+        self.publish_n(registry, theory_v1, 3)
+        registry.gc("t", keep=1)
+        record = registry.publish("t", theory_v2)
+        assert record.version == 4
+
+    def test_gc_keep_must_be_positive(self, registry, theory_v1):
+        registry.publish("t", theory_v1)
+        with pytest.raises(ValueError, match="keep"):
+            registry.gc("t", keep=0)
+        assert registry.gc("t", keep=1) == []
+
+    def test_gc_unknown_name(self, registry):
+        with pytest.raises(RegistryError, match="no theory"):
+            registry.gc("ghost")

@@ -26,7 +26,7 @@ def service(tmp_path):
     svc.close()
 
 
-def start_server(tmp_path, slots=2):
+def start_server(tmp_path, slots=2, **kwargs):
     """Run serve() on an ephemeral port; returns (port, thread)."""
     ready = threading.Event()
     box = {}
@@ -43,6 +43,7 @@ def start_server(tmp_path, slots=2):
             state_dir=str(tmp_path / "jobs"),
             registry_dir=str(tmp_path / "registry"),
             ready=on_ready,
+            **kwargs,
         ),
         daemon=True,
     )
@@ -133,6 +134,101 @@ class TestSocketTransport:
             fh.write(b'{"op": "shutdown"}\n')
             fh.flush()
             fh.readline()
+        thread.join(timeout=10)
+
+
+class TestAuthQuotaAndNegotiation:
+    """Token auth, per-client job quotas, and transport negotiation."""
+
+    def test_unauthenticated_op_rejected_ping_exempt(self, tmp_path):
+        from repro.service.server import ClientContext, Service
+
+        svc = Service(slots=1, auth_token="sesame")
+        try:
+            ctx = ClientContext(client_id="c1")
+            resp = svc.handle({"op": "jobs"}, ctx)
+            assert not resp["ok"]
+            assert 'authentication required: send {"op": "hello"' in resp["error"]
+            assert svc.handle({"op": "ping"}, ctx)["pong"]
+        finally:
+            svc.close()
+
+    def test_bad_token_rejected_good_token_grants(self, tmp_path):
+        from repro.service.server import ClientContext, Service
+
+        svc = Service(slots=1, auth_token="sesame")
+        try:
+            ctx = ClientContext(client_id="c1")
+            bad = svc.handle({"op": "hello", "token": "guess"}, ctx)
+            assert not bad["ok"] and "token" in bad["error"]
+            assert not ctx.authenticated
+            good = svc.handle({"op": "hello", "token": "sesame"}, ctx)
+            assert good["ok"] and good["auth"] and ctx.authenticated
+            assert svc.handle({"op": "jobs"}, ctx)["ok"]
+        finally:
+            svc.close()
+
+    def test_in_process_callers_are_trusted(self):
+        from repro.service.server import Service
+
+        svc = Service(slots=1, auth_token="sesame")
+        try:
+            assert svc.handle({"op": "jobs"})["ok"]
+        finally:
+            svc.close()
+
+    def test_job_quota_enforced_then_freed(self, tmp_path):
+        from repro.service.server import ClientContext, Service
+
+        svc = Service(
+            slots=1, state_dir=str(tmp_path / "jobs"), max_jobs_per_client=1
+        )
+        try:
+            ctx = ClientContext(client_id="greedy", authenticated=True)
+            spec = {"dataset": "trains", "algo": "mdie"}
+            first = svc.handle({"op": "submit", "spec": spec}, ctx)
+            assert first["ok"]
+            second = svc.handle({"op": "submit", "spec": spec}, ctx)
+            assert not second["ok"] and "quota exceeded" in second["error"]
+            # Another client has its own allowance.
+            other = ClientContext(client_id="modest", authenticated=True)
+            assert svc.handle({"op": "submit", "spec": spec}, other)["ok"]
+            # The quota is on *active* jobs: it frees once the job ends.
+            done = svc.handle(
+                {"op": "wait", "job": first["job"], "timeout": 120}, ctx
+            )
+            assert done["state"] == "done"
+            assert svc.handle({"op": "submit", "spec": spec}, ctx)["ok"]
+        finally:
+            svc.close()
+
+    def test_auth_and_wire_negotiation_over_socket(self, tmp_path):
+        port, thread = start_server(tmp_path, auth_token="sesame")
+        # No token: everything but ping is shut.
+        with ServiceClient(port=port) as anon:
+            assert anon.request({"op": "ping"})["pong"]
+            resp = anon.request({"op": "jobs"})
+            assert not resp["ok"] and "authentication required" in resp["error"]
+        with pytest.raises(RuntimeError, match="token"):
+            ServiceClient(port=port, token="guess")
+        # Token + wire: the hello authenticates and switches framing.
+        with ServiceClient(port=port, token="sesame", transport="wire") as client:
+            assert client.transport == "wire"
+            assert client.request({"op": "jobs"})["ok"]
+            client.request({"op": "shutdown"})
+        thread.join(timeout=10)
+
+    def test_client_falls_back_to_json_on_legacy_server(self, tmp_path, monkeypatch):
+        from repro.service.server import Service
+
+        # A server that predates the hello op answers "unknown op"; the
+        # client must quietly stay on JSON-lines instead of erroring.
+        monkeypatch.delattr(Service, "_op_hello")
+        port, thread = start_server(tmp_path)
+        with ServiceClient(port=port, transport="wire") as client:
+            assert client.transport == "json"
+            assert client.request({"op": "ping"})["pong"]
+            client.request({"op": "shutdown"})
         thread.join(timeout=10)
 
 
