@@ -24,6 +24,13 @@ work — virtual time has no meaning here):
 * **Transport bytes** — one identical batched query over the JSON-lines
   and the negotiated binary wire transports against a live server;
   wire must cost strictly fewer bytes on the socket (asserted).
+* **Chaos** — the full served workload driven twice through the
+  :mod:`repro.experiments.chaos` harness (fault-free leg + the
+  ``examples/faultplans/service_chaos.json`` plan: connection resets,
+  engine-lease faults, a scheduler-slot crash, a torn durable write,
+  graceful drain and restart).  Result parity, zero duplicated jobs
+  and zero corrupt records are asserted; the tail-latency delta is
+  the reported price.
 
 Knobs:
 
@@ -44,6 +51,7 @@ from __future__ import annotations
 import os
 import pathlib
 
+from repro.experiments.chaos import chaos_passed, run_chaos
 from repro.experiments.serviceload import (
     make_job_fleet,
     measure_query_scaling,
@@ -52,6 +60,7 @@ from repro.experiments.serviceload import (
     measure_transport_bytes,
     run_job_fleet,
 )
+from repro.fault.service import ServiceFaultPlan
 
 DATASET = os.environ.get("REPRO_SERVICE_DATASET", "trains")
 SEED = int(os.environ.get("REPRO_SEED", "0"))
@@ -69,6 +78,9 @@ SHARDS = (1, 2, 4)
 SHARD_BATCH = 1000
 STREAM_BATCH = 1000
 WIRE_BATCH = 200
+CHAOS_PLAN = ROOT / "examples" / "faultplans" / "service_chaos.json"
+CHAOS_REQUESTS = 12 if SMOKE else 30
+CHAOS_BATCH = 40 if SMOKE else 100
 
 
 def run_benchmark() -> dict:
@@ -87,6 +99,22 @@ def run_benchmark() -> dict:
     shard_scaling = measure_shard_scaling(SHARDS, batch=SHARD_BATCH, dataset=DATASET, seed=SEED)
     streaming = measure_streaming_latency(batch=STREAM_BATCH, shards=4, dataset=DATASET, seed=SEED)
     transport = measure_transport_bytes(batch=WIRE_BATCH, dataset=DATASET, seed=SEED)
+    chaos_full = run_chaos(
+        ServiceFaultPlan.load(str(CHAOS_PLAN)),
+        dataset=DATASET, seed=SEED,
+        batch=CHAOS_BATCH, requests=CHAOS_REQUESTS,
+    )
+    # The full per-leg payloads are large and machine-specific; the bench
+    # artifact keeps the gated invariants and the headline tail price.
+    chaos = {
+        "plan_events": chaos_full["plan_events"],
+        "injected": len(chaos_full["injected"]),
+        "baseline_latency": chaos_full["baseline"]["load"].get("latency"),
+        "chaos_latency": chaos_full["chaos"]["load"].get("latency"),
+        "tail_delta_ms": chaos_full["tail_delta_ms"],
+        "invariants": chaos_full["invariants"],
+        "passed": chaos_passed(chaos_full),
+    }
     return {
         "dataset": DATASET,
         "seed": SEED,
@@ -97,6 +125,7 @@ def run_benchmark() -> dict:
         "shard_scaling": shard_scaling,
         "streaming": streaming,
         "transport": transport,
+        "chaos": chaos,
     }
 
 
@@ -142,6 +171,15 @@ def render(report: dict) -> str:
         f"json {wire['json']['bytes_total']} B per {wire['batch']}-example query "
         f"({100 * wire['wire_fraction']:.0f}% of JSON-lines)"
     )
+    chaos = report["chaos"]
+    deltas = chaos["tail_delta_ms"]
+    lines.append(
+        f"chaos: {chaos['injected']} faults injected, "
+        f"parity={chaos['invariants']['parity']} "
+        f"duplicated={chaos['invariants']['duplicated_jobs']} "
+        f"corrupt={chaos['invariants']['corrupt_records']}, tail price "
+        f"p95+{deltas.get('p95_ms', 0.0)}ms p99+{deltas.get('p99_ms', 0.0)}ms"
+    )
     return "\n".join(lines)
 
 
@@ -176,6 +214,9 @@ def check(report: dict) -> None:
     wire = report["transport"]
     assert wire["wire"]["bytes_total"] < wire["json"]["bytes_total"], (
         f"wire transport not smaller than JSON-lines: {wire}"
+    )
+    assert report["chaos"]["passed"], (
+        f"chaos invariants violated: {report['chaos']['invariants']}"
     )
     walls = {r["slots"]: r["wall_s"] for r in report["throughput"]}
     slots = sorted(walls)

@@ -18,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.backend import BACKEND_NAMES, BackendUnavailableError
@@ -219,6 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-shards", type=int, default=0, metavar="K",
         help="default shard count for coverage queries (0 = sequential)",
     )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="shed submits once N jobs are queued (0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--max-inflight", type=int, default=0, metavar="N",
+        help="shed requests once N are executing (0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="service fault plan JSON to inject (chaos testing)",
+    )
 
     jobs_p = sub.add_parser(
         "jobs", help="client verbs against a running `repro serve`"
@@ -235,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport", choices=("json", "wire"), default="json",
         help="client transport (wire = compact binary framing)",
     )
+    client.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry shed/reset requests up to N times (capped backoff + jitter)",
+    )
     jobs_sub = jobs_p.add_subparsers(dest="jobs_command", required=True)
     js = jobs_sub.add_parser("submit", help="queue one learning job", parents=[common, client])
     js.add_argument("dataset", choices=sorted(DATASETS))
@@ -249,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     js.add_argument("--register-as", default=None, metavar="NAME",
                     help="publish the learned theory to the server's registry")
     js.add_argument("--wait", action="store_true", help="block until the job finishes")
+    js.add_argument(
+        "--idempotency-key", default=None, metavar="KEY",
+        help="dedup key: resubmitting with the same key never duplicates the job "
+        "(generated automatically when --retries is set)",
+    )
     jst = jobs_sub.add_parser(
         "status", help="status of one job (or all jobs)", parents=[common, client]
     )
@@ -329,7 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
         "backlog shows up as tail latency.  Examples are drawn from the "
         "named dataset's pos+neg pool, cycled to --batch.",
     )
-    load_p.add_argument("theory", help="registered theory name to query")
+    load_p.add_argument(
+        "theory", nargs="?", default=None,
+        help="registered theory name to query (omitted with --chaos, "
+        "which self-hosts and learns its own)",
+    )
     load_p.add_argument("--dataset", choices=sorted(DATASETS), default="trains")
     load_p.add_argument("--seed", type=int, default=0)
     load_p.add_argument("--scale", choices=("small", "paper"), default="small")
@@ -342,6 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument("--shards", type=int, default=0, help="shards per query (0 = server default)")
     load_p.add_argument("--stream", action="store_true", help="use streaming queries")
     load_p.add_argument("--concurrency", type=int, default=8, help="client connections")
+    load_p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline the server enforces end-to-end",
+    )
+    load_p.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="self-hosted chaos run: serve with this fault plan JSON, drive "
+        "the workload twice (fault-free + chaos) and gate on parity, zero "
+        "duplicated jobs and zero corrupt records",
+    )
+    load_p.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write the full (chaos) report as JSON",
+    )
     return ap
 
 
@@ -546,12 +586,23 @@ def _cmd_export(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service.server import serve
 
+    fault_plan = None
+    if args.fault_plan:
+        from repro.fault.service import ServiceFaultPlan
+
+        try:
+            fault_plan = ServiceFaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
+
     def announce(server) -> None:
         auth = "on" if args.auth_token else "off"
+        chaos = " CHAOS" if fault_plan is not None else ""
         print(
             f"% serving on {args.host}:{server.port} "
             f"(slots={args.slots}, registry={args.registry_dir or 'off'}, "
-            f"auth={auth}, query-shards={args.query_shards or 'seq'})"
+            f"auth={auth}, query-shards={args.query_shards or 'seq'}){chaos}"
         )
         sys.stdout.flush()
 
@@ -563,6 +614,8 @@ def _cmd_serve(args) -> int:
             auth_token=args.auth_token,
             max_jobs_per_client=args.max_jobs_per_client,
             query_shards=args.query_shards,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+            fault_plan=fault_plan,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         print("% interrupted", file=sys.stderr)
@@ -593,7 +646,7 @@ def _jobs_verbs(args) -> int:
 
     with ServiceClient(
         host=args.host, port=args.port,
-        token=args.token, transport=args.transport,
+        token=args.token, transport=args.transport, retries=args.retries,
     ) as client:
         if args.jobs_command == "submit":
             spec = JobSpec(
@@ -601,7 +654,7 @@ def _jobs_verbs(args) -> int:
                 scale=args.scale, backend=args.backend, priority=args.priority,
                 preemptible=args.preemptible, register_as=args.register_as,
             )
-            job = client.submit(spec)
+            job = client.submit(spec, idempotency_key=args.idempotency_key)
             print(f"% submitted {job}")
             if args.wait:
                 resp = client.wait(job)
@@ -781,6 +834,11 @@ def _loadgen_run(args) -> int:
     if args.batch < 1:
         print("repro: --batch must be >= 1", file=sys.stderr)
         return 2
+    if args.chaos is not None:
+        return _loadgen_chaos(args)
+    if args.theory is None:
+        print("repro: loadgen needs a theory name (or --chaos)", file=sys.stderr)
+        return 2
     ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
     pool = itertools.cycle(str(e) for e in (*ds.pos, *ds.neg))
     examples = [next(pool) for _ in range(args.batch)]
@@ -788,15 +846,19 @@ def _loadgen_run(args) -> int:
     def make_client():
         return ServiceClient(
             host=args.host, port=args.port,
-            token=args.token, transport=args.transport,
+            token=args.token, transport=args.transport, retries=args.retries,
         )
 
     report = run_loadgen(
         make_client, args.theory, examples,
         n_requests=args.requests, rate=args.rate, pattern=args.pattern,
         seed=args.seed, shards=args.shards or None, stream=args.stream,
-        concurrency=args.concurrency,
+        concurrency=args.concurrency, deadline_ms=args.deadline_ms,
     )
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
     print(
         f"% {report['pattern']} x{report['n_requests']} @ {report['rate']}/s "
         f"(batch={report['batch']}, shards={report['shards'] or 'server'}, "
@@ -813,6 +875,35 @@ def _loadgen_run(args) -> int:
     for sample in report["error_samples"]:
         print(f"%   error: {sample}", file=sys.stderr)
     return 0 if report["errors"] == 0 else 1
+
+
+def _loadgen_chaos(args) -> int:
+    from repro.experiments.chaos import chaos_passed, chaos_report_lines, run_chaos
+    from repro.fault.service import ServiceFaultPlan
+
+    try:
+        plan = ServiceFaultPlan.load(args.chaos)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro: bad --chaos plan: {exc}", file=sys.stderr)
+        return 2
+    if args.stream:
+        print("repro: --chaos drives plain queries; drop --stream", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        plan,
+        dataset=args.dataset, seed=args.seed, scale=args.scale,
+        batch=args.batch, requests=args.requests, rate=args.rate,
+        pattern=args.pattern, shards=args.shards or 2,
+        concurrency=args.concurrency, retries=args.retries or 5,
+    )
+    for line in chaos_report_lines(report):
+        print(line)
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"% wrote chaos report to {args.bench_out}")
+    return 0 if chaos_passed(report) else 1
 
 
 def main(argv=None) -> int:

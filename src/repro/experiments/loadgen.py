@@ -124,6 +124,7 @@ def run_loadgen(
     stream: bool = False,
     concurrency: int = 8,
     burst_size: int = 8,
+    deadline_ms: Optional[float] = None,
 ) -> dict:
     """Drive ``n_requests`` queries on an arrival schedule; report percentiles.
 
@@ -131,7 +132,10 @@ def run_loadgen(
     not shareable across threads); each request is a full batched query
     of ``examples`` against ``theory``.  With ``stream=True`` requests
     use the streaming protocol and the report carries both first-frame
-    and end-frame latency distributions.
+    and end-frame latency distributions.  ``deadline_ms`` attaches a
+    per-request deadline the server enforces end-to-end; requests the
+    server rejects (``deadline_exceeded``, shed load the client's
+    retries did not absorb) count as errors in the report.
 
     Latency is measured from each request's *scheduled* send time — a
     backlogged server (or exhausted worker pool) shows up as tail
@@ -161,18 +165,29 @@ def run_loadgen(
         if delay > 0:
             time.sleep(delay)
         start = t0 + offset  # scheduled time: queueing delay counts
+        # Only attached when set, so client objects without deadline
+        # support (fakes, older servers' clients) keep working.
+        deadline_kw = {} if deadline_ms is None else {"deadline_ms": deadline_ms}
         try:
             c = client()
             if stream:
                 first = None
-                for frame in c.query_stream(theory, list(examples), shards=shards):
+                for frame in c.query_stream(
+                    theory, list(examples), shards=shards, **deadline_kw
+                ):
                     if first is None:
                         first = time.perf_counter() - start
                 with lock:
                     firsts.append(first)
                     totals.append(time.perf_counter() - start)
             else:
-                c.query(theory, list(examples), shards=shards)
+                resp = c.query(
+                    theory, list(examples), shards=shards, **deadline_kw
+                )
+                if not resp.get("ok", True):
+                    raise RuntimeError(
+                        f"{resp.get('code', 'error')}: {resp.get('error')}"
+                    )
                 with lock:
                     totals.append(time.perf_counter() - start)
         except Exception as exc:  # noqa: BLE001 - reported, not raised

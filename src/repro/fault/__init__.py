@@ -12,7 +12,11 @@ unreliable pool:
 * :mod:`repro.fault.recovery` — the self-healing protocol: logical
   workers decoupled from physical hosts, heartbeat/timeout failure
   detection, deterministic state reconstruction by replay, task
-  reassignment and elastic pool growth.
+  reassignment and elastic pool growth;
+* :mod:`repro.fault.service` — the serving tier's counterpart
+  (:class:`ServiceFaultPlan`): connection resets, engine-lease faults,
+  scheduler-slot crashes and persistence-write failures injected into
+  the live service front door and job scheduler.
 
 The subsystem is strictly opt-in: with no plan (or an empty one) every
 execution path is byte-for-byte identical to the fault-unaware code.
@@ -47,6 +51,10 @@ __all__ = [
     "PoolSupervisor",
     "RecoveryError",
     "rebuild_shard",
+    "ServiceFaultPlan",
+    "ServiceFaultInjector",
+    "InjectedFault",
+    "normalize_service_plan",
 ]
 
 _LAZY = {
@@ -57,6 +65,10 @@ _LAZY = {
     "PoolSupervisor": "repro.fault.recovery",
     "RecoveryError": "repro.fault.recovery",
     "rebuild_shard": "repro.fault.recovery",
+    "ServiceFaultPlan": "repro.fault.service",
+    "ServiceFaultInjector": "repro.fault.service",
+    "InjectedFault": "repro.fault.service",
+    "normalize_service_plan": "repro.fault.service",
 }
 
 

@@ -228,6 +228,9 @@ class JobRecord:
     error: str = ""
     #: present on persisted ``done`` records.
     outcome: Optional[OutcomeSummary] = None
+    #: client-supplied idempotency key (submit dedup across retries and
+    #: scheduler restarts); None when the client sent none.
+    idem_key: Optional[str] = None
 
     def replace(self, **kw) -> "JobRecord":
         return replace(self, **kw)
@@ -239,6 +242,8 @@ class JobRecord:
             d["error"] = self.error
         if self.outcome is not None:
             d["outcome"] = self.outcome.to_dict()
+        if self.idem_key is not None:
+            d["idem_key"] = self.idem_key
         return d
 
 
@@ -411,6 +416,9 @@ def _enc_job_record(e, r: JobRecord) -> None:
         e.sym(repr(o.mbytes))
         e.sym(repr(o.train_accuracy))
         e.sym(o.theory)
+    e.flag(r.idem_key is not None)
+    if r.idem_key is not None:
+        e.sym(r.idem_key)
 
 
 def _dec_outcome_summary(d) -> OutcomeSummary:
@@ -451,9 +459,11 @@ def _dec_job_record(d) -> JobRecord:
         register_as=d.sym() if d.flag() else None,
     )
     outcome = _dec_outcome_summary(d) if d.flag() else None
+    idem_key = d.sym() if d.flag() else None
     return JobRecord(
         job_id=job_id, seq=seq, spec=spec, state=state,
         epochs_done=epochs_done, error=error, outcome=outcome,
+        idem_key=idem_key,
     )
 
 

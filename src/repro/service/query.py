@@ -37,6 +37,7 @@ sharded and streamed answers are bit-identical to the sequential path
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
@@ -47,6 +48,7 @@ from repro.logic.clause import Theory
 from repro.logic.engine import Engine
 from repro.logic.terms import Term, is_ground
 from repro.parallel.partition import shard_spans
+from repro.service.errors import Unavailable
 
 __all__ = [
     "QueryEngine",
@@ -214,6 +216,7 @@ class QueryStream:
         executor: ThreadPoolExecutor,
         micro_batch: int = 1024,
         stats=None,
+        fault_injector=None,
     ):
         self.prepared = prepared
         self.n = len(examples)
@@ -221,6 +224,7 @@ class QueryStream:
         self._micro_batch = micro_batch
         self._cancelled = threading.Event()
         self._stats = stats
+        self._injector = fault_injector
         self._next = 0
         self._merged = 0
         self._ops = 0
@@ -235,6 +239,17 @@ class QueryStream:
         try:
             if self._cancelled.is_set():
                 raise CancelledError()
+            if self._injector is not None:
+                fault = self._injector.on_lease()
+                if fault is not None:
+                    if fault.mode == "fail":
+                        # Surfaces through next_frame() as a retryable
+                        # `unavailable` error; results are never partial —
+                        # the server cancels the whole stream.
+                        raise Unavailable(
+                            "injected engine-lease failure (chaos plan)"
+                        )
+                    time.sleep(fault.delay)  # mode == "slow": tail latency only
             engine = self.prepared.lease_engine()
             try:
                 covered, ops = self.prepared.eval_span(
@@ -343,7 +358,12 @@ class QueryEngine:
     GIL (keeping first-shard latency well below full-batch latency).
     """
 
-    def __init__(self, registry=None, shard_workers: Optional[int] = None):
+    def __init__(
+        self,
+        registry=None,
+        shard_workers: Optional[int] = None,
+        fault_injector=None,
+    ):
         import os
 
         self.registry = registry
@@ -353,9 +373,29 @@ class QueryEngine:
         self._shard_workers = max(1, shard_workers or os.cpu_count() or 1)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stream_stats = _StreamStats()
+        self._injector = fault_injector
         #: prepared-cache counters (amortization visibility).
         self.prepared_hits = 0
         self.prepared_misses = 0
+        #: sharded queries served sequentially under shard-pool pressure.
+        self.degraded = 0
+
+    def should_degrade(self) -> bool:
+        """True when the shard pool is saturated.
+
+        Overload policy: a sharded query arriving while every shard
+        worker is busy is served on the *sequential* prepared-engine
+        path instead — slower for that one query, but it neither queues
+        behind a full pool nor fails.  The bitset is bit-identical
+        either way (the determinism invariant), so degrading is always
+        answer-safe.
+        """
+        with self._stream_stats._lock:
+            return self._stream_stats.shard_tasks_active >= self._shard_workers
+
+    def note_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
 
     # -- preparation -------------------------------------------------------------
 
@@ -475,6 +515,7 @@ class QueryEngine:
             self._shard_executor(),
             micro_batch=micro_batch,
             stats=self._stream_stats,
+            fault_injector=self._injector,
         )
 
     def dataset_for(self, name: str, version: Optional[int] = None):
@@ -503,6 +544,7 @@ class QueryEngine:
                 "prepared_misses": self.prepared_misses,
                 "prepared_entries": len(self._prepared),
                 "batches": sum(p.batches for p in self._prepared.values()),
+                "degraded": self.degraded,
             }
         out.update(self._stream_stats.snapshot())
         return out

@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.logic.clause import Clause, Theory
 from repro.parallel import wire
+from repro.util.atomicio import atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "RegistryRecord",
@@ -187,16 +188,28 @@ class TheoryRegistry:
 
     All operations are safe under concurrent publishers in one process
     (an internal lock serializes version allocation) and atomic on disk
-    (write-then-rename), so a crashed publisher never leaves a torn
-    artifact.
+    (tmp + fsync + rename via :mod:`repro.util.atomicio`), so a crashed
+    publisher never leaves a torn artifact — at worst an unreferenced
+    tmp file, which the atomic writer removes on failure anyway.
+
+    ``fault_injector`` (chaos testing only) is a
+    :class:`~repro.fault.service.ServiceFaultInjector` whose
+    ``persist_hook("registry")`` fails selected writes inside the
+    torn-write window.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, fault_injector=None):
         self.root = root
+        self._injector = fault_injector
         os.makedirs(root, exist_ok=True)
         import threading
 
         self._lock = threading.Lock()
+
+    def _fail_hook(self):
+        if self._injector is None:
+            return None
+        return self._injector.persist_hook("registry")
 
     # -- paths -------------------------------------------------------------------
 
@@ -318,10 +331,7 @@ class TheoryRegistry:
             d = self._dir(name)
             os.makedirs(d, exist_ok=True)
             path = self._path(name, version)
-            tmp = f"{path}.tmp"
-            with open(tmp, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, path)
+            atomic_write_bytes(path, data, fail_hook=self._fail_hook())
             return record
 
     def promote(self, name: str, version: int) -> int:
@@ -330,10 +340,10 @@ class TheoryRegistry:
             if version not in self.versions(name):
                 raise RegistryError(f"{name!r} has no version {version}")
             path = os.path.join(self._dir(name), "PROMOTED")
-            tmp = f"{path}.tmp"
-            with open(tmp, "w", encoding="ascii") as fh:
-                fh.write(f"{version}\n")
-            os.replace(tmp, path)
+            atomic_write_text(
+                path, f"{version}\n", encoding="ascii",
+                fail_hook=self._fail_hook(),
+            )
             return version
 
     def gc(self, name: str, keep: int = 1) -> list[int]:

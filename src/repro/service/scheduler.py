@@ -26,7 +26,25 @@ checkpoint, the final theory is bit-identical to a one-shot run.
 checkpoints, and a fresh scheduler over the same directory
 :meth:`~JobScheduler.recover_jobs` — interrupted (``running``) and
 ``queued`` jobs are re-queued, resuming mid-run where a checkpoint
-exists.
+exists.  Record writes are atomic-with-fsync
+(:func:`repro.util.atomicio.atomic_write_bytes`), so a crash mid-write
+leaves the previous record, never a torn one; records that are
+nonetheless undecodable (disk damage, version skew) are *quarantined*
+by ``recover_jobs`` — renamed aside and reported — instead of taking
+the whole recovery down.
+
+**Idempotent submission.**  ``submit(spec, idempotency_key=...)``
+returns the already-created job when the key was seen before (the key
+is persisted in the record, so the dedup map survives restarts).  This
+is what makes client-side retries safe: a submit whose *response* was
+lost to a connection reset is simply re-sent, and the job is created
+exactly once.
+
+**Self-healing slots.**  A slot thread that dies mid-pick (only ever
+via injected :class:`~repro.fault.service.SlotCrash` faults — real job
+exceptions are contained per-job) re-queues its orphaned ``running``
+job under the same id and respawns in place, so a crashed slot costs
+latency, never a lost or duplicated job.
 """
 
 from __future__ import annotations
@@ -38,8 +56,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.fault.service import InjectedFault
 from repro.parallel import wire
+from repro.service.errors import Overloaded
 from repro.service.jobs import JobOutcome, JobRecord, JobSpec, OutcomeSummary, run_job
+from repro.util.atomicio import atomic_write_bytes
 
 __all__ = ["JobScheduler", "SchedulerError", "TERMINAL_STATES"]
 
@@ -49,6 +70,19 @@ TERMINAL_STATES = ("done", "failed", "cancelled")
 
 class SchedulerError(RuntimeError):
     """Unknown job id, bad transition, or use after close."""
+
+
+class _SlotCrash(BaseException):
+    """Injected slot-thread death; escapes the per-job isolation boundary.
+
+    Deliberately a BaseException: the worker loop's per-job ``except
+    BaseException`` guard must *not* swallow it into a ``failed``
+    transition — a crashed slot is a lost thread, not a bad job.
+    """
+
+    def __init__(self, job_id: str):
+        super().__init__(job_id)
+        self.job_id = job_id
 
 
 @dataclass
@@ -85,6 +119,16 @@ class JobScheduler:
     chunk_epochs:
         Epochs per chunk for preemptible jobs (cancellation latency
         knob; smaller = more responsive, more per-chunk setup).
+    max_queue:
+        Admission bound: reject submits once this many jobs are already
+        queued (0 = unbounded).  Rejection is an
+        :class:`~repro.service.errors.Overloaded` fault carrying a
+        ``retry_after`` hint, so shed clients back off instead of
+        queueing forever.
+    fault_injector:
+        Optional :class:`~repro.fault.service.ServiceFaultInjector`
+        driving deterministic slot crashes and persistence-write
+        failures (chaos testing only; None in production).
     start:
         Start worker threads immediately (pass ``False`` to stage jobs
         first — used by tests and by ``recover_jobs``-then-start flows).
@@ -96,16 +140,22 @@ class JobScheduler:
         state_dir: Optional[str] = None,
         registry=None,
         chunk_epochs: int = 1,
+        max_queue: int = 0,
+        fault_injector=None,
         start: bool = True,
     ):
         if slots < 1:
             raise ValueError("slots must be >= 1")
         if chunk_epochs < 1:
             raise ValueError("chunk_epochs must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (0 = unbounded)")
         self.slots = slots
         self.state_dir = state_dir
         self.registry = registry
         self.chunk_epochs = chunk_epochs
+        self.max_queue = max_queue
+        self._injector = fault_injector
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._jobs: dict[str, _Job] = {}
@@ -114,6 +164,15 @@ class JobScheduler:
         self._stop = False
         self._closed = False
         self._threads: list[threading.Thread] = []
+        #: idempotency key -> job id (rebuilt from records on recovery).
+        self._idem: dict[str, str] = {}
+        #: job ids whose records could not be decoded during recovery.
+        self.quarantined: list[str] = []
+        #: durable writes that failed (record kept in memory; rewritten
+        #: at the next transition).
+        self.persist_errors = 0
+        #: slot threads respawned after an (injected) crash.
+        self.slot_crashes = 0
         if state_dir:
             os.makedirs(state_dir, exist_ok=True)
         self._started = False
@@ -129,7 +188,7 @@ class JobScheduler:
         self._started = True
         for i in range(self.slots):
             t = threading.Thread(
-                target=self._worker_loop, name=f"repro-job-slot-{i}", daemon=True
+                target=self._slot_main, name=f"repro-job-slot-{i}", daemon=True
             )
             t.start()
             self._threads.append(t)
@@ -162,20 +221,52 @@ class JobScheduler:
 
     # -- submission & queries ----------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> str:
-        """Queue one job; returns its id (``job-NNNN``, submission order)."""
+    def submit(self, spec: JobSpec, idempotency_key: Optional[str] = None) -> str:
+        """Queue one job; returns its id (``job-NNNN``, submission order).
+
+        With an ``idempotency_key``, re-submitting the same key returns
+        the id of the job it created the first time — a retried submit
+        whose response was lost never duplicates work.  Keys are
+        persisted in the job record, so dedup survives restarts.
+        """
         with self._cv:
             if self._closed:
                 raise SchedulerError("scheduler is closed")
+            if idempotency_key is not None:
+                existing = self._idem.get(idempotency_key)
+                if existing is not None:
+                    return existing
+            if self.max_queue:
+                queued = sum(
+                    1 for j in self._jobs.values() if j.record.state == "queued"
+                )
+                if queued >= self.max_queue:
+                    raise Overloaded(
+                        f"job queue full ({queued} queued, cap {self.max_queue})",
+                        retry_after=0.25,
+                    )
             self._seq += 1
             job_id = f"job-{self._seq:04d}"
-            record = JobRecord(job_id=job_id, seq=self._seq, spec=spec, state="queued")
+            record = JobRecord(
+                job_id=job_id,
+                seq=self._seq,
+                spec=spec,
+                state="queued",
+                idem_key=idempotency_key,
+            )
             job = _Job(record=record)
             self._jobs[job_id] = job
+            if idempotency_key is not None:
+                self._idem[idempotency_key] = job_id
             self._persist(job)
             heapq.heappush(self._queue, (-spec.priority, self._seq, job_id))
             self._cv.notify()
             return job_id
+
+    def lookup_idempotent(self, key: str) -> Optional[str]:
+        """The job id an idempotency key already created, or None."""
+        with self._lock:
+            return self._idem.get(key)
 
     def _get(self, job_id: str) -> _Job:
         try:
@@ -270,10 +361,16 @@ class JobScheduler:
             return
         os.makedirs(jdir, exist_ok=True)
         data = wire.encode_always(job.record)
-        tmp = os.path.join(jdir, "job.rec.tmp")
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, os.path.join(jdir, "job.rec"))
+        hook = (
+            self._injector.persist_hook("job") if self._injector is not None else None
+        )
+        try:
+            atomic_write_bytes(os.path.join(jdir, "job.rec"), data, fail_hook=hook)
+        except (InjectedFault, OSError):
+            # In-memory state stays authoritative and the next transition
+            # rewrites the whole record; atomicity guarantees the on-disk
+            # copy is still the previous consistent one, never a torn one.
+            self.persist_errors += 1
 
     def recover_jobs(self) -> list[str]:
         """Reload jobs persisted under ``state_dir`` by a prior scheduler.
@@ -283,6 +380,9 @@ class JobScheduler:
         non-checkpointed interrupted jobs simply start over, which is
         safe because job execution is deterministic and side-effect-free
         until completion).  Terminal records are loaded for status only.
+        Records that fail to decode (disk damage, version skew) are
+        quarantined — renamed to ``job.rec.corrupt`` and listed in
+        :attr:`quarantined` — instead of aborting the whole recovery.
         Returns the re-queued job ids.
         """
         if not self.state_dir:
@@ -293,12 +393,24 @@ class JobScheduler:
                 rec_path = os.path.join(self.state_dir, name, "job.rec")
                 if not os.path.isfile(rec_path) or name in self._jobs:
                     continue
-                with open(rec_path, "rb") as fh:
-                    record = wire.decode(fh.read())
-                if not isinstance(record, JobRecord):
+                try:
+                    with open(rec_path, "rb") as fh:
+                        record = wire.decode(fh.read())
+                    if not isinstance(record, JobRecord):
+                        raise ValueError(f"{rec_path} does not hold a JobRecord")
+                except Exception:
+                    # Quarantine, don't crash: one damaged record must not
+                    # take down recovery of every healthy job around it.
+                    try:
+                        os.replace(rec_path, rec_path + ".corrupt")
+                    except OSError:
+                        pass
+                    self.quarantined.append(name)
                     continue
                 job = _Job(record=record)
                 self._jobs[record.job_id] = job
+                if record.idem_key is not None:
+                    self._idem[record.idem_key] = record.job_id
                 self._seq = max(self._seq, record.seq)
                 if record.state in ("queued", "running"):
                     record = record.replace(state="queued")
@@ -350,6 +462,33 @@ class JobScheduler:
         job.record = job.record.replace(state=state, **kw)
         self._persist(job)
 
+    def _slot_main(self) -> None:
+        """Thread target: run the worker loop, healing injected crashes.
+
+        A :class:`_SlotCrash` models a slot thread dying after it claimed
+        a job but before executing it.  The heal path re-queues that
+        orphaned job under its original id (never a duplicate) and the
+        loop continues — logically a freshly respawned slot.
+        """
+        while True:
+            try:
+                self._worker_loop()
+                return
+            except _SlotCrash as crash:
+                self._heal_crashed_slot(crash.job_id)
+
+    def _heal_crashed_slot(self, job_id: str) -> None:
+        with self._cv:
+            self.slot_crashes += 1
+            job = self._jobs.get(job_id)
+            if job is not None and job.record.state == "running":
+                self._transition(job, "queued")
+                heapq.heappush(
+                    self._queue,
+                    (-job.record.spec.priority, job.record.seq, job_id),
+                )
+            self._cv.notify_all()
+
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
@@ -362,6 +501,8 @@ class JobScheduler:
                 if job.record.state != "queued":  # cancelled while queued
                     continue
                 self._transition(job, "running")
+            if self._injector is not None and self._injector.on_job_pick():
+                raise _SlotCrash(job_id)
             try:
                 self._execute(job)
             except BaseException as exc:  # noqa: BLE001 - job isolation boundary
@@ -480,9 +621,34 @@ class JobScheduler:
             "uncovered": str(outcome.uncovered),
             "train_accuracy": f"{outcome.train_accuracy:.2f}",
         }
-        self.registry.publish(
-            spec.register_as,
-            outcome.theory,
-            config_sig=outcome.config_sig,
-            provenance=provenance,
-        )
+        try:
+            self.registry.publish(
+                spec.register_as,
+                outcome.theory,
+                config_sig=outcome.config_sig,
+                provenance=provenance,
+            )
+        except (InjectedFault, OSError):
+            # A failed publish never wrote the artifact (registry writes
+            # are atomic), so one immediate retry re-allocates the same
+            # version number and cannot double-publish.
+            self.registry.publish(
+                spec.register_as,
+                outcome.theory,
+                config_sig=outcome.config_sig,
+                provenance=provenance,
+            )
+
+    # -- resilience introspection -------------------------------------------------
+
+    def resilience_stats(self) -> dict:
+        """Counters the stats op exposes for chaos runs and operators."""
+        with self._lock:
+            return {
+                "persist_errors": self.persist_errors,
+                "slot_crashes": self.slot_crashes,
+                "quarantined": list(self.quarantined),
+                "queued": sum(
+                    1 for j in self._jobs.values() if j.record.state == "queued"
+                ),
+            }

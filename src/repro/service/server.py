@@ -54,15 +54,32 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
+import signal
 import socket
+import struct
 import threading
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from repro.fault.service import ServiceFaultInjector, normalize_service_plan
 from repro.logic import ParseError, parse_term
 from repro.parallel.wire import WireError
 from repro.service import wiremsg
+from repro.service.errors import (
+    RETRYABLE_CODES,
+    BadRequest,
+    DeadlineExceeded,
+    FrameTooLarge,
+    Overloaded,
+    ServiceFault,
+    ShuttingDown,
+    error_response,
+)
 from repro.service.jobs import JobSpec
 from repro.service.query import QueryEngine, QueryResult, QueryStream
 from repro.service.registry import RegistryError, TheoryRegistry
@@ -72,6 +89,36 @@ __all__ = ["Service", "ServiceServer", "ServiceClient", "ClientContext", "serve"
 
 #: transports a server can negotiate in the hello op.
 TRANSPORTS = ("json", "wire")
+
+
+def stamp_deadline(request: dict) -> None:
+    """Convert a valid relative ``deadline_ms`` to absolute ``_deadline``.
+
+    Called by the transport the moment a request is parsed, so time a
+    request spends queued behind the op executor counts against its own
+    deadline.  Invalid values are left for :func:`deadline_of` to reject
+    inside the normal error path.
+    """
+    ms = request.get("deadline_ms")
+    if isinstance(ms, (int, float)) and not isinstance(ms, bool) and ms > 0:
+        request["_deadline"] = time.monotonic() + ms / 1000.0
+
+
+def deadline_of(request: dict) -> Optional[float]:
+    """The request's absolute monotonic deadline, or None.
+
+    Stamps direct (in-process) requests that skipped the transport.
+    """
+    dl = request.get("_deadline")
+    if dl is not None:
+        return dl
+    ms = request.get("deadline_ms")
+    if ms is None:
+        return None
+    if not isinstance(ms, (int, float)) or isinstance(ms, bool) or ms <= 0:
+        raise BadRequest(f"deadline_ms must be a positive number, got {ms!r}")
+    stamp_deadline(request)
+    return request["_deadline"]
 
 
 @dataclass
@@ -105,7 +152,11 @@ class Service:
     *active* (queued or running) jobs — over-quota submits are rejected
     with a friendly error instead of silently queueing forever.
     ``query_shards`` is the server-side default shard count for queries
-    that don't pick their own.
+    that don't pick their own.  ``max_queue`` bounds the scheduler's
+    queued-job depth (excess submits are shed with ``overloaded`` +
+    ``retry_after``).  ``fault_plan`` (chaos testing only) injects the
+    deterministic faults of a
+    :class:`~repro.fault.service.ServiceFaultPlan` into every layer.
     """
 
     def __init__(
@@ -118,18 +169,30 @@ class Service:
         max_jobs_per_client: int = 0,
         query_shards: int = 0,
         shard_workers: Optional[int] = None,
+        max_queue: int = 0,
+        fault_plan=None,
     ):
-        self.registry = TheoryRegistry(registry_dir) if registry_dir else None
+        plan = normalize_service_plan(fault_plan)
+        self.fault_injector = ServiceFaultInjector(plan) if plan is not None else None
+        self.registry = (
+            TheoryRegistry(registry_dir, fault_injector=self.fault_injector)
+            if registry_dir
+            else None
+        )
         self.scheduler = JobScheduler(
             slots=slots, state_dir=state_dir, registry=self.registry,
-            chunk_epochs=chunk_epochs,
+            chunk_epochs=chunk_epochs, max_queue=max_queue,
+            fault_injector=self.fault_injector,
         )
         self.query_engine = QueryEngine(
-            registry=self.registry, shard_workers=shard_workers
+            registry=self.registry, shard_workers=shard_workers,
+            fault_injector=self.fault_injector,
         )
         self.auth_token = auth_token
         self.max_jobs_per_client = max_jobs_per_client
         self.query_shards = query_shards
+        #: True once a graceful drain started: no new jobs are accepted.
+        self.draining = False
         self._quota_lock = threading.Lock()
         self._client_jobs: dict[str, list[str]] = {}
         if state_dir:
@@ -138,10 +201,30 @@ class Service:
     def close(self, drain: bool = False) -> None:
         self.scheduler.close(drain=drain)
 
+    def drain(self) -> None:
+        """Graceful-drain the job tier (blocking).
+
+        Stops the scheduler without waiting for queued jobs: running
+        preemptible jobs park at their next checkpoint (recoverable),
+        running non-preemptible jobs finish, queued jobs stay queued on
+        disk.  New submits are already rejected (``shutting_down``) the
+        moment :attr:`draining` is set.
+        """
+        self.draining = True
+        self.scheduler.close(drain=False)
+
     # -- dispatch ----------------------------------------------------------------
 
     def handle(self, request: dict, ctx: Optional[ClientContext] = None) -> dict:
-        """Answer one request dict; never raises (errors become fields)."""
+        """Answer one request dict; never raises (errors become fields).
+
+        Requests may carry ``"deadline_ms"`` (relative, stamped to an
+        absolute monotonic ``"_deadline"`` at transport read time so
+        executor queueing counts against it): work whose deadline passed
+        is rejected up front with ``deadline_exceeded`` instead of run
+        uselessly, and sharded queries are cancelled mid-flight when the
+        deadline expires.
+        """
         if ctx is None:
             # Direct (in-process) callers are implicitly trusted — the
             # token protects the socket boundary, not the library API.
@@ -150,7 +233,11 @@ class Service:
             op = request.get("op")
             handler = getattr(self, f"_op_{op}", None)
             if not isinstance(op, str) or handler is None:
-                return {"ok": False, "error": f"unknown op {op!r}"}
+                return {
+                    "ok": False,
+                    "error": f"unknown op {op!r}",
+                    "code": "bad_request",
+                }
             if (
                 self.auth_token is not None
                 and not ctx.authenticated
@@ -160,10 +247,20 @@ class Service:
                     "ok": False,
                     "error": 'authentication required: send {"op": "hello", '
                     '"token": "..."} first',
+                    "code": "unauthenticated",
                 }
+            deadline = deadline_of(request)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    f"deadline expired before the {op!r} op ran"
+                )
+            if self.draining and op == "submit":
+                raise ShuttingDown()
             return {"ok": True, **handler(request, ctx)}
+        except ServiceFault as exc:
+            return error_response(exc)
         except (SchedulerError, RegistryError, ParseError, ValueError, KeyError, TypeError) as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            return error_response(exc)
 
     # -- operations --------------------------------------------------------------
 
@@ -192,8 +289,18 @@ class Service:
         spec = JobSpec.from_dict(request["spec"])
         if spec.register_as and self.registry is None:
             raise ValueError("register_as needs the server started with a registry dir")
+        idem = request.get("idempotency_key")
+        if idem is not None and (not isinstance(idem, str) or not idem):
+            raise BadRequest("idempotency_key must be a non-empty string")
+        if idem is not None:
+            # A retried submit whose first response was lost: return the
+            # job it already created — before quota, which it consumed
+            # the first time around.
+            existing = self.scheduler.lookup_idempotent(idem)
+            if existing is not None:
+                return {"job": existing, "deduplicated": True}
         if not self.max_jobs_per_client:
-            return {"job": self.scheduler.submit(spec)}
+            return {"job": self.scheduler.submit(spec, idempotency_key=idem)}
         with self._quota_lock:
             active = [
                 j
@@ -206,8 +313,9 @@ class Service:
                     f"{len(active)} active job(s) of {self.max_jobs_per_client} "
                     "allowed; wait for one to finish or cancel it"
                 )
-            job = self.scheduler.submit(spec)
-            self._client_jobs[ctx.client_id] = active + [job]
+            job = self.scheduler.submit(spec, idempotency_key=idem)
+            if job not in active:
+                self._client_jobs[ctx.client_id] = active + [job]
             return {"job": job}
 
     def _op_jobs(self, request: dict, ctx: ClientContext) -> dict:
@@ -235,17 +343,54 @@ class Service:
         version: Optional[int] = None,
         micro_batch: int = 1024,
         shards=None,
+        deadline: Optional[float] = None,
     ) -> QueryResult:
-        """One batched query over already-parsed example terms."""
+        """One batched query over already-parsed example terms.
+
+        Under shard-pool saturation a sharded request degrades to the
+        sequential path (``result.shards == 1``) instead of queueing or
+        failing — bit-identical answer, just slower.  With a
+        ``deadline`` (absolute monotonic), sharded evaluation is drained
+        frame-by-frame with the remaining budget and cancelled (pending
+        shard tasks dropped) the moment it expires.
+        """
         if self.registry is None:
             raise ValueError("query needs the server started with a registry dir")
-        return self.query_engine.query(
-            name,
-            examples,
-            version=version,
-            micro_batch=micro_batch or 1024,
-            shards=self._resolve_shards(shards),
+        shards_r = self._resolve_shards(shards)
+        if shards_r is not None and self.query_engine.should_degrade():
+            self.query_engine.note_degraded()
+            shards_r = None
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("deadline expired before query evaluation")
+        if deadline is None or shards_r is None or len(examples) <= 1:
+            return self.query_engine.query(
+                name,
+                examples,
+                version=version,
+                micro_batch=micro_batch or 1024,
+                shards=shards_r,
+            )
+        stream = self.query_engine.query_stream(
+            name, examples, version=version,
+            micro_batch=micro_batch or 1024, shards=shards_r,
         )
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FuturesTimeout()
+                if stream.next_frame(timeout=remaining) is None:
+                    break
+        except FuturesTimeout:
+            stream.cancel()
+            raise DeadlineExceeded(
+                f"deadline exceeded mid-query "
+                f"({stream._next} of {len(stream.spans)} shards done)"
+            ) from None
+        except BaseException:
+            stream.cancel()
+            raise
+        return stream.result()
 
     def open_query_stream(self, request: dict) -> QueryStream:
         """Open the sharded stream behind a ``"stream": true`` query.
@@ -267,20 +412,25 @@ class Service:
 
     def _op_query(self, request: dict, ctx: ClientContext) -> dict:
         examples = [parse_term(s) for s in request["examples"]]
+        requested = self._resolve_shards(request.get("shards"))
         result = self.query_result(
             request["theory"],
             examples,
             version=request.get("version"),
             micro_batch=int(request.get("micro_batch") or 1024),
             shards=request.get("shards"),
+            deadline=request.get("_deadline"),
         )
-        return {
+        out = {
             "n": result.n,
             "n_covered": result.n_covered,
             "ops": result.ops,
             "shards": result.shards,
             "covered": result.decisions(),
         }
+        if requested is not None and result.shards == 1 and len(examples) > 1:
+            out["degraded"] = True
+        return out
 
     # -- registry / retention ----------------------------------------------------
 
@@ -331,11 +481,18 @@ class Service:
         by_state: dict[str, int] = {}
         for j in jobs:
             by_state[j["state"]] = by_state.get(j["state"], 0) + 1
-        return {
+        out = {
             "slots": self.scheduler.slots,
             "jobs": by_state,
             "query": self.query_engine.stats(),
+            "resilience": {
+                "draining": self.draining,
+                **self.scheduler.resilience_stats(),
+            },
         }
+        if self.fault_injector is not None:
+            out["faults"] = self.fault_injector.snapshot()
+        return out
 
     def _op_shutdown(self, request: dict, ctx: ClientContext) -> dict:
         # The transport layer watches for this marker and stops accepting.
@@ -379,11 +536,17 @@ class ServiceServer:
     #: executor headroom beyond scheduler slots: concurrent waits + queries.
     OPS_WORKERS = 32
 
-    def __init__(self, service: Service):
+    def __init__(self, service: Service, max_inflight: int = 0):
         self.service = service
         self.port: Optional[int] = None
+        #: admission bound on concurrently executing ops (0 = unbounded);
+        #: excess requests are shed with ``overloaded`` + ``retry_after``.
+        self.max_inflight = max_inflight
+        self._inflight = 0  # loop-thread only
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._drain: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ops = ThreadPoolExecutor(
             max_workers=max(self.OPS_WORKERS, service.scheduler.slots * 4),
             thread_name_prefix="repro-svc-op",
@@ -391,6 +554,8 @@ class ServiceServer:
 
     async def start(self, host: str, port: int) -> None:
         self._shutdown = asyncio.Event()
+        self._drain = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
         # The reader limit bounds one JSON line; large query batches are
         # legitimate, so allow what the wire framing allows.
         self._server = await asyncio.start_server(
@@ -403,8 +568,43 @@ class ServiceServer:
         if self._shutdown is not None:
             self._shutdown.set()
 
+    def initiate_drain(self) -> None:
+        """Begin a graceful drain (thread- and signal-safe).
+
+        The SIGTERM handler: new submits are rejected immediately
+        (``shutting_down``), the listener closes, in-flight jobs finish
+        or checkpoint-park, then the server unwinds.
+        """
+        self.service.draining = True
+        if self._loop is not None and self._drain is not None:
+            self._loop.call_soon_threadsafe(self._drain.set)
+
     async def run_until_shutdown(self) -> None:
-        await self._shutdown.wait()
+        shut = asyncio.ensure_future(self._shutdown.wait())
+        drain = asyncio.ensure_future(self._drain.wait())
+        try:
+            await asyncio.wait({shut, drain}, return_when=asyncio.FIRST_COMPLETED)
+            if self._drain.is_set() and not self._shutdown.is_set():
+                # Graceful drain: stop accepting connections, let the job
+                # tier finish or checkpoint-park its in-flight work
+                # (Service.drain blocks in a worker thread, so existing
+                # connections keep getting status/stats answers), then
+                # fall through to the normal shutdown path.
+                self._server.close()
+                await self._server.wait_closed()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.service.drain
+                )
+                self._shutdown.set()
+            await self._shutdown.wait()
+        finally:
+            for t in (shut, drain):
+                if not t.done():
+                    t.cancel()
+                    try:
+                        await t
+                    except asyncio.CancelledError:
+                        pass
         self._server.close()
         await self._server.wait_closed()
         # Blocked waits are unstuck by Service.close cancelling their jobs
@@ -434,7 +634,21 @@ class ServiceServer:
                 pass
 
     async def _serve_json_once(self, reader, writer, ctx) -> bool:
-        line = await self._readline(reader, ctx)
+        try:
+            line = await self._readline(reader, ctx)
+        except (asyncio.LimitOverrunError, ValueError):
+            # One request line exceeding the frame cap: answer with a
+            # structured error, then close — the tail of the oversized
+            # line cannot be resynchronized.
+            await self._send_json(
+                writer,
+                error_response(
+                    FrameTooLarge(
+                        f"request line exceeds the {wiremsg.MAX_FRAME}-byte cap"
+                    )
+                ),
+            )
+            return False
         if not line:
             return False
         line = line.strip()
@@ -445,8 +659,19 @@ class ServiceServer:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            await self._send_json(writer, {"ok": False, "error": f"bad request: {exc}"})
+            await self._send_json(
+                writer,
+                {"ok": False, "error": f"bad request: {exc}", "code": "bad_request"},
+            )
             return True
+        stamp_deadline(request)
+        reset = self._injected_reset(request.get("op"))
+        if reset is not None:
+            if reset.when == "after":
+                # The nasty case: the work happens, the response is lost.
+                await self._run_op(request, ctx)
+            self._abort_connection(writer)
+            return False
         if request.get("op") == "query" and request.get("stream"):
             return await self._stream_query(
                 request, ctx, reader, writer,
@@ -464,23 +689,60 @@ class ServiceServer:
         return True
 
     async def _serve_wire_once(self, reader, writer, ctx) -> bool:
-        msg = await self._read_frame(reader, ctx)
+        try:
+            msg = await self._read_frame(reader, ctx)
+        except FrameTooLarge as exc:
+            # The oversized frame body was discarded, so the framing is
+            # still in sync: answer structurally and keep serving.
+            await self._send_frame(writer, wiremsg.WireJson(error_response(exc)))
+            return True
+        except WireError as exc:
+            # Garbage that didn't decode: answer, then close — after a
+            # framing desync nothing later on the connection is trustworthy.
+            await self._send_frame(
+                writer, wiremsg.WireJson(error_response(exc, code="bad_request"))
+            )
+            return False
         if msg is None:
             return False
         if isinstance(msg, wiremsg.WireQuery):
+            reset = self._injected_reset("query")
+            if reset is not None:
+                self._abort_connection(writer)
+                return False
             return await self._wire_query(msg, ctx, reader, writer)
         if not isinstance(msg, wiremsg.WireJson):
             await self._send_frame(
                 writer,
-                wiremsg.WireJson({"ok": False, "error": f"unexpected {type(msg).__name__}"}),
+                wiremsg.WireJson(
+                    {
+                        "ok": False,
+                        "error": f"unexpected {type(msg).__name__}",
+                        "code": "bad_request",
+                    }
+                ),
             )
             return True
         request = msg.payload
         if not isinstance(request, dict):
             await self._send_frame(
-                writer, wiremsg.WireJson({"ok": False, "error": "request must be a JSON object"})
+                writer,
+                wiremsg.WireJson(
+                    {
+                        "ok": False,
+                        "error": "request must be a JSON object",
+                        "code": "bad_request",
+                    }
+                ),
             )
             return True
+        stamp_deadline(request)
+        reset = self._injected_reset(request.get("op"))
+        if reset is not None:
+            if reset.when == "after":
+                await self._run_op(request, ctx)
+            self._abort_connection(writer)
+            return False
         if request.get("op") == "query" and request.get("stream"):
             return await self._stream_query(
                 request, ctx, reader, writer,
@@ -525,10 +787,11 @@ class ServiceServer:
                     micro_batch=msg.micro_batch, shards=msg.shards,
                 ),
             )
+        except ServiceFault as exc:
+            await self._send_frame(writer, wiremsg.WireJson(error_response(exc)))
+            return True
         except (SchedulerError, RegistryError, ParseError, ValueError, KeyError) as exc:
-            await self._send_frame(
-                writer, wiremsg.WireJson({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
-            )
+            await self._send_frame(writer, wiremsg.WireJson(error_response(exc)))
             return True
         await self._send_frame(
             writer,
@@ -552,12 +815,23 @@ class ServiceServer:
         loop, never dropped.
         """
         loop = asyncio.get_running_loop()
+        if request is not None:
+            svc = self.service
+            if svc.auth_token is not None and not ctx.authenticated:
+                err = {
+                    "ok": False,
+                    "error": "authentication required",
+                    "code": "unauthenticated",
+                }
+                await send(wiremsg.WireJson(err) if wire else err)
+                return True
+        deadline = request.get("_deadline") if request is not None else None
         try:
             stream = await loop.run_in_executor(
                 self._ops, opener or (lambda: self.service.open_query_stream(request))
             )
-        except (SchedulerError, RegistryError, ParseError, ValueError, KeyError) as exc:
-            err = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        except (ServiceFault, SchedulerError, RegistryError, ParseError, ValueError, KeyError) as exc:
+            err = error_response(exc)
             await send(wiremsg.WireJson(err) if wire else err)
             return True
         eof_watch = asyncio.ensure_future(reader.read(4096))
@@ -566,7 +840,21 @@ class ServiceServer:
         try:
             while True:
                 if frame_task is None:
-                    frame_task = loop.run_in_executor(self._ops, stream.next_frame)
+                    if deadline is None:
+                        frame_task = loop.run_in_executor(self._ops, stream.next_frame)
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            stream.cancel()
+                            err = error_response(
+                                DeadlineExceeded("deadline exceeded mid-stream")
+                            )
+                            await send(wiremsg.WireJson(err) if wire else err)
+                            break
+                        frame_task = loop.run_in_executor(
+                            self._ops,
+                            lambda r=remaining: stream.next_frame(timeout=r),
+                        )
                 done, _ = await asyncio.wait(
                     {frame_task, eof_watch}, return_when=asyncio.FIRST_COMPLETED
                 )
@@ -579,7 +867,30 @@ class ServiceServer:
                     ctx.pushback += data
                     eof_watch = asyncio.ensure_future(reader.read(4096))
                     continue
-                frame = frame_task.result()
+                try:
+                    frame = frame_task.result()
+                except FuturesTimeout:
+                    # The deadline ran out while a shard was evaluating:
+                    # cancel the pending shard tasks and answer with a
+                    # structured error on the still-usable connection.
+                    frame_task = None
+                    stream.cancel()
+                    err = error_response(
+                        DeadlineExceeded(
+                            f"deadline exceeded mid-stream ({stream._next} of "
+                            f"{len(stream.spans)} shards delivered)"
+                        )
+                    )
+                    await send(wiremsg.WireJson(err) if wire else err)
+                    break
+                except ServiceFault as exc:
+                    # e.g. an injected engine-lease failure: never partial
+                    # results — cancel the whole stream and report.
+                    frame_task = None
+                    stream.cancel()
+                    err = error_response(exc)
+                    await send(wiremsg.WireJson(err) if wire else err)
+                    break
                 frame_task = None
                 if frame is None:
                     break
@@ -646,9 +957,51 @@ class ServiceServer:
 
     # -- plumbing ----------------------------------------------------------------
 
+    def _injected_reset(self, op):
+        """The ConnReset to apply to this request, else None (chaos only)."""
+        injector = self.service.fault_injector
+        if injector is None:
+            return None
+        return injector.on_request(op if isinstance(op, str) else None)
+
+    @staticmethod
+    def _abort_connection(writer) -> None:
+        """Make the coming close a hard TCP reset (RST), not a clean FIN.
+
+        SO_LINGER with a zero timeout discards untransmitted data and
+        sends RST on close, so an injected "connection reset" looks to
+        the client exactly like a mid-flight network failure
+        (``ConnectionResetError``), not like an orderly shutdown.
+        """
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            except OSError:  # pragma: no cover - platform without SO_LINGER
+                pass
+
     async def _run_op(self, request: dict, ctx: ClientContext) -> dict:
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._ops, self.service.handle, request, ctx)
+        if self.max_inflight and self._inflight >= self.max_inflight:
+            # Load shedding: answering "overloaded" costs microseconds on
+            # the loop thread; executing the op would hold an executor
+            # worker.  Clients honour retry_after and back off.
+            return error_response(
+                Overloaded(
+                    f"{self._inflight} requests in flight "
+                    f"(cap {self.max_inflight})",
+                    retry_after=0.05,
+                )
+            )
+        self._inflight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._ops, self.service.handle, request, ctx
+            )
+        finally:
+            self._inflight -= 1
 
     @staticmethod
     async def _send_json(writer, response: dict) -> None:
@@ -681,19 +1034,46 @@ class ServiceServer:
             buf += chunk
         return bytes(buf)
 
+    async def _discard(self, reader, ctx: ClientContext, n: int) -> None:
+        """Drain ``n`` payload bytes without buffering them."""
+        drop = min(n, len(ctx.pushback))
+        ctx.pushback = ctx.pushback[drop:]
+        n -= drop
+        while n > 0:
+            chunk = await reader.read(min(65536, n))
+            if not chunk:
+                return
+            n -= len(chunk)
+
     async def _read_frame(self, reader, ctx: ClientContext):
         header = await self._read_exact(reader, ctx, wiremsg.FRAME_HEADER.size)
         if header is None:
             return None
         (length,) = wiremsg.FRAME_HEADER.unpack(header)
         if length > wiremsg.MAX_FRAME:
-            raise WireError(f"wire frame too large ({length} bytes)")
+            # Discard the body so the framing stays in sync, then let the
+            # caller answer with a structured frame_too_large error.
+            await self._discard(reader, ctx, length)
+            raise FrameTooLarge(
+                f"wire frame of {length} bytes exceeds the "
+                f"{wiremsg.MAX_FRAME}-byte cap"
+            )
         data = await self._read_exact(reader, ctx, length)
         if data is None:
             return None
         from repro.parallel import wire
 
-        return wire.decode(data)
+        try:
+            return wire.decode(data)
+        except WireError:
+            raise
+        except Exception as exc:
+            # Garbage bytes must never take down the connection task
+            # unanswered (let alone the event loop): normalize every
+            # decoder blow-up to the WireError the caller reports.
+            raise WireError(
+                f"undecodable wire frame: {type(exc).__name__}: {exc}"
+            ) from exc
 
 
 def _frame_to_wire(resp: dict):
@@ -730,23 +1110,36 @@ def serve(
     max_jobs_per_client: int = 0,
     query_shards: int = 0,
     shard_workers: Optional[int] = None,
+    max_queue: int = 0,
+    max_inflight: int = 0,
+    fault_plan=None,
 ) -> None:
     """Run the service until a ``shutdown`` request (blocking).
 
     ``port=0`` binds an ephemeral port.  ``ready``, when given, is
     called with the listening :class:`ServiceServer` once the socket is
     bound (tests use it to learn the port; the CLI prints it).
+
+    SIGTERM triggers a graceful drain (when the loop runs in the main
+    thread, where signal handlers can be installed): new submits are
+    rejected, in-flight jobs finish or checkpoint-park, then the server
+    exits — so orchestrators that SIGTERM-then-wait never lose work.
     """
     service = Service(
         slots=slots, state_dir=state_dir, registry_dir=registry_dir,
         chunk_epochs=chunk_epochs, auth_token=auth_token,
         max_jobs_per_client=max_jobs_per_client, query_shards=query_shards,
-        shard_workers=shard_workers,
+        shard_workers=shard_workers, max_queue=max_queue, fault_plan=fault_plan,
     )
 
     async def main():
-        server = ServiceServer(service)
+        server = ServiceServer(service, max_inflight=max_inflight)
         await server.start(host, port)
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server.initiate_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without loop signal support
         if ready is not None:
             ready(server)
         await server.run_until_shutdown()
@@ -771,6 +1164,16 @@ class ServiceClient:
     legitimately outlast any fixed socket timeout (learning jobs run for
     minutes), and the server answers every request eventually.  Pass
     ``read_timeout`` to bound individual responses instead.
+
+    **Retries.**  ``retries`` > 0 arms :meth:`request_with_retry` (used
+    by every convenience wrapper): capped exponential backoff with
+    deterministic jitter, transparent reconnection (re-running the
+    hello, so auth + transport survive), and honouring server
+    ``retry_after`` hints on ``overloaded``/``unavailable``/
+    ``shutting_down`` answers.  Connection loss only triggers a resend
+    for idempotent requests — a submit is idempotent exactly when it
+    carries an idempotency key (:meth:`submit` generates one whenever
+    retries are armed).
     """
 
     def __init__(
@@ -781,36 +1184,99 @@ class ServiceClient:
         read_timeout: Optional[float] = None,
         token: Optional[str] = None,
         transport: str = "json",
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: int = 0,
     ):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}")
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.sock.settimeout(read_timeout)
-        self._file = self.sock.makefile("rwb")
-        self.transport = "json"
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.read_timeout = read_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._rng = random.Random(retry_seed)
+        self._token = token
+        self._transport_requested = transport
         self.bytes_sent = 0
         self.bytes_received = 0
-        if token is not None or transport != "json":
-            self.hello(token=token, transport=transport)
+        self.reconnects = 0
+        self.retried = 0
+        self.sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self.sock.settimeout(self.read_timeout)
+        self._file = self.sock.makefile("rwb")
+        self.transport = "json"
+        if self._token is not None or self._transport_requested != "json":
+            self.hello(token=self._token, transport=self._transport_requested)
+
+    def reconnect(self) -> None:
+        """Drop the connection and redo auth + transport negotiation."""
+        self._teardown()
+        self._connect()
+        self.reconnects += 1
+
+    def _teardown(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+            if self.sock is not None:
+                self.sock.close()
+        except OSError:
+            pass
+        self._file = None
+        self.sock = None
+
+    @staticmethod
+    def _friendly(exc: OSError, context: str) -> ConnectionError:
+        kind = (
+            "connection reset"
+            if isinstance(exc, ConnectionResetError)
+            else "broken pipe"
+        )
+        return ConnectionError(
+            f"repro: {context} ({kind}); the server may or may not have "
+            "processed the request — idempotent requests are safe to retry"
+        )
 
     # -- transport ---------------------------------------------------------------
 
     def _request_json(self, payload: dict) -> dict:
         data = (json.dumps(payload) + "\n").encode("utf-8")
-        self._file.write(data)
-        self._file.flush()
-        self.bytes_sent += len(data)
-        line = self._file.readline()
+        try:
+            self._file.write(data)
+            self._file.flush()
+            self.bytes_sent += len(data)
+            line = self._file.readline()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise self._friendly(exc, "lost connection to the service") from exc
         if not line:
             raise ConnectionError("server closed the connection")
         self.bytes_received += len(line)
         return json.loads(line)
 
     def _send_msg(self, message) -> None:
-        self.bytes_sent += wiremsg.write_frame_to(self._file, message)
+        try:
+            self.bytes_sent += wiremsg.write_frame_to(self._file, message)
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise self._friendly(exc, "lost connection to the service") from exc
 
     def _recv_msg(self):
-        message, n = wiremsg.read_frame_from(self._file)
+        try:
+            message, n = wiremsg.read_frame_from(self._file)
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise self._friendly(exc, "lost connection to the service") from exc
         self.bytes_received += n
         if message is None:
             raise ConnectionError("server closed the connection")
@@ -820,6 +1286,9 @@ class ServiceClient:
         self, token: Optional[str] = None, transport: str = "json", client: Optional[str] = None
     ) -> dict:
         """Authenticate and/or negotiate the transport for this connection."""
+        if token is not None:
+            self._token = token  # remembered so reconnects re-authenticate
+        self._transport_requested = transport
         req = {"op": "hello", "transport": transport}
         if token is not None:
             req["token"] = token
@@ -836,6 +1305,8 @@ class ServiceClient:
 
     def request(self, payload: dict) -> dict:
         """Send one request; return the decoded response dict."""
+        if self._file is None:
+            raise ConnectionError("client is disconnected (call reconnect())")
         if self.transport == "json":
             return self._request_json(payload)
         self._send_msg(wiremsg.WireJson(payload))
@@ -844,9 +1315,68 @@ class ServiceClient:
             raise ConnectionError(f"unexpected wire message {type(message).__name__}")
         return message.payload
 
+    def _backoff_delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        """Capped exponential backoff with jitter; server hints win."""
+        base = min(self.backoff * (2 ** attempt), self.backoff_max)
+        delay = base * (0.5 + self._rng.random())  # jitter in [0.5x, 1.5x)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def request_with_retry(self, payload: dict, idempotent: bool = True) -> dict:
+        """Send with retries: reconnect on connection loss, back off on shed.
+
+        Two retryable situations, handled differently:
+
+        * **connection loss** — reconnect (redoing hello) and resend,
+          but only for idempotent requests: the server may have done the
+          work before the connection died, and resending a
+          non-idempotent request (a submit without an idempotency key)
+          could duplicate it;
+        * **coded retryable errors** (``overloaded``/``unavailable``/
+          ``shutting_down``) — same connection, wait at least the
+          server's ``retry_after`` hint, resend.
+
+        With ``retries=0`` this is exactly :meth:`request`.
+        """
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if self._file is None:
+                try:
+                    self._connect()
+                    self.reconnects += 1
+                except OSError as exc:
+                    last_exc = exc
+                    if attempt >= self.retries:
+                        raise
+                    self.retried += 1
+                    time.sleep(self._backoff_delay(attempt))
+                    continue
+            try:
+                resp = self.request(payload)
+            except (ConnectionError, OSError) as exc:
+                self._teardown()
+                last_exc = exc
+                if not idempotent or attempt >= self.retries:
+                    raise
+                self.retried += 1
+                time.sleep(self._backoff_delay(attempt))
+                continue
+            if (
+                not resp.get("ok")
+                and resp.get("code") in RETRYABLE_CODES
+                and attempt < self.retries
+            ):
+                self.retried += 1
+                time.sleep(self._backoff_delay(attempt, hint=resp.get("retry_after")))
+                continue
+            return resp
+        raise last_exc if last_exc is not None else ConnectionError(
+            "retries exhausted"
+        )
+
     def close(self) -> None:
-        self._file.close()
-        self.sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -856,14 +1386,25 @@ class ServiceClient:
 
     # -- convenience wrappers ----------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> str:
-        resp = self.request({"op": "submit", "spec": spec.to_dict()})
+    def submit(self, spec: JobSpec, idempotency_key: Optional[str] = None) -> str:
+        """Submit one job; returns its id.
+
+        When retries are armed and no ``idempotency_key`` is given, a
+        fresh one is generated — so a retried submit whose response was
+        lost mid-air can never create the job twice.
+        """
+        if idempotency_key is None and self.retries:
+            idempotency_key = uuid.uuid4().hex
+        req = {"op": "submit", "spec": spec.to_dict()}
+        if idempotency_key is not None:
+            req["idempotency_key"] = idempotency_key
+        resp = self.request_with_retry(req, idempotent=idempotency_key is not None)
         if not resp.get("ok"):
             raise RuntimeError(resp.get("error", "submit failed"))
         return resp["job"]
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
-        return self.request({"op": "wait", "job": job_id, "timeout": timeout})
+        return self.request_with_retry({"op": "wait", "job": job_id, "timeout": timeout})
 
     def query(
         self,
@@ -871,15 +1412,23 @@ class ServiceClient:
         examples: list[str],
         version: Optional[int] = None,
         shards: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> dict:
-        """One batched query; response dict is transport-independent."""
-        if self.transport == "json":
-            return self._request_json(
-                {
-                    "op": "query", "theory": theory, "examples": examples,
-                    "version": version, "shards": shards,
-                }
-            )
+        """One batched query; response dict is transport-independent.
+
+        ``deadline_ms`` attaches a relative deadline the server enforces
+        end-to-end (expired work is rejected, mid-flight shard work is
+        cancelled).  Deadlines and retries ride the JSON op form — the
+        packed-bitset wire query is kept for the bare fast path.
+        """
+        if self.transport == "json" or deadline_ms is not None or self.retries:
+            req = {
+                "op": "query", "theory": theory, "examples": examples,
+                "version": version, "shards": shards,
+            }
+            if deadline_ms is not None:
+                req["deadline_ms"] = deadline_ms
+            return self.request_with_retry(req)
         self._send_msg(
             wiremsg.WireQuery(
                 name=theory,
@@ -896,24 +1445,37 @@ class ServiceClient:
         examples: list[str],
         version: Optional[int] = None,
         shards: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Iterator[dict]:
         """Stream a sharded query; yields shard frames, then the end frame.
 
         Every yielded dict has ``"frame"`` (``"shard"`` or ``"end"``);
         shard frames carry span-local ``covered`` at offset ``lo``, the
-        end frame the merged batch result.
+        end frame the merged batch result.  Streams are never retried
+        transparently (already-yielded frames cannot be unseen) — on a
+        mid-stream connection loss the caller re-issues the whole query.
         """
         if self.transport == "json":
             req = {
                 "op": "query", "theory": theory, "examples": examples,
                 "version": version, "shards": shards, "stream": True,
             }
+            if deadline_ms is not None:
+                req["deadline_ms"] = deadline_ms
             data = (json.dumps(req) + "\n").encode("utf-8")
-            self._file.write(data)
-            self._file.flush()
-            self.bytes_sent += len(data)
+            try:
+                self._file.write(data)
+                self._file.flush()
+                self.bytes_sent += len(data)
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                raise self._friendly(exc, "lost connection opening the stream") from exc
             while True:
-                line = self._file.readline()
+                try:
+                    line = self._file.readline()
+                except (ConnectionResetError, BrokenPipeError) as exc:
+                    raise self._friendly(
+                        exc, "lost connection mid-stream; re-issue the query"
+                    ) from exc
                 if not line:
                     raise ConnectionError("server closed the connection mid-stream")
                 self.bytes_received += len(line)
@@ -934,7 +1496,15 @@ class ServiceClient:
                 )
             )
             while True:
-                message = self._recv_msg()
+                try:
+                    message = self._recv_msg()
+                except ConnectionError as exc:
+                    if "mid-" in str(exc) or "repro:" in str(exc):
+                        raise
+                    raise ConnectionError(
+                        f"repro: lost connection mid-stream ({exc}); "
+                        "re-issue the query"
+                    ) from exc
                 if isinstance(message, wiremsg.WireShard):
                     yield {
                         "ok": True, "frame": "shard", "shard": message.shard,

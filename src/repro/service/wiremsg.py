@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.logic.terms import Term
 from repro.parallel import wire
+from repro.service.errors import FrameTooLarge
 
 __all__ = [
     "WireJson",
@@ -169,10 +170,20 @@ wire.register_codec(WireQueryEnd, 27, _enc_query_end, _dec_query_end)
 
 
 def pack_frame(message: object) -> bytes:
-    """Length-prefixed wire frame for one protocol message."""
+    """Length-prefixed wire frame for one protocol message.
+
+    Refuses to build frames over :data:`MAX_FRAME` with a structured
+    :class:`~repro.service.errors.FrameTooLarge` — the sender learns
+    immediately instead of shipping 64 MiB only to be rejected.
+    """
     data = wire.encode_always(message)
     if data is None:
         raise wire.WireError(f"no wire codec for {type(message).__name__}")
+    if len(data) > MAX_FRAME:
+        raise FrameTooLarge(
+            f"outbound wire frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME}-byte cap; split the batch"
+        )
     return FRAME_HEADER.pack(len(data)) + data
 
 
@@ -191,7 +202,10 @@ def read_frame_from(fobj) -> tuple[Optional[object], int]:
         return None, len(header)
     (length,) = FRAME_HEADER.unpack(header)
     if length > MAX_FRAME:
-        raise wire.WireError(f"wire frame too large ({length} bytes)")
+        raise FrameTooLarge(
+            f"incoming wire frame of {length} bytes exceeds the "
+            f"{MAX_FRAME}-byte cap"
+        )
     data = fobj.read(length)
     if len(data) < length:
         return None, FRAME_HEADER.size + len(data)

@@ -82,6 +82,8 @@ def _summary(obj) -> str:
 _CONST_SUMMARIES = {
     "repro.datasets.DATASETS": "the dataset-generator registry (name → generator)",
     "repro.datasets.SCALES": 'the problem scale names: `("small", "paper")`',
+    "repro.service.errors.RETRYABLE_CODES": "error codes a client may safely "
+    'retry: `("overloaded", "unavailable", "shutting_down")`',
 }
 
 
@@ -202,6 +204,22 @@ _CLI_NOTE = """\
 (cProfile dump); the client verbs (`jobs`, `loadgen`) accept `--token`
 and `--transport {json,wire}`."""
 
+_RESILIENCE_INTRO = """\
+Structured errors carry a machine-readable `code` (codes in
+`RETRYABLE_CODES` are safe to retry; shed responses add a
+`retry_after` hint).  `ServiceFaultPlan` is the service-tier analogue
+of `FaultPlan`: counted, deterministic events — connection resets,
+engine-lease failures, scheduler-slot crashes, torn durable writes —
+loaded from JSON (`repro serve --fault-plan`).  `run_chaos` drives the
+full lifecycle twice (fault-free + under the plan) and gates on result
+parity, zero duplicated jobs and zero corrupt records
+(`repro loadgen --chaos`)."""
+
+_RESILIENCE_NOTE = """\
+Operational guidance — deadlines, retries + idempotency keys,
+admission control, graceful drain and quarantine handling — lives in
+[operations.md](operations.md)."""
+
 #: (section heading, intro-or-None, [(module, [names...]), ...], footer-or-None)
 SECTIONS = [
     (
@@ -266,6 +284,32 @@ SECTIONS = [
             ("repro.service.server", ["Service", "ServiceClient", "serve"]),
         ],
         _SERVICE_NOTE,
+    ),
+    (
+        "## Service resilience — `repro.service.errors`, `repro.fault.service`, `repro.experiments.chaos`",
+        _RESILIENCE_INTRO,
+        [
+            (
+                "repro.service.errors",
+                [
+                    "ServiceFault", "BadRequest", "DeadlineExceeded",
+                    "Overloaded", "Unavailable", "ShuttingDown",
+                    "FrameTooLarge", "RETRYABLE_CODES",
+                ],
+            ),
+            (
+                "repro.fault.service",
+                [
+                    "ServiceFaultPlan", "ConnReset", "LeaseFault",
+                    "SlotCrash", "PersistFault", "ServiceFaultInjector",
+                ],
+            ),
+            (
+                "repro.experiments.chaos",
+                ["run_chaos", "chaos_passed", "chaos_report_lines"],
+            ),
+        ],
+        _RESILIENCE_NOTE,
     ),
     (
         "## Load generation — `repro.experiments.loadgen`",

@@ -1,0 +1,88 @@
+"""Crash-safe file writes: tmp file + fsync + atomic rename.
+
+Every durable artifact the service tier owns — job records, registry
+theory versions, promotion pointers, checkpoints — goes through
+:func:`atomic_write_bytes`, so a crash (or an injected persistence
+fault) at *any* instant leaves either the old contents or the new,
+never a torn file.  The recipe is the standard one:
+
+1. write the payload to ``<path>.tmp`` in the target directory (same
+   filesystem, so the final rename is atomic);
+2. flush and ``fsync`` the tmp file (the *data* is on disk before any
+   name points at it);
+3. ``os.replace`` onto the final name (atomic on POSIX and Windows);
+4. ``fsync`` the containing directory so the rename itself survives a
+   power cut (best-effort: not all platforms let you open a directory).
+
+``fail_hook`` is the deterministic fault-injection point used by
+:class:`repro.fault.service.ServiceFaultInjector`: it runs *after* the
+tmp file exists but *before* the rename, so an injected failure
+exercises exactly the torn-write window the protocol must survive —
+the final path is provably never corrupted by a failed write.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory (persists renames within it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory opens: rename is still atomic
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str,
+    data: bytes,
+    fsync: bool = True,
+    fail_hook: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring).
+
+    Raises whatever the filesystem raises; on any failure the final
+    ``path`` is untouched and the orphaned tmp file (when one exists)
+    is removed best-effort.
+    """
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        if fail_hook is not None:
+            # Injected persistence fault: the tmp file exists (possibly
+            # fully written) but the atomic rename never happens.
+            fail_hook(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(os.path.dirname(path) or ".")
+
+
+def atomic_write_text(
+    path: str,
+    text: str,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+    fail_hook: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding), fsync=fsync, fail_hook=fail_hook)
