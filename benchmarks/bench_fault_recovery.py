@@ -14,7 +14,10 @@ For p ∈ {2, 4, 8} (sim backend, virtual time) this bench runs P²-MDIE:
 Every scenario must learn the **identical theory** (asserted); the
 report records the absolute and relative makespan overhead and the
 communication volume.  One local-backend crash run (p=2, wall-clock)
-additionally asserts cross-substrate recovery parity.
+additionally asserts cross-substrate recovery parity, and — where
+mpi4py and ``mpiexec`` are available (the CI ``mpi-smoke`` job) — one
+real MPI crash run (``mpiexec -n 4``, p=3) does the same over the wire;
+without an MPI runtime that leg records itself as skipped.
 
 Knobs:
 
@@ -35,8 +38,14 @@ Under the bench suite it runs as an ordinary test.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
 
 from repro.backend import LocalProcessBackend
 from repro.datasets import make_dataset
@@ -85,6 +94,49 @@ def _summary(res) -> dict:
     }
 
 
+def _mpi_leg() -> dict:
+    """One real MPI crash-recovery run (mpiexec -n 4, p=3), or why not.
+
+    Shells out to the same SPMD driver the FT matrix tests launch; on
+    hosts without mpi4py/mpiexec the leg reports ``{"skipped": reason}``
+    instead of failing, so the bench stays runnable everywhere.
+    """
+    from repro.cluster.mpi_backend import mpi_available
+
+    if not mpi_available():
+        return {"skipped": "mpi4py not importable"}
+    if shutil.which("mpiexec") is None:
+        return {"skipped": "mpiexec not on PATH"}
+
+    name = "trains" if SMOKE else DATASET
+    ds = make_dataset(name, seed=0)  # the driver builds datasets with seed=0
+    base = run_p2mdie(ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=3, width=10, seed=SEED)
+    plan = _crash_plan(timeout=max(TIMEOUT, 2.0))
+    driver = ROOT / "tests" / "fault" / "mpi_driver.py"
+    with tempfile.TemporaryDirectory() as td:
+        plan_path = pathlib.Path(td) / "plan.json"
+        plan_path.write_text(plan.to_json())
+        out = pathlib.Path(td) / "out.json"
+        cmd = [
+            "mpiexec", "-n", "4", sys.executable, str(driver),
+            "--dataset", name, "--p", "3", "--seed", str(SEED),
+            "--plan", str(plan_path), "--out", str(out),
+        ]
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        t0 = time.perf_counter()
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=900, env=env)
+        wall = time.perf_counter() - t0
+        if proc.returncode != 0:
+            return {"skipped": f"mpiexec run failed: {proc.stderr[-500:]}"}
+        got = json.loads(out.read_text())
+    return {
+        "wall_s": round(wall, 4),
+        "parity": sorted(got["theory"]) == sorted(str(c) for c in base.theory),
+        "recoveries": sum(1 for ev in got["fault_events"] if "declared dead" in ev),
+        "n_ranks": 4,
+    }
+
+
 def run_benchmark() -> dict:
     ds = _dataset()
     args = (ds.kb, ds.pos, ds.neg, ds.modes, ds.config)
@@ -130,6 +182,11 @@ def run_benchmark() -> dict:
     local_parity = sorted(str(c) for c in local.theory) == sorted(str(c) for c in base2.theory)
     parity = parity and local_parity
 
+    # Real cluster substrate: skipped (with a reason) when no MPI runtime.
+    mpi = _mpi_leg()
+    if "skipped" not in mpi:
+        parity = parity and mpi["parity"]
+
     return {
         "dataset": ds.name,
         "scale": SCALE,
@@ -144,6 +201,7 @@ def run_benchmark() -> dict:
             "parity": local_parity,
             "recoveries": sum(1 for ev in local.fault_events if "declared dead" in ev),
         },
+        "mpi_crash_p3": mpi,
         "parity": parity,
     }
 
@@ -166,6 +224,14 @@ def render(report: dict) -> str:
         f"local backend crash (p=2): {lc['wall_s']:.2f}s wall, "
         f"{lc['recoveries']} recovery, parity {'ok' if lc['parity'] else 'MISMATCH'}"
     )
+    mpi = report["mpi_crash_p3"]
+    if "skipped" in mpi:
+        lines.append(f"mpi backend crash (p=3): skipped — {mpi['skipped']}")
+    else:
+        lines.append(
+            f"mpi backend crash (p=3, mpiexec -n {mpi['n_ranks']}): {mpi['wall_s']:.2f}s wall, "
+            f"{mpi['recoveries']} recovery, parity {'ok' if mpi['parity'] else 'MISMATCH'}"
+        )
     return "\n".join(lines)
 
 

@@ -10,6 +10,7 @@ gates) — the three facts needed to decide if two JSONs are comparable.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -42,6 +43,7 @@ def bench_environment(smoke: bool) -> dict:
         "python_version": platform.python_version(),
         "python_implementation": platform.python_implementation(),
         "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
         "smoke": bool(smoke),
     }
 

@@ -48,10 +48,43 @@ __all__ = [
     "make_backend",
     "resolve_backend",
     "fault_injection_scope",
+    "fault_capable_backends",
 ]
 
 #: names accepted by :func:`make_backend` (and the CLI's ``--backend``).
 BACKEND_NAMES = ("sim", "local", "mpi")
+
+
+def _backend_class(name: str):
+    """Registry name -> class, importing lazily (mpi4py stays optional)."""
+    if name == "sim":
+        return SimBackend
+    if name == "local":
+        return LocalProcessBackend
+    if name == "mpi":
+        from repro.backend.mpi import MPIBackend
+
+        return MPIBackend
+    raise ValueError(f"unknown backend {name!r}; known: {BACKEND_NAMES}")
+
+
+def fault_capable_backends() -> tuple[str, ...]:
+    """Registry names whose backend class supports fault injection.
+
+    Capability is the class's ``supports_fault_injection`` attribute —
+    no name-string matching — so new backends advertise themselves.
+    """
+    return tuple(
+        name for name in BACKEND_NAMES if _backend_class(name).supports_fault_injection
+    )
+
+
+def _require_fault_support(backend: Backend) -> None:
+    if not getattr(backend, "supports_fault_injection", False):
+        raise BackendUnavailableError(
+            f"backend {backend.name!r} does not support fault injection; "
+            f"fault-capable backends: {', '.join(fault_capable_backends())}"
+        )
 
 
 def make_backend(
@@ -69,9 +102,15 @@ def make_backend(
     Substrate-specific options are applied where they make sense and
     ignored elsewhere (``network``/``cost_model`` only shape the sim;
     ``timeout``/``start_method`` only the local backend).  A non-empty
-    ``fault_plan`` arms fault injection on the substrates that support
-    it (sim and local); MPI refuses.
+    ``fault_plan`` arms fault injection; every current backend supports
+    it (a backend advertising ``supports_fault_injection = False`` would
+    refuse with an error listing the capable ones).
     """
+    if fault_plan is not None and not _backend_class(name).supports_fault_injection:
+        raise BackendUnavailableError(
+            f"backend {name!r} does not support fault injection; "
+            f"fault-capable backends: {', '.join(fault_capable_backends())}"
+        )
     if name == "sim":
         from repro.cluster.costmodel import DEFAULT_COST_MODEL
         from repro.cluster.network import FAST_ETHERNET
@@ -90,14 +129,9 @@ def make_backend(
             fault_plan=fault_plan,
         )
     if name == "mpi":
-        if fault_plan is not None:
-            raise BackendUnavailableError(
-                "fault injection is not supported on the MPI backend "
-                "(use --backend sim or local for fault scenarios)"
-            )
         from repro.backend.mpi import MPIBackend
 
-        return MPIBackend(record_trace=record_trace)
+        return MPIBackend(record_trace=record_trace, fault_plan=fault_plan)
     raise ValueError(f"unknown backend {name!r}; known: {BACKEND_NAMES}")
 
 
@@ -135,15 +169,12 @@ def fault_injection_scope(backend: Backend, fault_plan):
     instance is armed here and restored afterwards, so the same instance
     can serve later runs with a different plan (or none).  Conflicting
     plans (instance already armed with a different one) are an error, as
-    is a substrate with no injection support (MPI).
+    is a substrate advertising no injection support.
     """
     if fault_plan is None:
         yield backend
         return
-    if not hasattr(backend, "fault_plan"):
-        raise BackendUnavailableError(
-            f"backend {backend.name!r} does not support fault injection"
-        )
+    _require_fault_support(backend)
     prev = backend.fault_plan
     if prev is not None and prev != fault_plan:
         raise ValueError(

@@ -127,6 +127,12 @@ class Backend(ABC):
     #: registry name ("sim", "local", "mpi").
     name: str = "?"
 
+    #: True when the substrate can inject :class:`~repro.fault.plan.FaultPlan`
+    #: events (and carries a ``fault_plan`` attribute to arm).  Checked by
+    #: :func:`~repro.backend.make_backend` and ``fault_injection_scope``
+    #: instead of backend-name string matching.
+    supports_fault_injection: bool = False
+
     @abstractmethod
     def run(self, procs: Sequence[SimProcess]) -> BackendRun:
         """Run all ranks to completion and return the merged artifacts."""

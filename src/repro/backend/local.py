@@ -64,7 +64,13 @@ from repro.cluster.process import (
     SimProcess,
 )
 from repro.cluster.scheduler import CommStats
-from repro.fault.plan import FaultPlan, FaultRecord, Straggler, WorkerCrash
+from repro.fault.plan import (
+    MAX_STRAGGLE_SLEEP as _MAX_STRAGGLE_SLEEP,
+    FaultPlan,
+    FaultRecord,
+    Straggler,
+    WorkerCrash,
+)
 
 __all__ = ["LocalProcessBackend", "LocalContext"]
 
@@ -73,9 +79,8 @@ _SENDER_STOP = object()
 #: exit code of an injected-crash child (distinguishes it from real bugs).
 _CRASH_EXIT = 66
 
-#: cap on the extra sleep a straggler adds per compute interval, so
-#: pathological factors cannot hang the suite.
-_MAX_STRAGGLE_SLEEP = 1.0
+# (the straggler sleep cap _MAX_STRAGGLE_SLEEP is shared with the MPI
+# backend via repro.fault.plan.MAX_STRAGGLE_SLEEP)
 
 
 class _InjectedCrash(BaseException):
@@ -395,6 +400,7 @@ class LocalProcessBackend(Backend):
     """
 
     name = "local"
+    supports_fault_injection = True
 
     def __init__(
         self,

@@ -6,8 +6,28 @@ calls :meth:`MPIBackend.run` with the same process list; each rank drives
 only its own generator, then final process states and communication
 statistics are gathered to rank 0, which assembles the complete
 :class:`~repro.backend.base.BackendRun`.  Non-root ranks receive a run
-carrying only their own artifacts (``procs`` empty) — harness code should
-act on the result only where ``backend.is_root`` is true.
+carrying only the rank-0 artifacts — harness code should act on the
+result only where ``backend.is_root`` is true.
+
+Fault-tolerance parity with sim/local (``fault_plan``):
+
+* **Crashes retire in place.**  A real rank death would abort the whole
+  ``mpiexec`` job, so an injected :class:`~repro.fault.plan.WorkerCrash`
+  instead stops the rank's generator (same deterministic about-to-process
+  the *n*-th matching message trigger as the other substrates) and parks
+  the rank in a quiet drain loop: it consumes and discards everything
+  sent its way, answers nothing — exactly what a dead worker looks like
+  to the heartbeat protocol.
+* **Stragglers sleep for real** (like the local backend), **message loss
+  drops the nth send per link at the send adapter** — the sender is
+  charged, the payload never leaves the node — and every injected event
+  lands in the run's ``fault_log`` with the same record shape.
+* **Shutdown barrier.**  After rank 0's generator finishes (or fails),
+  it sends the backend-level :data:`~repro.cluster.mpi_backend.HALT_TAG`
+  to every rank, releasing retired victims and falsely-declared-dead
+  workers still blocked in a receive.  All ranks then drain residual
+  traffic and meet in a ``comm.gather``; crashed/halted ranks are absent
+  from ``BackendRun.procs``, matching the other substrates' contract.
 
 mpi4py is imported lazily; constructing the backend on a host without it
 raises :class:`~repro.backend.base.BackendUnavailableError` so callers can
@@ -17,26 +37,61 @@ fall back cleanly.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.backend.base import Backend, BackendRun, BackendUnavailableError
+from repro.backend.base import Backend, BackendError, BackendRun, BackendUnavailableError
 from repro.cluster.message import Message, payload_nbytes
 from repro.cluster.process import BcastOp, ComputeInterval, ComputeOp, RecvOp, SendOp, SimProcess
 from repro.cluster.scheduler import CommStats
+from repro.fault.plan import (
+    MAX_STRAGGLE_SLEEP,
+    FaultRecord,
+    Straggler,
+    WorkerCrash,
+    normalize_plan,
+)
 
 __all__ = ["MPIBackend"]
 
+#: seconds of post-halt quiet time before a rank stops draining stray
+#: messages (late pongs, stop fan-out to retired ranks, ...).
+_RESIDUAL_DRAIN = 0.2
+
+
+class _Retire(BaseException):
+    """Injected crash on MPI: stop servicing work, park in the drain loop.
+
+    A BaseException (like the local backend's ``_InjectedCrash``) so no
+    algorithm-level handler can swallow the death.
+    """
+
 
 class _AccountingMPIContext:
-    """Wrap MPIContext.execute with CommStats accounting and wall timing."""
+    """Wrap MPIContext.execute with CommStats accounting, wall timing and
+    (under a fault plan) deterministic fault injection."""
 
-    def __init__(self, inner, record_trace: bool):
+    def __init__(
+        self,
+        inner,
+        record_trace: bool,
+        crash: Optional[WorkerCrash] = None,
+        straggler: Optional[Straggler] = None,
+        losses: Optional[dict] = None,
+    ):
         self._inner = inner
         self.rank = inner.rank
         self.n_procs = inner.n_procs
         self.record_trace = record_trace
         self.stats = CommStats()
         self.trace: list[ComputeInterval] = []
+        self._crash = crash
+        self._crash_seen = 0
+        self._straggler = straggler
+        self._losses = losses or {}
+        self._sent_count: dict[int, int] = {}
+        #: injected events observed by this rank, shipped home with the
+        #: gather so every substrate reports the same log shape.
+        self.fault_log: list[FaultRecord] = []
         self._seq = 0
         self._t0 = time.perf_counter()
         self._last_mark = 0.0
@@ -48,8 +103,8 @@ class _AccountingMPIContext:
     def bcast(self, payload, tag, dsts=None):
         return self._inner.bcast(payload, tag, dsts)
 
-    def recv(self, src=None, tag=None):
-        return self._inner.recv(src, tag)
+    def recv(self, src=None, tag=None, timeout=None):
+        return self._inner.recv(src, tag, timeout)
 
     def compute(self, ops, label="compute"):
         return self._inner.compute(ops, label)
@@ -74,26 +129,80 @@ class _AccountingMPIContext:
             )
         )
 
+    def _post(self, dst: int, payload: object, tag: str) -> None:
+        """Account one outgoing message, then ship or drop it.
+
+        Injected message loss happens here, at the send adapter: the
+        sender is charged (it cannot know the network dropped the
+        message), the payload never leaves the node.
+        """
+        self._account(dst, payload, tag)
+        n = self._sent_count.get(dst, 0) + 1
+        self._sent_count[dst] = n
+        if n in self._losses.get(dst, ()):
+            self.fault_log.append(
+                FaultRecord(
+                    kind="drop", rank=self.rank, time=self.clock, detail=f"->{dst} #{n} tag={tag}"
+                )
+            )
+            return
+        self._inner.execute(SendOp(dst, payload, tag))
+
+    def _maybe_crash(self, msg: Message) -> None:
+        """Injected crash: retire when about to process the n-th matching
+        message — the same deterministic trigger the other substrates count."""
+        crash = self._crash
+        if crash is None or crash.on_recv is None:
+            return
+        if crash.tag is not None and crash.tag != msg.tag:
+            return
+        self._crash_seen += 1
+        if self._crash_seen >= crash.on_recv:
+            raise _Retire()
+
     def execute(self, op):
         if isinstance(op, SendOp):
-            self._account(op.dst, op.payload, op.tag)
-        elif isinstance(op, BcastOp):
+            self._post(op.dst, op.payload, op.tag)
+            return None
+        if isinstance(op, BcastOp):
             for dst in op.dsts:
-                self._account(dst, op.payload, op.tag)
-        elif isinstance(op, ComputeOp):
+                self._post(dst, op.payload, op.tag)
+            return None
+        if isinstance(op, ComputeOp):
             now = self.clock
+            if self._straggler is not None and now >= self._straggler.after_time:
+                extra = min(
+                    (now - self._last_mark) * (self._straggler.factor - 1.0), MAX_STRAGGLE_SLEEP
+                )
+                if extra > 0:
+                    time.sleep(extra)
+                    now = self.clock
             if self.record_trace:
                 self.trace.append(ComputeInterval(self.rank, self._last_mark, now, op.label))
             self._last_mark = now
-        return self._inner.execute(op)
+            return self._inner.execute(op)
+        if isinstance(op, RecvOp):
+            msg = self._inner.execute(op)
+            if msg is not None:
+                self._maybe_crash(msg)
+            return msg
+        raise TypeError(f"rank {self.rank} yielded non-syscall {op!r}")
 
 
 class MPIBackend(Backend):
-    """Real distributed-memory execution through mpi4py."""
+    """Real distributed-memory execution through mpi4py.
+
+    A non-empty ``fault_plan`` arms deterministic fault injection with
+    the same triggers and ``fault_log`` shape as the sim and local
+    backends (crashes retire the rank in place; ``at_time`` crashes are
+    sim-only and ignored here, as on the local backend).  Spare hosts are
+    simply the extra ranks ``p+1..p+spares`` of the ``mpiexec`` launch.
+    """
 
     name = "mpi"
+    supports_fault_injection = True
 
-    def __init__(self, comm=None, record_trace: bool = False):
+    def __init__(self, comm=None, record_trace: bool = False, fault_plan=None):
         from repro.cluster.mpi_backend import mpi_available
 
         if comm is None and not mpi_available():
@@ -103,6 +212,7 @@ class MPIBackend(Backend):
             )
         self._comm = comm
         self.record_trace = record_trace
+        self.fault_plan = fault_plan
 
     @property
     def is_root(self) -> bool:
@@ -115,9 +225,39 @@ class MPIBackend(Backend):
             self._comm = MPI.COMM_WORLD
         return self._comm
 
+    # -- shutdown barrier helpers ------------------------------------------------
+    def _send_halt(self, comm) -> None:
+        from repro.cluster.mpi_backend import HALT_TAG
+
+        for dst in range(1, comm.Get_size()):
+            comm.send(None, dest=dst, tag=HALT_TAG)
+
+    def _drain_until_halt(self, comm) -> None:
+        from mpi4py import MPI
+
+        from repro.cluster.mpi_backend import HALT_TAG
+
+        status = MPI.Status()
+        while True:
+            comm.recv(source=MPI.ANY_SOURCE, tag=MPI.ANY_TAG, status=status)
+            if status.Get_tag() == HALT_TAG:
+                return
+
+    def _drain_residual(self, comm) -> None:
+        """Consume stray in-flight messages (late pongs, stop fan-out to
+        retired ranks) so nothing is left unmatched at finalize."""
+        from mpi4py import MPI
+
+        deadline = time.perf_counter() + _RESIDUAL_DRAIN
+        while time.perf_counter() < deadline:
+            if comm.iprobe(source=MPI.ANY_SOURCE, tag=MPI.ANY_TAG):
+                comm.recv(source=MPI.ANY_SOURCE, tag=MPI.ANY_TAG)
+            else:
+                time.sleep(0.005)
+
     def run(self, procs: Sequence[SimProcess]) -> BackendRun:
         from repro.backend.base import drive
-        from repro.cluster.mpi_backend import MPIContext
+        from repro.cluster.mpi_backend import MPIContext, MPIHalt
 
         comm = self._resolved_comm()
         ordered = sorted(procs, key=lambda p: p.rank)
@@ -131,39 +271,111 @@ class MPIBackend(Backend):
                 f"{len(ordered)} ranks requested but communicator has size "
                 f"{comm.Get_size()}; launch with a matching -n"
             )
-        ctx = _AccountingMPIContext(MPIContext(comm), record_trace=self.record_trace)
-        proc = ordered[ctx.rank]
+        plan = normalize_plan(self.fault_plan)
+        rank = comm.Get_rank()
+        ft = plan is not None
+        ctx = _AccountingMPIContext(
+            MPIContext(comm, watch_halt=(ft and rank != 0)),
+            record_trace=self.record_trace,
+            crash=plan.crash_for(rank) if ft else None,
+            straggler=plan.straggler_for(rank) if ft else None,
+            losses=plan.losses_for(rank) if ft else None,
+        )
+        proc = ordered[rank]
         t0 = time.perf_counter()
-        drive(proc, ctx)
+        status = "ok"
+        root_error: Optional[BaseException] = None
+        try:
+            drive(proc, ctx)
+        except _Retire:
+            status = "crashed"
+            ctx.fault_log.append(
+                FaultRecord(
+                    kind="crash", rank=rank, time=ctx.clock, detail="injected crash (retired)"
+                )
+            )
+        except MPIHalt:
+            status = "halted"
+        except BaseException as exc:
+            if rank == 0:
+                # Run the shutdown barrier anyway so peers are released,
+                # then re-raise below once everyone has gathered.
+                root_error = exc
+            elif ft:
+                # Under an active plan a failed worker is a dead worker:
+                # retire it and let the recovery protocol route around.
+                status = "crashed"
+                ctx.fault_log.append(
+                    FaultRecord(
+                        kind="crash",
+                        rank=rank,
+                        time=ctx.clock,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                raise  # real rank death aborts the MPI job, as documented
         elapsed = time.perf_counter() - t0
 
-        gathered = comm.gather((proc, ctx.stats, elapsed, ctx.trace), root=0)
-        # Every SPMD rank returns through the same front-end code, which
-        # reads run artifacts from the rank-0 process — so broadcast rank
-        # 0's final state to everyone.
-        root_proc = comm.bcast(gathered[0][0] if ctx.rank == 0 else None, root=0)
-        if ctx.rank != 0:
+        if ft:
+            if rank == 0:
+                self._send_halt(comm)
+            elif status != "halted":
+                # ok / crashed ranks park here (the retire-in-place drain
+                # loop) until rank 0 releases them.
+                self._drain_until_halt(comm)
+            self._drain_residual(comm)
+
+        entry = (
+            status,
+            proc if status == "ok" else None,
+            ctx.stats,
+            elapsed,
+            ctx.trace,
+            list(ctx.fault_log),
+        )
+        gathered = comm.gather(entry, root=0)
+
+        if rank == 0:
+            if root_error is not None:
+                comm.bcast(("error", f"{type(root_error).__name__}: {root_error}", None), root=0)
+                raise root_error
+            fault_log: list[FaultRecord] = []
+            comm_stats = CommStats()
+            clocks: list[float] = []
+            trace: list[ComputeInterval] = []
+            final_procs: list[SimProcess] = []
+            for st, p, stats, dt, rtrace, rlog in gathered:
+                if p is not None:
+                    final_procs.append(p)
+                clocks.append(dt)
+                trace.extend(rtrace)
+                comm_stats.merge(stats)
+                fault_log.extend(rlog)
+            trace.sort(key=lambda iv: (iv.start, iv.rank))
+            fault_log.sort(key=lambda r: r.time)
+            root_proc = final_procs[0]
+            comm.bcast(("ok", root_proc, fault_log), root=0)
             return BackendRun(
-                seconds=elapsed,
-                comm=ctx.stats,
-                clocks=[elapsed],
-                trace=ctx.trace,
-                procs=[root_proc],
+                seconds=max(clocks) if clocks else 0.0,
+                comm=comm_stats,
+                clocks=clocks,
+                trace=trace,
+                procs=final_procs,
+                fault_log=fault_log,
             )
-        comm_stats = CommStats()
-        clocks: list[float] = []
-        trace: list[ComputeInterval] = []
-        final_procs: list[SimProcess] = []
-        for p, stats, dt, rtrace in gathered:
-            final_procs.append(p)
-            clocks.append(dt)
-            trace.extend(rtrace)
-            comm_stats.merge(stats)
-        trace.sort(key=lambda iv: (iv.start, iv.rank))
+
+        # Every SPMD rank returns through the same front-end code, which
+        # reads run artifacts from the rank-0 process — so rank 0
+        # broadcasts its final state (and the merged fault log).
+        kind, root_proc, fault_log = comm.bcast(None, root=0)
+        if kind == "error":
+            raise BackendError(f"rank 0 failed: {root_proc}")
         return BackendRun(
-            seconds=max(clocks) if clocks else 0.0,
-            comm=comm_stats,
-            clocks=clocks,
-            trace=trace,
-            procs=final_procs,
+            seconds=elapsed,
+            comm=ctx.stats,
+            clocks=[elapsed],
+            trace=ctx.trace,
+            procs=[root_proc],
+            fault_log=fault_log,
         )

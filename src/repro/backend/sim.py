@@ -23,6 +23,7 @@ class SimBackend(Backend):
     """Deterministic simulation: virtual clocks, modelled network."""
 
     name = "sim"
+    supports_fault_injection = True
 
     def __init__(
         self,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.backend import BACKEND_NAMES, BackendUnavailableError
@@ -89,7 +90,32 @@ def _load_plan(args):
         return None
     from repro.fault.plan import FaultPlan
 
-    return FaultPlan.load(args.fault_plan)
+    p = getattr(args, "p", None)
+    try:
+        # With a known pool size, rank validation happens here — a plan
+        # naming ranks outside 1..p+spares fails at the CLI, not mid-run.
+        return FaultPlan.load(
+            args.fault_plan,
+            p=p if isinstance(p, int) and p > 1 else None,
+            spares=getattr(args, "spares", 0) or 0,
+        )
+    except ValueError as exc:
+        print(f"repro: bad fault plan {args.fault_plan}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cli_backend(args, plan=None):
+    """The backend to hand the run front-end: the name, or — for an
+    ``mpiexec`` SPMD launch — a constructed MPI backend with non-root
+    ranks' stdout muted so the run narrates exactly once."""
+    if args.backend != "mpi":
+        return args.backend
+    from repro.backend import make_backend
+
+    backend = make_backend("mpi", fault_plan=plan)
+    if not backend.is_root:
+        sys.stdout = open(os.devnull, "w")
+    return backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,7 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     js.add_argument("--p", type=int, default=1)
     js.add_argument("--seed", type=int, default=0)
     js.add_argument("--scale", choices=("small", "paper"), default="small")
-    js.add_argument("--backend", choices=("sim", "local"), default="sim")
+    js.add_argument("--backend", choices=BACKEND_NAMES, default="sim")
     js.add_argument("--priority", type=int, default=0, help="higher runs first")
     js.add_argument("--preemptible", action="store_true",
                     help="run in epoch chunks (cancellable mid-run, crash-resumable)")
@@ -401,9 +427,11 @@ def _print_run_epilogue(res) -> None:
 
 
 def _cmd_learn(args) -> int:
+    plan = _load_plan(args)
+    # p == 1 is the sequential path: no backend is ever constructed.
+    backend = args.backend if args.p == 1 else _cli_backend(args, plan)
     ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
     print(f"% dataset {ds.name}: |E+|={ds.n_pos} |E-|={ds.n_neg}")
-    plan = _load_plan(args)
     meta = (
         ("dataset", args.dataset),
         ("scale", args.scale),
@@ -431,7 +459,7 @@ def _cmd_learn(args) -> int:
             return 2
         res = run_p2mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
-            seed=args.seed, backend=args.backend,
+            seed=args.seed, backend=backend,
             fault_plan=plan, spares=args.spares,
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=meta,
         )
@@ -457,6 +485,7 @@ def _cmd_learn(args) -> int:
 def _cmd_resume(args) -> int:
     from repro.fault.checkpoint import load_checkpoint
 
+    backend = _cli_backend(args)  # mutes non-root ranks before any output
     state = load_checkpoint(args.checkpoint)
     meta = state.meta_dict()
     dataset = meta.get("dataset")
@@ -486,7 +515,7 @@ def _cmd_resume(args) -> int:
         width = _parse_width(meta.get("width", "10"))
         res = run_p2mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=state.n_workers, width=width,
-            seed=state.seed, backend=args.backend, resume=state,
+            seed=state.seed, backend=backend, resume=state,
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
         )
         seconds = res.seconds
@@ -498,7 +527,7 @@ def _cmd_resume(args) -> int:
 
         res = run_coverage_parallel(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=state.n_workers,
-            seed=state.seed, backend=args.backend, resume=state,
+            seed=state.seed, backend=backend, resume=state,
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
         )
         seconds = res.seconds

@@ -19,28 +19,67 @@ This module provides :class:`MPIContext`, a drop-in context whose methods
 drives a :class:`~repro.cluster.process.SimProcess` generator against it.
 It imports mpi4py lazily and raises a clear error when unavailable (as on
 this offline host), so the rest of the library never depends on MPI.
+
+Two surfaces beyond the plain 1:1 mapping make the fault-tolerance
+protocol (:mod:`repro.fault`) work on a real cluster:
+
+* **Timed receives** — ``RecvOp.timeout`` is honoured with a
+  deadline-bounded ``comm.iprobe`` poll loop that resumes the generator
+  with ``None`` on expiry, exactly like the sim scheduler and the local
+  backend.  That is the whole surface
+  :class:`~repro.fault.recovery.FTMasterMixin` needs for heartbeat
+  probes and silence detection.
+* **The halt tag** — MPI has no notion of "a peer exited", so
+  :class:`~repro.backend.mpi.MPIBackend` releases ranks that are still
+  blocked in a receive (retired crash victims, falsely-declared-dead
+  workers) with a backend-level :data:`HALT_TAG` control message.  A
+  context constructed with ``watch_halt=True`` raises :class:`MPIHalt`
+  when one arrives; the tag id lives outside :data:`_TAG_IDS`, so halt
+  messages are never visible to the generators.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
-from repro.cluster.message import Message, payload_nbytes
+from repro.cluster.message import Message, Tag, payload_nbytes
 from repro.cluster.process import BcastOp, ComputeOp, RecvOp, SendOp, SimProcess
 
-__all__ = ["MPIContext", "drive_with_mpi", "mpi_available"]
+__all__ = ["MPIContext", "MPIHalt", "HALT_TAG", "drive_with_mpi", "mpi_available"]
 
+#: protocol tag -> MPI integer tag.  Covers *every* ``Tag`` member
+#: (including the fault-tolerance ping/pong/routing tags) with a distinct
+#: id, so tag-filtered probes and receives are unambiguous on a real
+#: communicator — completeness is enforced by the wire registry test.
 _TAG_IDS = {
-    "load_examples": 1,
-    "start_pipeline": 2,
-    "learn_rule'": 3,
-    "rules": 4,
-    "evaluate": 5,
-    "result": 6,
-    "mark_covered": 7,
-    "stop": 8,
+    Tag.LOAD_EXAMPLES: 1,
+    Tag.START_PIPELINE: 2,
+    Tag.LEARN_RULE: 3,
+    Tag.RULES: 4,
+    Tag.EVALUATE: 5,
+    Tag.RESULT: 6,
+    Tag.MARK_COVERED: 7,
+    Tag.STOP: 8,
+    Tag.PING: 9,
+    Tag.PONG: 10,
+    Tag.ROUTING: 11,
 }
 _ID_TAGS = {v: k for k, v in _TAG_IDS.items()}
+
+#: backend-level shutdown-barrier tag (outside ``_TAG_IDS`` — never
+#: delivered to generators).  Rank 0 sends it to every rank after its own
+#: generator finishes; see :class:`~repro.backend.mpi.MPIBackend`.
+HALT_TAG = 90
+
+#: iprobe poll interval bounds (seconds): start fine-grained so heartbeat
+#: round-trips stay sharp, back off to keep idle waits cheap.
+_POLL_MIN = 0.0005
+_POLL_MAX = 0.002
+
+
+class MPIHalt(Exception):
+    """Rank 0 released this rank via the backend halt barrier."""
 
 
 def mpi_available() -> bool:
@@ -53,9 +92,15 @@ def mpi_available() -> bool:
 
 
 class MPIContext:
-    """Execute ProcContext-style operations on a real MPI communicator."""
+    """Execute ProcContext-style operations on a real MPI communicator.
 
-    def __init__(self, comm=None):
+    ``watch_halt`` arms interception of the backend's :data:`HALT_TAG`
+    (non-root ranks under :class:`~repro.backend.mpi.MPIBackend`); the
+    plain adapter (``drive_with_mpi``) leaves it off and keeps the exact
+    blocking ``comm.recv`` mapping documented above.
+    """
+
+    def __init__(self, comm=None, watch_halt: bool = False):
         if comm is None:
             from mpi4py import MPI  # lazy; raises ImportError offline
 
@@ -63,6 +108,7 @@ class MPIContext:
         self._comm = comm
         self.rank = comm.Get_rank()
         self.n_procs = comm.Get_size()
+        self.watch_halt = watch_halt
 
     # -- syscall constructors (same surface as ProcContext) ---------------------
     def send(self, dst: int, payload: object, tag: str) -> SendOp:
@@ -73,8 +119,13 @@ class MPIContext:
             dsts = [r for r in range(self.n_procs) if r != self.rank]
         return BcastOp(tuple(dsts), payload, tag)
 
-    def recv(self, src: Optional[int] = None, tag: Optional[str] = None) -> RecvOp:
-        return RecvOp(src, tag)
+    def recv(
+        self,
+        src: Optional[int] = None,
+        tag: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> RecvOp:
+        return RecvOp(src, tag, timeout)
 
     def compute(self, ops: int, label: str = "compute") -> ComputeOp:
         return ComputeOp(int(ops), label)
@@ -89,25 +140,52 @@ class MPIContext:
                 self._comm.send(op.payload, dest=dst, tag=_TAG_IDS.get(op.tag, 99))
             return None
         if isinstance(op, RecvOp):
-            from mpi4py import MPI  # noqa: PLC0415 - lazy, only recv needs constants
-
-            src = MPI.ANY_SOURCE if op.src is None else op.src
-            tag = MPI.ANY_TAG if op.tag is None else _TAG_IDS.get(op.tag, 99)
-            status = MPI.Status()
-            payload = self._comm.recv(source=src, tag=tag, status=status)
-            return Message(
-                src=status.Get_source(),
-                dst=self.rank,
-                tag=_ID_TAGS.get(status.Get_tag(), str(status.Get_tag())),
-                payload=payload,
-                nbytes=payload_nbytes(payload),
-                send_time=0.0,
-                arrival_time=0.0,
-                seq=0,
-            )
+            return self._recv(op)
         if isinstance(op, ComputeOp):
             return None  # real CPU time passes by itself
         raise TypeError(f"unknown syscall {op!r}")
+
+    def _recv(self, op: RecvOp) -> Optional[Message]:
+        from mpi4py import MPI  # noqa: PLC0415 - lazy, only recv needs constants
+
+        src = MPI.ANY_SOURCE if op.src is None else op.src
+        tag = MPI.ANY_TAG if op.tag is None else _TAG_IDS.get(op.tag, 99)
+        status = MPI.Status()
+        if op.timeout is None and not self.watch_halt:
+            payload = self._comm.recv(source=src, tag=tag, status=status)
+            return self._message(status, payload)
+        # Timed (or halt-watched) receive: MPI has no recv-with-timeout, so
+        # poll iprobe against a wall-clock deadline and resume the
+        # generator with None on expiry — the same contract as the sim
+        # scheduler and the local backend's pipe wait.
+        deadline = None if op.timeout is None else time.perf_counter() + op.timeout
+        poll = _POLL_MIN
+        while True:
+            if self.watch_halt and self._comm.iprobe(source=MPI.ANY_SOURCE, tag=HALT_TAG):
+                raise MPIHalt()
+            if self._comm.iprobe(source=src, tag=tag):
+                payload = self._comm.recv(source=src, tag=tag, status=status)
+                return self._message(status, payload)
+            if deadline is not None and time.perf_counter() >= deadline:
+                return None
+            time.sleep(poll)
+            poll = min(poll * 2, _POLL_MAX)
+
+    def _message(self, status, payload) -> Message:
+        if self.watch_halt and status.Get_tag() == HALT_TAG:
+            # An ANY_TAG iprobe can match a halt that races the dedicated
+            # halt check above; it is still a halt, not a message.
+            raise MPIHalt()
+        return Message(
+            src=status.Get_source(),
+            dst=self.rank,
+            tag=_ID_TAGS.get(status.Get_tag(), str(status.Get_tag())),
+            payload=payload,
+            nbytes=payload_nbytes(payload),
+            send_time=0.0,
+            arrival_time=0.0,
+            seq=0,
+        )
 
 
 def drive_with_mpi(proc: SimProcess, comm=None) -> None:

@@ -37,7 +37,13 @@ __all__ = [
     "FaultPlan",
     "FaultRecord",
     "normalize_plan",
+    "MAX_STRAGGLE_SLEEP",
 ]
+
+#: cap on the extra *real* sleep a straggler adds per compute interval on
+#: the wall-clock substrates (local, mpi), so pathological factors cannot
+#: hang a run.  Shared here so both backends stay in sync.
+MAX_STRAGGLE_SLEEP = 1.0
 
 
 @dataclass(frozen=True)
@@ -123,7 +129,7 @@ class FaultPlan:
 
     ``timeout`` is the failure-detection timeout the masters use for
     blocking receives and heartbeat probes — virtual seconds under the
-    sim backend, wall-clock seconds under the local backend.
+    sim backend, wall-clock seconds under the local and mpi backends.
     """
 
     crashes: tuple[WorkerCrash, ...] = ()
@@ -169,6 +175,32 @@ class FaultPlan:
     def joins_at(self, epoch: int) -> tuple[WorkerJoin, ...]:
         return tuple(ev for ev in self.joins if ev.epoch == epoch)
 
+    def validate_ranks(self, p: int, spares: int = 0) -> "FaultPlan":
+        """Fail fast on events naming ranks outside the provisioned pool.
+
+        The pool is ranks ``0`` (master) plus workers ``1..p+spares``;
+        joins must name provisioned spares (``p+1..p+spares``).  Called by
+        the run front-ends and — via ``FaultPlan.load(path, p=...)`` — by
+        the CLI, so a bad plan fails at load time, not mid-run.
+        """
+        hi = p + spares
+        for ev in self.crashes:
+            if not 1 <= ev.rank <= hi:
+                raise ValueError(f"crash rank {ev.rank} outside worker pool 1..{hi}")
+        for ev in self.stragglers:
+            if not 0 <= ev.rank <= hi:
+                raise ValueError(f"straggler rank {ev.rank} outside rank range 0..{hi}")
+        for ev in self.losses:
+            for end, rank in (("src", ev.src), ("dst", ev.dst)):
+                if not 0 <= rank <= hi:
+                    raise ValueError(f"drop {end} rank {rank} outside rank range 0..{hi}")
+        for ev in self.joins:
+            if not p < ev.rank <= hi:
+                raise ValueError(
+                    f"join rank {ev.rank} is not a provisioned spare ({p + 1}..{hi})"
+                )
+        return self
+
     # -- (de)serialization --------------------------------------------------------
     def to_json(self) -> str:
         events: list[dict] = []
@@ -195,13 +227,16 @@ class FaultPlan:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(
+        cls, text: str, *, p: Optional[int] = None, spares: int = 0
+    ) -> "FaultPlan":
+        """Parse a plan; with ``p`` set, also :meth:`validate_ranks`."""
         doc = json.loads(text)
         crashes: list[WorkerCrash] = []
         stragglers: list[Straggler] = []
         losses: list[MessageLoss] = []
         joins: list[WorkerJoin] = []
-        for ev in doc.get("events", ()):
+        for i, ev in enumerate(doc.get("events", ())):
             kind = ev.get("kind")
             if kind == "crash":
                 crashes.append(
@@ -225,8 +260,8 @@ class FaultPlan:
             elif kind == "join":
                 joins.append(WorkerJoin(rank=ev["rank"], epoch=ev["epoch"]))
             else:
-                raise ValueError(f"unknown fault event kind {kind!r}")
-        return cls(
+                raise ValueError(f"event #{i}: unknown fault event kind {kind!r}")
+        plan = cls(
             crashes=tuple(crashes),
             stragglers=tuple(stragglers),
             losses=tuple(losses),
@@ -234,11 +269,14 @@ class FaultPlan:
             timeout=float(doc.get("timeout", 10.0)),
             supervise=bool(doc.get("supervise", False)),
         )
+        if p is not None:
+            plan.validate_ranks(p, spares)
+        return plan
 
     @classmethod
-    def load(cls, path: str) -> "FaultPlan":
+    def load(cls, path: str, *, p: Optional[int] = None, spares: int = 0) -> "FaultPlan":
         with open(path, "r", encoding="utf-8") as fh:
-            return cls.from_json(fh.read())
+            return cls.from_json(fh.read(), p=p, spares=spares)
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

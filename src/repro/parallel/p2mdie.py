@@ -193,12 +193,7 @@ def _validate_fault_args(
         )
     if repartition_each_epoch:
         raise ValueError("fault tolerance and per-epoch repartitioning are mutually exclusive")
-    for ev in plan.crashes:
-        if not 1 <= ev.rank <= p + spares:
-            raise ValueError(f"crash rank {ev.rank} outside worker pool 1..{p + spares}")
-    for ev in plan.joins:
-        if not p < ev.rank <= p + spares:
-            raise ValueError(f"join rank {ev.rank} is not a provisioned spare ({p + 1}..{p + spares})")
+    plan.validate_ranks(p, spares)
     return plan
 
 

@@ -71,9 +71,13 @@ class JobSpec:
     seed / scale:
         Dataset + run determinism knobs, as in ``repro learn``.
     backend:
-        Execution substrate for parallel algorithms: ``"sim"`` or
-        ``"local"`` (``"mpi"`` needs an mpiexec launch and cannot be a
-        background job).
+        Execution substrate for parallel algorithms: ``"sim"``,
+        ``"local"`` or ``"mpi"``.  An ``"mpi"`` job requires the service
+        process to be rank 0 of an ``mpiexec`` launch whose world size
+        matches the job's ``p`` (+1 master), and MPI jobs serialize over
+        the one shared communicator — run them on a single-slot
+        scheduler.  Without mpi4py the job fails cleanly at run time
+        with a ``BackendUnavailableError`` outcome.
     priority:
         Scheduler queue priority — higher runs first; ties are FIFO.
     max_epochs:
@@ -106,8 +110,10 @@ class JobSpec:
             raise ValueError(f"unknown algo {self.algo!r}; known: {ALGOS}")
         if self.algo != "mdie" and self.p < 1:
             raise ValueError("p must be >= 1")
-        if self.backend not in ("sim", "local"):
-            raise ValueError("job backend must be 'sim' or 'local'")
+        from repro.backend import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(f"job backend must be one of {BACKEND_NAMES}")
         if self.scale not in ("small", "paper"):
             raise ValueError("scale must be 'small' or 'paper'")
         if self.width != WIDTH_DEFAULT and self.width != WIDTH_NOLIMIT and self.width < 1:

@@ -1,0 +1,398 @@
+"""MPI fault-injection unit tests (no MPI runtime needed).
+
+The real-cluster legs live in tests/fault/test_ft_matrix.py and the CI
+mpi-smoke job; here a fake communicator drives the injection machinery —
+retire-in-place crashes, send-adapter message loss, straggler sleeps and
+the halt/gather shutdown — so the logic is covered on every host.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.backend import (
+    BackendUnavailableError,
+    fault_capable_backends,
+    fault_injection_scope,
+    make_backend,
+)
+from repro.backend.base import Backend
+from repro.backend.mpi import MPIBackend, _AccountingMPIContext, _Retire
+from repro.cluster.mpi_backend import _TAG_IDS, MPIContext
+from repro.cluster.process import SimProcess
+from repro.fault.plan import FaultPlan, Straggler, WorkerCrash
+
+
+class FakeStatus:
+    def __init__(self):
+        self.source = None
+        self.tag = None
+
+    def Get_source(self):
+        return self.source
+
+    def Get_tag(self):
+        return self.tag
+
+
+class FakeComm:
+    """Loopback comm with the collective subset MPIBackend.run needs."""
+
+    def __init__(self, rank=0, size=2):
+        self._rank = rank
+        self._size = size
+        self.outbox = []
+        self.inbox = []
+
+    def Get_rank(self):
+        return self._rank
+
+    def Get_size(self):
+        return self._size
+
+    def send(self, payload, dest, tag):
+        self.outbox.append((payload, dest, tag))
+
+    def _match(self, source, tag):
+        for i, (_, src, t) in enumerate(self.inbox):
+            if source not in (-1, src):
+                continue
+            if tag not in (-1, t):
+                continue
+            return i
+        return None
+
+    def iprobe(self, source=-1, tag=-1):
+        return self._match(source, tag) is not None
+
+    def recv(self, source=-1, tag=-1, status=None):
+        i = self._match(source, tag)
+        if i is None:
+            raise AssertionError("blocking recv with empty matching inbox")
+        payload, src, t = self.inbox.pop(i)
+        if status is not None:
+            status.source = src
+            status.tag = t
+        return payload
+
+    # single-rank collectives: everyone is root
+    def gather(self, value, root=0):
+        assert self._size == 1
+        return [value]
+
+    def bcast(self, value, root=0):
+        return value
+
+
+@pytest.fixture
+def fake_mpi(monkeypatch):
+    import sys
+    import types
+
+    mod = types.ModuleType("mpi4py")
+    mpi = types.SimpleNamespace(ANY_SOURCE=-1, ANY_TAG=-1, Status=FakeStatus)
+    mod.MPI = mpi
+    monkeypatch.setitem(sys.modules, "mpi4py", mod)
+    monkeypatch.setitem(sys.modules, "mpi4py.MPI", mpi)
+    return mod
+
+
+def _ctx(comm, **kw):
+    return _AccountingMPIContext(MPIContext(comm), record_trace=False, **kw)
+
+
+class TestSendAdapterLoss:
+    def test_nth_send_dropped_sender_charged(self, fake_mpi):
+        comm = FakeComm(rank=0, size=3)
+        ctx = _ctx(comm, losses={1: frozenset({2})})
+        for payload in ("a", "b", "c"):
+            ctx.execute(ctx.send(1, payload, tag="rules"))
+        # the 2nd message to rank 1 died at the adapter...
+        assert [p for p, _, _ in comm.outbox] == ["a", "c"]
+        # ...but the sender was charged for all three
+        assert ctx.stats.messages == 3
+        assert [(r.kind, r.detail) for r in ctx.fault_log] == [("drop", "->1 #2 tag=rules")]
+
+    def test_loss_counts_per_link(self, fake_mpi):
+        comm = FakeComm(rank=0, size=3)
+        ctx = _ctx(comm, losses={2: frozenset({1})})
+        ctx.execute(ctx.send(1, "x", tag="rules"))  # other link: untouched
+        ctx.execute(ctx.send(2, "y", tag="rules"))  # link 0->2 #1: dropped
+        ctx.execute(ctx.send(2, "z", tag="rules"))
+        assert [(p, d) for p, d, _ in comm.outbox] == [("x", 1), ("z", 2)]
+
+    def test_bcast_drops_only_the_lossy_destination(self, fake_mpi):
+        comm = FakeComm(rank=0, size=4)
+        ctx = _ctx(comm, losses={2: frozenset({1})})
+        ctx.execute(ctx.bcast("hello", tag="stop"))
+        assert [d for _, d, _ in comm.outbox] == [1, 3]
+        assert ctx.stats.messages == 3
+
+
+class TestRetireInPlace:
+    def test_crash_on_nth_matching_recv(self, fake_mpi):
+        comm = FakeComm(rank=1)
+        comm.inbox.append(("t1", 0, _TAG_IDS["start_pipeline"]))
+        comm.inbox.append(("beat", 0, _TAG_IDS["ping"]))
+        comm.inbox.append(("t2", 0, _TAG_IDS["start_pipeline"]))
+        ctx = _ctx(comm, crash=WorkerCrash(rank=1, on_recv=2, tag="start_pipeline"))
+        assert ctx.execute(ctx.recv()).payload == "t1"
+        assert ctx.execute(ctx.recv()).payload == "beat"  # wrong tag: not counted
+        with pytest.raises(_Retire):
+            ctx.execute(ctx.recv())  # 2nd start_pipeline: about to process -> die
+
+    def test_at_time_crashes_are_sim_only(self, fake_mpi):
+        comm = FakeComm(rank=1)
+        comm.inbox.append(("t1", 0, _TAG_IDS["rules"]))
+        ctx = _ctx(comm, crash=WorkerCrash(rank=1, at_time=0.0))
+        assert ctx.execute(ctx.recv()).payload == "t1"  # no trigger
+
+
+class TestStraggler:
+    def test_compute_sleeps_extra(self, fake_mpi):
+        ctx = _ctx(FakeComm(rank=1), straggler=Straggler(rank=1, factor=2.0))
+        time.sleep(0.05)
+        t0 = time.perf_counter()
+        ctx.execute(ctx.compute(1000))
+        # factor 2.0 doubles elapsed compute: ~0.05s extra sleep
+        assert time.perf_counter() - t0 >= 0.03
+
+
+class TestTimedRecvPassThrough:
+    def test_timeout_threads_through_accounting_context(self, fake_mpi):
+        ctx = _ctx(FakeComm(rank=0))
+        op = ctx.recv(src=None, tag=None, timeout=0.01)
+        assert op.timeout == 0.01
+        assert ctx.execute(op) is None  # empty inbox -> expiry -> None
+
+
+class TestBackendRunFake:
+    def _proc(self):
+        class Proc(SimProcess):
+            def __init__(self):
+                super().__init__(0)
+                self.done = False
+
+            def run(self, ctx):
+                yield ctx.compute(10)
+                self.done = True
+
+        return Proc()
+
+    def test_single_rank_run_assembles_backendrun(self, fake_mpi):
+        bk = MPIBackend(comm=FakeComm(rank=0, size=1))
+        run = bk.run([self._proc()])
+        assert len(run.procs) == 1 and run.procs[0].done
+        assert run.fault_log == []
+
+    def test_single_rank_run_with_plan_uses_halt_barrier(self, fake_mpi):
+        plan = FaultPlan(supervise=True, timeout=0.5)
+        bk = MPIBackend(comm=FakeComm(rank=0, size=1), fault_plan=plan)
+        run = bk.run([self._proc()])
+        assert len(run.procs) == 1 and run.procs[0].done
+
+    def test_size_mismatch_is_an_error(self, fake_mpi):
+        bk = MPIBackend(comm=FakeComm(rank=0, size=1))
+        second = self._proc()
+        second.rank = 1
+        with pytest.raises(ValueError, match="matching -n"):
+            bk.run([self._proc(), second])
+
+
+class TestCapability:
+    def test_all_registry_backends_are_fault_capable(self):
+        assert fault_capable_backends() == ("sim", "local", "mpi")
+
+    def test_attribute_not_name_drives_the_check(self):
+        assert Backend.supports_fault_injection is False
+        assert MPIBackend.supports_fault_injection is True
+
+    def test_make_backend_mpi_accepts_a_plan(self, fake_mpi):
+        plan = FaultPlan(crashes=(WorkerCrash(rank=1, on_recv=1),), timeout=1.0)
+        bk = make_backend("mpi", fault_plan=plan)
+        assert isinstance(bk, MPIBackend)
+        assert bk.fault_plan == plan
+
+    def test_scope_arms_and_restores_mpi(self, fake_mpi):
+        plan = FaultPlan(supervise=True)
+        bk = make_backend("mpi")
+        with fault_injection_scope(bk, plan):
+            assert bk.fault_plan == plan
+        assert bk.fault_plan is None
+
+    def test_unsupporting_backend_gets_friendly_error(self):
+        class NullBackend(Backend):
+            name = "null"
+
+            def run(self, procs):
+                raise NotImplementedError
+
+        with pytest.raises(BackendUnavailableError, match="sim, local, mpi"):
+            with fault_injection_scope(NullBackend(), FaultPlan(supervise=True)):
+                pass
+
+
+class ClusterComm:
+    """Multi-rank in-process fake: one mpi4py-shaped view per rank/thread.
+
+    Point-to-point messaging through shared per-rank queues plus the
+    single gather→bcast rendezvous ``MPIBackend.run`` performs, which is
+    enough to run the *complete* SPMD protocol — timed receives, retire
+    drain loops, the halt barrier and root assembly — without an MPI
+    runtime (each rank runs on its own thread instead of its own node).
+    """
+
+    def __init__(self, size):
+        self.size = size
+        self.queues = [[] for _ in range(size)]
+        self.cond = threading.Condition()
+        self.gathered = {}
+        self.bcast_box = []
+
+    def view(self, rank):
+        return _RankView(self, rank)
+
+
+class _RankView:
+    def __init__(self, cluster, rank):
+        self._c = cluster
+        self._rank = rank
+
+    def Get_rank(self):
+        return self._rank
+
+    def Get_size(self):
+        return self._c.size
+
+    def send(self, payload, dest, tag):
+        c = self._c
+        with c.cond:
+            c.queues[dest].append((payload, self._rank, tag))
+            c.cond.notify_all()
+
+    def _match(self, source, tag):
+        for i, (_, src, t) in enumerate(self._c.queues[self._rank]):
+            if source not in (-1, src):
+                continue
+            if tag not in (-1, t):
+                continue
+            return i
+        return None
+
+    def iprobe(self, source=-1, tag=-1):
+        with self._c.cond:
+            return self._match(source, tag) is not None
+
+    def recv(self, source=-1, tag=-1, status=None):
+        c = self._c
+        with c.cond:
+            while True:
+                i = self._match(source, tag)
+                if i is not None:
+                    payload, src, t = c.queues[self._rank].pop(i)
+                    if status is not None:
+                        status.source = src
+                        status.tag = t
+                    return payload
+                c.cond.wait(0.05)
+
+    # MPIBackend.run performs exactly one gather then one bcast per run,
+    # so single-use rendezvous state is sufficient.
+    def gather(self, value, root=0):
+        c = self._c
+        with c.cond:
+            c.gathered[self._rank] = value
+            c.cond.notify_all()
+            while len(c.gathered) < c.size:
+                c.cond.wait(0.05)
+            if self._rank == root:
+                return [c.gathered[r] for r in range(c.size)]
+            return None
+
+    def bcast(self, value, root=0):
+        c = self._c
+        with c.cond:
+            if self._rank == root:
+                c.bcast_box.append(value)
+                c.cond.notify_all()
+                return value
+            while not c.bcast_box:
+                c.cond.wait(0.05)
+            return c.bcast_box[0]
+
+
+class TestThreadedSPMDParity:
+    """The full SPMD protocol against real master/worker generators.
+
+    Each MPI rank is a thread holding a :class:`ClusterComm` view; every
+    thread makes the identical ``run_p2mdie`` call, exactly like ranks of
+    an ``mpiexec`` launch.  The learned theory must be bit-identical to
+    the fault-free sim run — crashes, spares, heartbeats and all.
+    """
+
+    def _spmd(self, ds, n_ranks, plan, spares=0, p=3):
+        from repro.parallel import run_p2mdie
+
+        cluster = ClusterComm(n_ranks)
+        results = {}
+        errors = {}
+
+        def rank_main(r):
+            try:
+                bk = MPIBackend(comm=cluster.view(r), fault_plan=plan)
+                results[r] = run_p2mdie(
+                    ds.kb, ds.pos, ds.neg, ds.modes, ds.config,
+                    p=p, width=10, seed=0, backend=bk,
+                    fault_plan=plan, spares=spares,
+                )
+            except BaseException as exc:  # surface in the test, not a hang
+                errors[r] = exc
+
+        threads = [threading.Thread(target=rank_main, args=(r,)) for r in range(n_ranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not any(t.is_alive() for t in threads), "SPMD run deadlocked"
+        assert not errors, f"rank failures: {errors}"
+        return results
+
+    @pytest.fixture(scope="class")
+    def krki(self):
+        from repro.datasets import make_dataset
+
+        return make_dataset("krki", seed=0)
+
+    @pytest.fixture(scope="class")
+    def base(self, krki):
+        from repro.parallel import run_p2mdie
+
+        return run_p2mdie(krki.kb, krki.pos, krki.neg, krki.modes, krki.config,
+                          p=3, width=10, seed=0)
+
+    def test_fault_free_parity(self, fake_mpi, krki, base):
+        results = self._spmd(krki, 4, plan=None)
+        assert results[0].theory == base.theory
+        # every rank's front-end returns the rank-0 artifacts
+        assert results[2].theory == base.theory
+
+    def test_crash_recovery_parity(self, fake_mpi, krki, base):
+        plan = FaultPlan(
+            crashes=(WorkerCrash(rank=2, on_recv=2, tag="start_pipeline"),), timeout=2.0
+        )
+        results = self._spmd(krki, 4, plan=plan)
+        res = results[0]
+        assert res.theory == base.theory
+        assert [(l.epoch, l.bag_size, tuple(l.accepted), l.pos_covered) for l in res.epoch_logs] \
+            == [(l.epoch, l.bag_size, tuple(l.accepted), l.pos_covered) for l in base.epoch_logs]
+        assert any(f.kind == "crash" and f.rank == 2 for f in res.fault_log)
+        assert any("declared dead" in ev for ev in res.fault_events)
+
+    def test_crash_with_spare_adoption(self, fake_mpi, krki, base):
+        plan = FaultPlan(
+            crashes=(WorkerCrash(rank=3, on_recv=1, tag="evaluate"),), timeout=2.0
+        )
+        results = self._spmd(krki, 5, plan=plan, spares=1)
+        assert results[0].theory == base.theory
+        assert any("adopted by host 4" in ev for ev in results[0].fault_events)

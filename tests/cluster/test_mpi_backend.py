@@ -3,12 +3,22 @@
 mpi4py is not installed in this environment, so these tests exercise
 :func:`drive_with_mpi` against a *fake* communicator implementing the
 mpi4py subset the adapter uses — verifying the documented 1:1 mapping
-without an MPI runtime.
+(and the timed-receive / halt surfaces the fault-tolerance protocol
+needs) without an MPI runtime.
 """
+
+import time
 
 import pytest
 
-from repro.cluster.mpi_backend import MPIContext, drive_with_mpi, mpi_available
+from repro.cluster.mpi_backend import (
+    HALT_TAG,
+    MPIContext,
+    MPIHalt,
+    _TAG_IDS,
+    drive_with_mpi,
+    mpi_available,
+)
 from repro.cluster.process import SimProcess
 
 
@@ -25,7 +35,11 @@ class FakeStatus:
 
 
 class FakeComm:
-    """Single-process loopback comm implementing the mpi4py subset used."""
+    """Single-process loopback comm implementing the mpi4py subset used.
+
+    ``inbox`` entries are ``(payload, src, tag_id)``; ``recv``/``iprobe``
+    honour source/tag filters with mpi4py's -1 = ANY convention.
+    """
 
     def __init__(self, rank=0, size=2):
         self._rank = rank
@@ -42,10 +56,26 @@ class FakeComm:
     def send(self, payload, dest, tag):
         self.outbox.append((payload, dest, tag))
 
-    def recv(self, source, tag, status):
-        payload, src, t = self.inbox.pop(0)
-        status.source = src
-        status.tag = t
+    def _match(self, source, tag):
+        for i, (_, src, t) in enumerate(self.inbox):
+            if source not in (-1, src):
+                continue
+            if tag not in (-1, t):
+                continue
+            return i
+        return None
+
+    def iprobe(self, source=-1, tag=-1):
+        return self._match(source, tag) is not None
+
+    def recv(self, source=-1, tag=-1, status=None):
+        i = self._match(source, tag)
+        if i is None:
+            raise AssertionError("blocking recv with empty matching inbox")
+        payload, src, t = self.inbox.pop(i)
+        if status is not None:
+            status.source = src
+            status.tag = t
         return payload
 
 
@@ -117,3 +147,63 @@ class TestDriveWithFakeComm:
         ctx = MPIContext(FakeComm(rank=3, size=8))
         assert ctx.rank == 3
         assert ctx.n_procs == 8
+
+
+class TestTimedReceives:
+    """RecvOp.timeout on MPI: deadline-bounded iprobe polling."""
+
+    def test_timeout_expiry_resumes_with_none(self, fake_mpi):
+        ctx = MPIContext(FakeComm(rank=0))
+        t0 = time.perf_counter()
+        msg = ctx.execute(ctx.recv(timeout=0.05))
+        assert msg is None
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_timed_recv_delivers_waiting_message(self, fake_mpi):
+        comm = FakeComm(rank=0)
+        comm.inbox.append(("payload", 2, _TAG_IDS["result"]))
+        ctx = MPIContext(comm)
+        msg = ctx.execute(ctx.recv(timeout=5.0))
+        assert (msg.src, msg.tag, msg.payload) == (2, "result", "payload")
+
+    def test_timed_recv_honours_tag_filter(self, fake_mpi):
+        comm = FakeComm(rank=0)
+        comm.inbox.append(("noise", 1, _TAG_IDS["pong"]))
+        ctx = MPIContext(comm)
+        assert ctx.execute(ctx.recv(tag="rules", timeout=0.02)) is None
+        # the non-matching message is still queued, not consumed
+        assert len(comm.inbox) == 1
+
+    def test_ft_tags_are_distinct(self, fake_mpi):
+        # ping/pong/routing must not collapse onto the unknown-tag id,
+        # or tag-filtered heartbeat receives would cross wires.
+        comm = FakeComm(rank=0)
+        comm.inbox.append(("beat", 1, _TAG_IDS["pong"]))
+        ctx = MPIContext(comm)
+        msg = ctx.execute(ctx.recv(tag="pong", timeout=1.0))
+        assert msg.tag == "pong"
+
+
+class TestHalt:
+    def test_halt_interrupts_watched_recv(self, fake_mpi):
+        comm = FakeComm(rank=1)
+        comm.inbox.append((None, 0, HALT_TAG))
+        ctx = MPIContext(comm, watch_halt=True)
+        with pytest.raises(MPIHalt):
+            ctx.execute(ctx.recv())
+
+    def test_halt_preferred_over_data(self, fake_mpi):
+        comm = FakeComm(rank=1)
+        comm.inbox.append(("work", 0, _TAG_IDS["evaluate"]))
+        comm.inbox.append((None, 0, HALT_TAG))
+        ctx = MPIContext(comm, watch_halt=True)
+        with pytest.raises(MPIHalt):
+            ctx.execute(ctx.recv())
+
+    def test_unwatched_context_ignores_halt_tag(self, fake_mpi):
+        # the plain adapter (drive_with_mpi) never sees backend halts
+        comm = FakeComm(rank=1)
+        comm.inbox.append(("data", 0, _TAG_IDS["stop"]))
+        ctx = MPIContext(comm)
+        msg = ctx.execute(ctx.recv())
+        assert msg.tag == "stop"

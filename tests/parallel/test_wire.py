@@ -138,6 +138,22 @@ class TestRoundTrip:
             WireQueryEnd,
         } == set(wire._ENCODERS)
 
+    def test_mpi_tag_table_covers_every_protocol_tag(self):
+        # The MPI adapter maps string tags onto integer MPI tags; every
+        # Tag member (including the fault-tolerance ping/pong/routing
+        # control tags) must have its own distinct id, and the backend's
+        # halt control tag must stay outside the protocol table.
+        from repro.cluster.message import Tag
+        from repro.cluster.mpi_backend import _TAG_IDS, HALT_TAG
+
+        protocol_tags = {
+            v for k, v in vars(Tag).items() if not k.startswith("_") and isinstance(v, str)
+        }
+        assert protocol_tags == set(_TAG_IDS)
+        ids = list(_TAG_IDS.values())
+        assert len(ids) == len(set(ids)), "duplicate MPI tag ids"
+        assert HALT_TAG not in ids
+
     def test_exotic_constants(self):
         msg = Repartition(
             pos=(

@@ -21,7 +21,7 @@ class TestJobSpec:
         [
             {"dataset": "no_such_dataset"},
             {"dataset": "trains", "algo": "no_such_algo"},
-            {"dataset": "trains", "backend": "mpi"},
+            {"dataset": "trains", "backend": "no_such_backend"},
             {"dataset": "trains", "scale": "huge"},
             {"dataset": "trains", "algo": "p2mdie", "p": 0},
             {"dataset": "trains", "width": 0},
@@ -38,6 +38,12 @@ class TestJobSpec:
     def test_validation(self, kw):
         with pytest.raises(ValueError):
             JobSpec(**kw)
+
+    def test_mpi_backend_is_a_valid_spec(self):
+        # The scheduler pool may host MPI jobs (rank 0 of an mpiexec
+        # launch); validity is a spec question, availability a run one.
+        spec = JobSpec(dataset="trains", algo="p2mdie", p=2, backend="mpi")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
 
     def test_json_round_trip(self):
         spec = JobSpec(
