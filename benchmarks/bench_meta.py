@@ -38,6 +38,8 @@ def _git_sha() -> str:
 
 def bench_environment(smoke: bool) -> dict:
     """Provenance block stamped into every benchmark JSON."""
+    from repro.obs import tracing_enabled
+
     return {
         "git_sha": _git_sha(),
         "python_version": platform.python_version(),
@@ -45,13 +47,27 @@ def bench_environment(smoke: bool) -> dict:
         "platform": sys.platform,
         "cpu_count": os.cpu_count(),
         "smoke": bool(smoke),
+        "telemetry": "on" if tracing_enabled() else "off",
     }
 
 
-def write_bench_json(path: Union[str, pathlib.Path], report: dict, smoke: bool) -> pathlib.Path:
-    """Stamp ``report`` with the environment and write it to ``path``."""
+def write_bench_json(
+    path: Union[str, pathlib.Path],
+    report: dict,
+    smoke: bool,
+    duration_s: Union[float, None] = None,
+) -> pathlib.Path:
+    """Stamp ``report`` with the environment and write it to ``path``.
+
+    ``duration_s`` (total wall-clock of the benchmark run, when the
+    caller tracked it) lands in the meta block so trajectory tooling can
+    spot runs that were squeezed by a noisy machine.
+    """
     path = pathlib.Path(path)
     stamped = dict(report)
-    stamped["meta"] = bench_environment(smoke)
+    meta = bench_environment(smoke)
+    if duration_s is not None:
+        meta["duration_s"] = round(float(duration_s), 3)
+    stamped["meta"] = meta
     path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     return path

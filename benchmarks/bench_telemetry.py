@@ -1,0 +1,173 @@
+"""Telemetry overhead benchmark: tracing must be (nearly) free.
+
+The unified telemetry layer promises "off-by-default-cheap, on-by-
+default-useful": a disabled tracer is a no-op, and an *enabled* activity
+trace may not perturb learning.  This benchmark runs P²-MDIE on the
+local multiprocessing backend twice — telemetry off, telemetry on — and
+checks both halves of that promise:
+
+* **parity** (always asserted): theories and per-epoch logs are
+  bit-identical with tracing on vs off, and the traced run actually
+  produced spans;
+* **overhead** (gated only outside smoke mode): the traced run's best
+  wall-clock is within 5% of the untraced run's.
+
+Knobs:
+
+* ``REPRO_TELEMETRY_DATASET`` — dataset name (default ``carcinogenesis``);
+* ``REPRO_SCALE``             — ``small`` (default) or ``paper``;
+* ``REPRO_SEED``              — RNG seed (default 0);
+* ``REPRO_BENCH_SMOKE=1``     — CI smoke mode: reduced example counts,
+  single repetition, overhead reported but not gated.
+
+Writes ``BENCH_telemetry.json`` at the **repo root** (all ``BENCH_*``
+artifacts live there so the perf trajectory is trackable PR-over-PR).
+
+Standalone: ``PYTHONPATH=src python benchmarks/bench_telemetry.py``.
+Under the bench suite it runs as an ordinary test.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+DATASET = os.environ.get("REPRO_TELEMETRY_DATASET", "carcinogenesis")
+SCALE = os.environ.get("REPRO_SCALE", "small")
+SEED = int(os.environ.get("REPRO_SEED", "0"))
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_telemetry.json"
+
+P = 4
+REPS = 1 if SMOKE else 3
+MAX_OVERHEAD = 0.05  # traced wall-clock may exceed untraced by at most 5%
+
+
+def _dataset_kwargs() -> dict:
+    if SMOKE:
+        if DATASET == "carcinogenesis":
+            return dict(seed=SEED, n_pos=24, n_neg=20)
+        return dict(seed=SEED, n_pos=24, n_neg=24)
+    return dict(seed=SEED, scale=SCALE)
+
+
+def _run_once(ds, record_trace: bool) -> dict:
+    from repro.parallel import run_p2mdie
+
+    t0 = time.perf_counter()
+    res = run_p2mdie(
+        ds.kb,
+        ds.pos,
+        ds.neg,
+        ds.modes,
+        ds.config,
+        p=P,
+        seed=SEED,
+        backend="local",
+        record_trace=record_trace,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "theory": sorted(str(c) for c in res.theory),
+        "log": [
+            (e.epoch, e.bag_size, sorted(str(c) for c in e.accepted), e.pos_covered)
+            for e in res.epoch_logs
+        ],
+        "epochs": res.epochs,
+        "uncovered": res.uncovered,
+        "trace_intervals": len(res.trace),
+    }
+
+
+def run_benchmark() -> dict:
+    from repro.datasets import make_dataset
+
+    ds = make_dataset(DATASET, **_dataset_kwargs())
+    runs = {"off": [], "on": []}
+    # Interleave repetitions so machine drift hits both variants alike.
+    for _ in range(REPS):
+        runs["off"].append(_run_once(ds, record_trace=False))
+        runs["on"].append(_run_once(ds, record_trace=True))
+    off, on = runs["off"][0], runs["on"][0]
+    best_off = min(r["wall_s"] for r in runs["off"])
+    best_on = min(r["wall_s"] for r in runs["on"])
+    report = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "seed": SEED,
+        "smoke": SMOKE,
+        "p": P,
+        "reps": REPS,
+        "n_pos": len(ds.pos),
+        "n_neg": len(ds.neg),
+        "wall_s": {
+            "off": round(best_off, 4),
+            "on": round(best_on, 4),
+            "off_all": [round(r["wall_s"], 4) for r in runs["off"]],
+            "on_all": [round(r["wall_s"], 4) for r in runs["on"]],
+        },
+        "overhead": round(best_on / best_off - 1.0, 4) if best_off else 0.0,
+        "trace_intervals": on["trace_intervals"],
+        "epochs": on["epochs"],
+        "theory_size": len(on["theory"]),
+        "parity": all(
+            a["theory"] == off["theory"]
+            and a["log"] == off["log"]
+            and a["epochs"] == off["epochs"]
+            and a["uncovered"] == off["uncovered"]
+            for a in runs["off"] + runs["on"]
+        ),
+    }
+    return report
+
+
+def render(report: dict) -> str:
+    w = report["wall_s"]
+    return "\n".join(
+        [
+            f"Telemetry overhead — P²-MDIE on {report['dataset']} "
+            f"({report['n_pos']}+/{report['n_neg']}-, p={report['p']}, local backend, "
+            f"seed {report['seed']}{', smoke' if report['smoke'] else ''})",
+            f"  tracing off: {w['off']:.3f}s   tracing on: {w['on']:.3f}s "
+            f"(best of {report['reps']})",
+            f"  overhead: {100 * report['overhead']:+.2f}%   "
+            f"spans recorded: {report['trace_intervals']}",
+            f"  parity: {'identical theories+logs' if report['parity'] else 'MISMATCH'}",
+        ]
+    )
+
+
+def write_report(report: dict, duration_s: float) -> pathlib.Path:
+    from bench_meta import write_bench_json
+
+    return write_bench_json(OUT_PATH, report, SMOKE, duration_s=duration_s)
+
+
+def check(report: dict) -> None:
+    assert report["parity"], "telemetry changed learning results: theories/logs differ"
+    assert report["trace_intervals"] > 0, "traced run produced no activity intervals"
+    if not SMOKE:
+        assert report["overhead"] <= MAX_OVERHEAD, (
+            f"tracing overhead {100 * report['overhead']:.2f}% exceeds "
+            f"{100 * MAX_OVERHEAD:.0f}% budget: {report['wall_s']}"
+        )
+
+
+def test_telemetry_overhead():
+    t0 = time.perf_counter()
+    report = run_benchmark()
+    print("\n" + render(report) + "\n")
+    write_report(report, time.perf_counter() - t0)
+    check(report)
+
+
+if __name__ == "__main__":
+    t0 = time.perf_counter()
+    report = run_benchmark()
+    print(render(report))
+    path = write_report(report, time.perf_counter() - t0)
+    print(f"wrote {path}")
+    check(report)

@@ -363,7 +363,13 @@ def _child_main(
         drive(proc, ctx)
         elapsed = ctx.clock
         ctx.close()
-        result_conn.send(("ok", proc.rank, proc, ctx.stats, elapsed, ctx.trace, ctx.fault_log))
+        # The trace travels as a wire-codec SpanBatch (code 28), the same
+        # encoding `repro trace --trace-out` writes — one format for spans
+        # whether they cross a pipe, an MPI gather, or land in a file.
+        from repro.obs.span import encode_batch
+
+        span_bytes = encode_batch(proc.rank, ctx.trace)
+        result_conn.send(("ok", proc.rank, proc, ctx.stats, elapsed, span_bytes, ctx.fault_log))
     except _InjectedCrash:
         # A crashed worker reports nothing and flushes nothing — it just
         # dies, exactly like a killed machine.
@@ -626,11 +632,13 @@ class LocalProcessBackend(Backend):
         clocks: list[float] = []
         trace: list[ComputeInterval] = []
         final_procs: list[SimProcess] = []
+        from repro.obs.span import decode_batch
+
         for r in sorted(results):
-            _, _, proc, stats, elapsed, rtrace, rfaults = results[r]
+            _, _, proc, stats, elapsed, span_bytes, rfaults = results[r]
             final_procs.append(proc)
             clocks.append(elapsed)
-            trace.extend(rtrace)
+            trace.extend(decode_batch(span_bytes))
             fault_log.extend(rfaults)
             comm.merge(stats)
         trace.sort(key=lambda iv: (iv.start, iv.rank))

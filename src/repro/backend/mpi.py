@@ -326,12 +326,16 @@ class MPIBackend(Backend):
                 self._drain_until_halt(comm)
             self._drain_residual(comm)
 
+        # Each rank ships its trace as a wire-codec SpanBatch (code 28) —
+        # the same message the local backend sends over its result pipe.
+        from repro.obs.span import decode_batch, encode_batch
+
         entry = (
             status,
             proc if status == "ok" else None,
             ctx.stats,
             elapsed,
-            ctx.trace,
+            encode_batch(rank, ctx.trace),
             list(ctx.fault_log),
         )
         gathered = comm.gather(entry, root=0)
@@ -345,11 +349,11 @@ class MPIBackend(Backend):
             clocks: list[float] = []
             trace: list[ComputeInterval] = []
             final_procs: list[SimProcess] = []
-            for st, p, stats, dt, rtrace, rlog in gathered:
+            for st, p, stats, dt, span_bytes, rlog in gathered:
                 if p is not None:
                     final_procs.append(p)
                 clocks.append(dt)
-                trace.extend(rtrace)
+                trace.extend(decode_batch(span_bytes))
                 comm_stats.merge(stats)
                 fault_log.extend(rlog)
             trace.sort(key=lambda iv: (iv.start, iv.rank))

@@ -137,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--width", type=_parse_width, default=10, help="pipeline width or 'nolimit'")
     learn.add_argument("--seed", type=int, default=0)
     learn.add_argument("--scale", choices=("small", "paper"), default="small")
+    learn.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record per-stage activity spans and write them as JSONL "
+        "(one span per line; render with `repro trace`-style tooling)",
+    )
     _add_backend_arg(learn)
     _add_fault_args(learn)
 
@@ -156,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="keep checkpointing the continued run into DIR",
+    )
+    resume.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record per-stage activity spans and write them as JSONL",
     )
 
     faults = sub.add_parser(
@@ -199,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--width", type=_parse_width, default=10)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--scale", choices=("small", "paper"), default="small")
+    trace.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write the spans as JSONL (one span per line)",
+    )
     _add_backend_arg(trace)
 
     export = sub.add_parser(
@@ -257,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--fault-plan", default=None, metavar="FILE",
         help="service fault plan JSON to inject (chaos testing)",
+    )
+    serve_p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text metrics over plain HTTP on PORT "
+        "(0 = ephemeral; scrape with `curl http://host:PORT/metrics`)",
+    )
+    serve_p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="append one JSONL span per handled request to FILE",
     )
 
     jobs_p = sub.add_parser(
@@ -411,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _write_trace_out(path: str, trace) -> None:
+    """Export a run's ComputeIntervals as a JSONL span file."""
+    from repro.obs import spans_from_intervals, write_spans_jsonl
+
+    n = write_spans_jsonl(path, spans_from_intervals(trace))
+    print(f"% wrote {n} spans to {path}")
+
+
 def _print_run_epilogue(res) -> None:
     """Shared run statistics: cache effectiveness + fault narrative."""
     if res.cache_stats:
@@ -445,6 +475,12 @@ def _cmd_learn(args) -> int:
         if args.spares:
             print("repro: --spares requires --p > 1 and a --fault-plan", file=sys.stderr)
             return 2
+        if args.trace_out:
+            print(
+                "repro: --trace-out requires --p > 1 (sequential runs record no activity trace)",
+                file=sys.stderr,
+            )
+            return 2
         res = mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, seed=args.seed,
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=meta,
@@ -460,6 +496,7 @@ def _cmd_learn(args) -> int:
         res = run_p2mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
             seed=args.seed, backend=backend,
+            record_trace=bool(args.trace_out),
             fault_plan=plan, spares=args.spares,
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=meta,
         )
@@ -477,6 +514,8 @@ def _cmd_learn(args) -> int:
     print(f"% {time_label}={seconds:.1f}s training-accuracy={acc:.1f}%")
     if parallel_res is not None:
         _print_run_epilogue(parallel_res)
+        if args.trace_out:
+            _write_trace_out(args.trace_out, parallel_res.trace)
     if args.checkpoint_dir:
         print(f"% checkpoints in {args.checkpoint_dir}/ (continue with `repro resume`)")
     return 0
@@ -516,6 +555,7 @@ def _cmd_resume(args) -> int:
         res = run_p2mdie(
             ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=state.n_workers, width=width,
             seed=state.seed, backend=backend, resume=state,
+            record_trace=bool(args.trace_out),
             checkpoint_dir=args.checkpoint_dir, checkpoint_meta=state.meta,
         )
         seconds = res.seconds
@@ -544,6 +584,15 @@ def _cmd_resume(args) -> int:
     print(f"% seconds={seconds:.1f} training-accuracy={acc:.1f}%")
     if parallel_res is not None:
         _print_run_epilogue(parallel_res)
+    if args.trace_out:
+        if parallel_res is not None and parallel_res.trace:
+            _write_trace_out(args.trace_out, parallel_res.trace)
+        else:
+            print(
+                "repro: --trace-out: this resume recorded no activity trace "
+                f"(algo {state.algo!r})",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -594,6 +643,8 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from repro.experiments.trace import stage_summary
+
     ds = make_dataset(args.dataset, seed=args.seed, scale=args.scale)
     res = run_p2mdie(
         ds.kb, ds.pos, ds.neg, ds.modes, ds.config, p=args.p, width=args.width,
@@ -602,6 +653,14 @@ def _cmd_trace(args) -> int:
     print(render_gantt(res.trace, width=100, t_end=res.seconds))
     occ = occupancy(res.trace, res.seconds)
     print("busy fractions:", "  ".join(f"rank{r}={f:.2f}" for r, f in occ.items()))
+    stats = stage_summary(res.trace)
+    if stats:
+        label_w = max(len(s.label) for s in stats)
+        print("stage summary:")
+        for s in stats:
+            print(f"  {s.label:<{label_w}}  n={s.count:<4d} busy={s.total_seconds:.3f}s")
+    if args.trace_out:
+        _write_trace_out(args.trace_out, res.trace)
     return 0
 
 
@@ -625,13 +684,24 @@ def _cmd_serve(args) -> int:
             print(f"repro: bad --fault-plan: {exc}", file=sys.stderr)
             return 2
 
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(rank=0, sink=args.trace_out)
+
     def announce(server) -> None:
         auth = "on" if args.auth_token else "off"
         chaos = " CHAOS" if fault_plan is not None else ""
+        metrics = (
+            f", metrics=:{server.metrics_bound_port}"
+            if server.metrics_bound_port is not None
+            else ""
+        )
         print(
             f"% serving on {args.host}:{server.port} "
             f"(slots={args.slots}, registry={args.registry_dir or 'off'}, "
-            f"auth={auth}, query-shards={args.query_shards or 'seq'}){chaos}"
+            f"auth={auth}, query-shards={args.query_shards or 'seq'}{metrics}){chaos}"
         )
         sys.stdout.flush()
 
@@ -645,6 +715,7 @@ def _cmd_serve(args) -> int:
             query_shards=args.query_shards,
             max_queue=args.max_queue, max_inflight=args.max_inflight,
             fault_plan=fault_plan,
+            metrics_port=args.metrics_port, tracer=tracer,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         print("% interrupted", file=sys.stderr)

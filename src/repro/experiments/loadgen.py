@@ -31,6 +31,11 @@ import threading
 import time
 from typing import Callable, Optional, Sequence
 
+# The shared telemetry histogram is the one percentile implementation in
+# the repo; sample-tracking mode keeps the reported numbers exact (the
+# bucket bounds only matter for Prometheus exposition).
+from repro.obs.metrics import Histogram, percentile
+
 __all__ = [
     "arrival_schedule",
     "latency_stats",
@@ -42,30 +47,25 @@ __all__ = [
 PATTERNS = ("uniform", "burst", "heavytail")
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]) of ``samples``."""
-    if not samples:
-        raise ValueError("no samples")
-    xs = sorted(samples)
-    if len(xs) == 1:
-        return xs[0]
-    pos = (len(xs) - 1) * q / 100.0
-    lo = int(pos)
-    hi = min(lo + 1, len(xs) - 1)
-    frac = pos - lo
-    return xs[lo] * (1.0 - frac) + xs[hi] * frac
-
-
 def latency_stats(samples: Sequence[float]) -> dict:
-    """p50/p95/p99 + bounds of a latency sample, in milliseconds."""
-    ms = [1e3 * s for s in samples]
+    """p50/p95/p99 + bounds of a latency sample, in milliseconds.
+
+    Computed through :class:`repro.obs.metrics.Histogram` in exact
+    (sample-tracking) mode — the same type the service tier exposes over
+    ``--metrics-port`` — so loadgen, chaos and server dashboards can
+    never disagree about what a percentile means.
+    """
+    hist = Histogram(track_samples=True)
+    hist.observe_many(1e3 * s for s in samples)
+    if hist.count == 0:
+        raise ValueError("no samples")
     return {
-        "n": len(ms),
-        "p50_ms": round(percentile(ms, 50), 3),
-        "p95_ms": round(percentile(ms, 95), 3),
-        "p99_ms": round(percentile(ms, 99), 3),
-        "mean_ms": round(sum(ms) / len(ms), 3),
-        "max_ms": round(max(ms), 3),
+        "n": hist.count,
+        "p50_ms": round(hist.percentile(50), 3),
+        "p95_ms": round(hist.percentile(95), 3),
+        "p99_ms": round(hist.percentile(99), 3),
+        "mean_ms": round(hist.mean, 3),
+        "max_ms": round(hist.max, 3),
     }
 
 

@@ -5,8 +5,12 @@ each visiting every worker once, stages passing "good" rules onward, the
 master collecting the final rule sets.  From a traced run
 (``record_trace=True``) we render the equivalent as a Gantt-style text
 chart: one row per rank, time binned into columns, each busy bin showing
-the stage being executed (``1``..``p`` for ``search(sK)``, ``s`` for
-saturation, ``e`` for evaluation, ``m`` for mark_covered, ``.`` idle).
+the stage being executed (``1``..``9`` then ``A``..``Z`` for
+``search(sK)``, ``s`` for saturation, ``e`` for evaluation, ``m`` for
+mark_covered, ``.`` idle).  Search stages use digits for 1-9 and
+uppercase letters for 10-35 (``+`` beyond that) so every stage keeps a
+distinct cell at p >= 10; lowercase letters stay reserved for the named
+pipeline phases.
 """
 
 from __future__ import annotations
@@ -25,12 +29,23 @@ _LABEL_CHARS = {
     "mark_covered": "m",
     "aggregate": "a",
     "compute": "c",
+    "gather": "g",
+    "recover": "r",
+    "local_mdie": "w",
 }
 
 
 def _char_for(label: str) -> str:
-    if label.startswith("search(s"):
-        return label[len("search(s") : -1][-1]  # stage number, last digit
+    if label.startswith("search(s") and label.endswith(")"):
+        try:
+            k = int(label[len("search(s") : -1])
+        except ValueError:
+            return "c"
+        if 1 <= k <= 9:
+            return str(k)
+        if 10 <= k <= 35:  # base-36 digit, uppercased to dodge stage-name chars
+            return chr(ord("A") + k - 10)
+        return "+"
     return _LABEL_CHARS.get(label, "c")
 
 

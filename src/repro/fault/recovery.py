@@ -309,6 +309,10 @@ class FTMasterMixin:
                 tag=Tag.ROUTING,
                 dsts=self.ft.serving_hosts(),
             )
+            # Zero-cost marker (0 ops = 0 virtual seconds): stamps the
+            # recovery event into the activity trace so `repro trace`
+            # shows *when* the master rebuilt workers, on every backend.
+            yield ctx.compute(0, label="recover")
 
     def _ft_admit_joins(self, ctx, epoch: int):
         """Elastic grow: activate spare hosts scheduled to join now."""

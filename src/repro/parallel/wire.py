@@ -196,6 +196,10 @@ class _Encoder:
         self.u(n)
         self.body += bits.to_bytes(n, "big")
 
+    def f64(self, v: float) -> None:
+        """IEEE-754 big-endian double — exact round-trip, 8 bytes."""
+        self.body += _pack_f64(v)
+
     def term(self, t: Term) -> None:
         tt = type(t)
         if tt is Var:
@@ -328,6 +332,11 @@ class _Decoder:
         out = int.from_bytes(self.data[self.pos : self.pos + n], "big")
         self.pos += n
         return out
+
+    def f64(self) -> float:
+        (v,) = _unpack_f64(self.data, self.pos)
+        self.pos += 8
+        return v
 
     def read_syms(self) -> None:
         n = self.u()
@@ -744,6 +753,7 @@ def register_codec(payload_type: type, code: int, enc, dec) -> None:
     * 25 — :class:`repro.service.wiremsg.WireQuery`
     * 26 — :class:`repro.service.wiremsg.WireShard`
     * 27 — :class:`repro.service.wiremsg.WireQueryEnd`
+    * 28 — :class:`repro.obs.span.SpanBatch` (per-rank telemetry spans)
     """
     if code in _DECODERS or payload_type in _ENCODERS:
         prev = _ENCODERS.get(payload_type)

@@ -61,6 +61,9 @@ from repro.parallel import wire
 from repro.service.errors import Overloaded
 from repro.service.jobs import JobOutcome, JobRecord, JobSpec, OutcomeSummary, run_job
 from repro.util.atomicio import atomic_write_bytes
+from repro.util.log import get_logger
+
+_log = get_logger("repro.scheduler")
 
 __all__ = ["JobScheduler", "SchedulerError", "TERMINAL_STATES"]
 
@@ -461,6 +464,13 @@ class JobScheduler:
         # Caller holds the lock.
         job.record = job.record.replace(state=state, **kw)
         self._persist(job)
+        # One correlatable line per job-state change: every line about a
+        # job carries its id, so `grep job-0007` tells the whole story.
+        _log.info(
+            "job_state", job_id=job.record.job_id, state=state,
+            dataset=job.record.spec.dataset,
+            **({"error": kw["error"]} if "error" in kw else {}),
+        )
 
     def _slot_main(self) -> None:
         """Thread target: run the worker loop, healing injected crashes.
@@ -478,6 +488,7 @@ class JobScheduler:
                 self._heal_crashed_slot(crash.job_id)
 
     def _heal_crashed_slot(self, job_id: str) -> None:
+        _log.warning("slot_crash_healed", job_id=job_id)
         with self._cv:
             self.slot_crashes += 1
             job = self._jobs.get(job_id)

@@ -68,7 +68,9 @@ from typing import Callable, Iterator, Optional
 
 from repro.fault.service import ServiceFaultInjector, normalize_service_plan
 from repro.logic import ParseError, parse_term
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.parallel.wire import WireError
+from repro.util.log import get_logger, log_context
 from repro.service import wiremsg
 from repro.service.errors import (
     RETRYABLE_CODES,
@@ -89,6 +91,24 @@ __all__ = ["Service", "ServiceServer", "ServiceClient", "ClientContext", "serve"
 
 #: transports a server can negotiate in the hello op.
 TRANSPORTS = ("json", "wire")
+
+_log = get_logger("repro.service")
+
+
+def stamp_request_id(request: dict) -> str:
+    """Ensure the request carries an id; return it.
+
+    Called by the transport the moment a request is parsed — every
+    response and every structured log line about this request echoes the
+    same id, so one grep correlates a client-visible failure with the
+    server-side story.  Clients may supply their own ``request_id``
+    (kept verbatim); anything else gets a fresh ``req-`` id.
+    """
+    rid = request.get("request_id")
+    if not isinstance(rid, str) or not rid:
+        rid = f"req-{uuid.uuid4().hex[:12]}"
+        request["request_id"] = rid
+    return rid
 
 
 def stamp_deadline(request: dict) -> None:
@@ -171,7 +191,14 @@ class Service:
         shard_workers: Optional[int] = None,
         max_queue: int = 0,
         fault_plan=None,
+        tracer=None,
     ):
+        #: per-service metrics registry — one scrape surface per server,
+        #: isolated across instances (tests spin up many).
+        self.metrics = MetricsRegistry()
+        #: request-span recorder; NULL_TRACER (no-op) unless serve was
+        #: started with --trace-out.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         plan = normalize_service_plan(fault_plan)
         self.fault_injector = ServiceFaultInjector(plan) if plan is not None else None
         self.registry = (
@@ -229,8 +256,22 @@ class Service:
             # Direct (in-process) callers are implicitly trusted — the
             # token protects the socket boundary, not the library API.
             ctx = ClientContext(client_id="local", authenticated=True)
+        op = request.get("op")
+        op_name = op if isinstance(op, str) else "?"
+        rid = request.get("request_id")
+        t0 = time.perf_counter()
+        with log_context(**({"request_id": rid} if isinstance(rid, str) else {})):
+            with self.tracer.span(f"op:{op_name}", client=ctx.client_id):
+                response = self._dispatch(request, ctx, op)
+            dt = time.perf_counter() - t0
+            self._account(op_name, response, dt, ctx)
+        if isinstance(rid, str) and rid:
+            # Echo the transport-stamped id so clients and logs correlate.
+            response["request_id"] = rid
+        return response
+
+    def _dispatch(self, request: dict, ctx: ClientContext, op) -> dict:
         try:
-            op = request.get("op")
             handler = getattr(self, f"_op_{op}", None)
             if not isinstance(op, str) or handler is None:
                 return {
@@ -261,6 +302,36 @@ class Service:
             return error_response(exc)
         except (SchedulerError, RegistryError, ParseError, ValueError, KeyError, TypeError) as exc:
             return error_response(exc)
+
+    def _account(self, op: str, response: dict, dt: float, ctx: ClientContext) -> None:
+        """Count, time, and log one handled request (never raises)."""
+        try:
+            self.metrics.counter(
+                "repro_requests_total", "requests handled, by op", op=op
+            ).inc()
+            self.metrics.histogram(
+                "repro_request_latency_seconds", "request handling latency", op=op
+            ).observe(dt)
+            if op == "query":
+                self.metrics.histogram(
+                    "repro_query_latency_seconds", "query op latency end to end"
+                ).observe(dt)
+            if not response.get("ok"):
+                code = response.get("code", "error")
+                self.metrics.counter(
+                    "repro_request_errors_total", "error responses, by code", code=code
+                ).inc()
+                _log.warning(
+                    "request_failed", op=op, code=code,
+                    duration_ms=round(dt * 1000, 3), client=ctx.client_id,
+                )
+            else:
+                _log.debug(
+                    "request", op=op, duration_ms=round(dt * 1000, 3),
+                    client=ctx.client_id,
+                )
+        except Exception:  # pragma: no cover - accounting must never fail a request
+            pass
 
     # -- operations --------------------------------------------------------------
 
@@ -363,13 +434,15 @@ class Service:
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceeded("deadline expired before query evaluation")
         if deadline is None or shards_r is None or len(examples) <= 1:
-            return self.query_engine.query(
+            result = self.query_engine.query(
                 name,
                 examples,
                 version=version,
                 micro_batch=micro_batch or 1024,
                 shards=shards_r,
             )
+            self._observe_fanout(result.shards)
+            return result
         stream = self.query_engine.query_stream(
             name, examples, version=version,
             micro_batch=micro_batch or 1024, shards=shards_r,
@@ -390,7 +463,16 @@ class Service:
         except BaseException:
             stream.cancel()
             raise
-        return stream.result()
+        result = stream.result()
+        self._observe_fanout(result.shards)
+        return result
+
+    def _observe_fanout(self, shards: int) -> None:
+        self.metrics.histogram(
+            "repro_query_fanout_shards",
+            "shards a query batch fanned out over",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        ).observe(shards)
 
     def open_query_stream(self, request: dict) -> QueryStream:
         """Open the sharded stream behind a ``"stream": true`` query.
@@ -489,10 +571,57 @@ class Service:
                 "draining": self.draining,
                 **self.scheduler.resilience_stats(),
             },
+            "metrics": self.metrics_snapshot(),
         }
         if self.fault_injector is not None:
             out["faults"] = self.fault_injector.snapshot()
         return out
+
+    def _op_metrics(self, request: dict, ctx: ClientContext) -> dict:
+        return {"metrics": self.metrics_snapshot()}
+
+    def refresh_gauges(self) -> None:
+        """Point-in-time gauges pulled from the subsystems at scrape time.
+
+        Counters and histograms are pushed on the hot paths; queue depth,
+        slot occupancy, cache hit rates and resilience tallies live in
+        the scheduler / query engine and are sampled here so one scrape
+        sees one consistent moment.
+        """
+        jobs = self.scheduler.jobs()
+        by_state: dict[str, int] = {}
+        for j in jobs:
+            by_state[j["state"]] = by_state.get(j["state"], 0) + 1
+        g = self.metrics.gauge
+        g("repro_scheduler_slots", "scheduler slot count").set(self.scheduler.slots)
+        g("repro_scheduler_slots_busy", "slots running a job").set(
+            by_state.get("running", 0)
+        )
+        g("repro_jobs_queued", "jobs waiting for a slot").set(by_state.get("queued", 0))
+        for state, n in sorted(by_state.items()):
+            g("repro_jobs", "jobs by state", state=state).set(n)
+        g("repro_draining", "1 while a graceful drain is in progress").set(
+            int(self.draining)
+        )
+        res = self.scheduler.resilience_stats()
+        g("repro_persist_errors", "durable-write failures").set(res["persist_errors"])
+        g("repro_slot_crashes", "scheduler slot crashes").set(res["slot_crashes"])
+        g("repro_quarantined_records", "records quarantined on recovery").set(
+            len(res["quarantined"])
+        )
+        for k, v in self.query_engine.stats().items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                g(f"repro_query_{k}", "query engine counter (see stats op)").set(v)
+
+    def metrics_snapshot(self) -> dict:
+        """Plain-dict metrics view (the ``metrics`` op / stats section)."""
+        self.refresh_gauges()
+        return self.metrics.snapshot()
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition for the --metrics-port endpoint."""
+        self.refresh_gauges()
+        return self.metrics.render_prometheus()
 
     def _op_shutdown(self, request: dict, ctx: ClientContext) -> dict:
         # The transport layer watches for this marker and stops accepting.
@@ -536,12 +665,23 @@ class ServiceServer:
     #: executor headroom beyond scheduler slots: concurrent waits + queries.
     OPS_WORKERS = 32
 
-    def __init__(self, service: Service, max_inflight: int = 0):
+    def __init__(
+        self,
+        service: Service,
+        max_inflight: int = 0,
+        metrics_port: Optional[int] = None,
+    ):
         self.service = service
         self.port: Optional[int] = None
         #: admission bound on concurrently executing ops (0 = unbounded);
         #: excess requests are shed with ``overloaded`` + ``retry_after``.
         self.max_inflight = max_inflight
+        #: when not None, a plain-HTTP Prometheus text exposition endpoint
+        #: is bound here (0 = ephemeral; the bound port lands in
+        #: :attr:`metrics_bound_port`).
+        self.metrics_port = metrics_port
+        self.metrics_bound_port: Optional[int] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
         self._inflight = 0  # loop-thread only
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
@@ -562,6 +702,14 @@ class ServiceServer:
             self._on_client, host, port, limit=wiremsg.MAX_FRAME
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_client, host, self.metrics_port
+            )
+            self.metrics_bound_port = self._metrics_server.sockets[0].getsockname()[1]
+            _log.info(
+                "metrics_listening", host=host, port=self.metrics_bound_port
+            )
 
     def initiate_shutdown(self) -> None:
         """Stop accepting and unwind :meth:`run_until_shutdown` (loop-thread)."""
@@ -607,9 +755,47 @@ class ServiceServer:
                         pass
         self._server.close()
         await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         # Blocked waits are unstuck by Service.close cancelling their jobs
         # (the caller's `finally`), so don't join the worker threads here.
         self._ops.shutdown(wait=False, cancel_futures=True)
+
+    async def _on_metrics_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one plain-HTTP GET with the Prometheus text exposition.
+
+        Deliberately minimal (stdlib-only, HTTP/1.0, connection-per-
+        scrape): enough for ``curl`` and any Prometheus scraper, with no
+        routing — every path serves the metrics page.
+        """
+        try:
+            try:
+                await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError, ValueError):
+                return
+            body = (
+                await asyncio.get_running_loop().run_in_executor(
+                    self._ops, self.service.render_metrics
+                )
+            ).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except Exception:
+            pass  # a failed scrape must never disturb the serving loop
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # -- per-connection protocol loop --------------------------------------------
 
@@ -665,6 +851,7 @@ class ServiceServer:
             )
             return True
         stamp_deadline(request)
+        stamp_request_id(request)
         reset = self._injected_reset(request.get("op"))
         if reset is not None:
             if reset.when == "after":
@@ -737,6 +924,7 @@ class ServiceServer:
             )
             return True
         stamp_deadline(request)
+        stamp_request_id(request)
         reset = self._injected_reset(request.get("op"))
         if reset is not None:
             if reset.when == "after":
@@ -987,13 +1175,20 @@ class ServiceServer:
             # Load shedding: answering "overloaded" costs microseconds on
             # the loop thread; executing the op would hold an executor
             # worker.  Clients honour retry_after and back off.
-            return error_response(
+            self.service.metrics.counter(
+                "repro_requests_shed_total", "requests shed by admission control"
+            ).inc()
+            resp = error_response(
                 Overloaded(
                     f"{self._inflight} requests in flight "
                     f"(cap {self.max_inflight})",
                     retry_after=0.05,
                 )
             )
+            rid = request.get("request_id")
+            if isinstance(rid, str) and rid:
+                resp["request_id"] = rid
+            return resp
         self._inflight += 1
         try:
             loop = asyncio.get_running_loop()
@@ -1113,12 +1308,18 @@ def serve(
     max_queue: int = 0,
     max_inflight: int = 0,
     fault_plan=None,
+    metrics_port: Optional[int] = None,
+    tracer=None,
 ) -> None:
     """Run the service until a ``shutdown`` request (blocking).
 
     ``port=0`` binds an ephemeral port.  ``ready``, when given, is
     called with the listening :class:`ServiceServer` once the socket is
     bound (tests use it to learn the port; the CLI prints it).
+    ``metrics_port`` additionally binds a plain-HTTP Prometheus text
+    exposition endpoint (``curl http://host:metrics_port/metrics``);
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one span per
+    handled request, which ``repro serve --trace-out`` streams to JSONL.
 
     SIGTERM triggers a graceful drain (when the loop runs in the main
     thread, where signal handlers can be installed): new submits are
@@ -1130,24 +1331,30 @@ def serve(
         chunk_epochs=chunk_epochs, auth_token=auth_token,
         max_jobs_per_client=max_jobs_per_client, query_shards=query_shards,
         shard_workers=shard_workers, max_queue=max_queue, fault_plan=fault_plan,
+        tracer=tracer,
     )
 
     async def main():
-        server = ServiceServer(service, max_inflight=max_inflight)
+        server = ServiceServer(
+            service, max_inflight=max_inflight, metrics_port=metrics_port
+        )
         await server.start(host, port)
         loop = asyncio.get_running_loop()
         try:
             loop.add_signal_handler(signal.SIGTERM, server.initiate_drain)
         except (NotImplementedError, RuntimeError, ValueError):
             pass  # non-main thread or platform without loop signal support
+        _log.info("serving", host=host, port=server.port, slots=slots)
         if ready is not None:
             ready(server)
         await server.run_until_shutdown()
+        _log.info("stopped", port=server.port)
 
     try:
         asyncio.run(main())
     finally:
         service.close(drain=False)
+        service.tracer.close()
 
 
 class ServiceClient:

@@ -1,7 +1,16 @@
-"""Small shared utilities: seeded RNG plumbing and formatting helpers."""
+"""Small shared utilities: seeded RNG, formatting, and structured logging."""
 
 from repro.util.rng import RngStream, derive_seed, make_rng
 from repro.util.fmt import fmt_float, fmt_int, fmt_mbytes, render_table
+from repro.util.log import (
+    StructuredLogger,
+    get_logger,
+    log_context,
+    log_format,
+    log_level,
+    set_log_format,
+    set_log_level,
+)
 
 __all__ = [
     "RngStream",
@@ -11,4 +20,11 @@ __all__ = [
     "fmt_int",
     "fmt_mbytes",
     "render_table",
+    "StructuredLogger",
+    "get_logger",
+    "log_context",
+    "log_format",
+    "log_level",
+    "set_log_format",
+    "set_log_level",
 ]

@@ -220,6 +220,13 @@ Operational guidance — deadlines, retries + idempotency keys,
 admission control, graceful drain and quarantine handling — lives in
 [operations.md](operations.md)."""
 
+_TELEMETRY_INTRO = """\
+Spans record wall-clock activity per rank and ship home over the wire
+codec at halt (`repro trace`, `--trace-out`); the metrics registry
+backs the `metrics` service op and the `repro serve --metrics-port`
+Prometheus endpoint; the structured logger correlates every line by
+request/job id.  The guided tour is [telemetry.md](telemetry.md)."""
+
 #: (section heading, intro-or-None, [(module, [names...]), ...], footer-or-None)
 SECTIONS = [
     (
@@ -319,6 +326,36 @@ SECTIONS = [
                 "repro.experiments.loadgen",
                 ["run_loadgen", "arrival_schedule", "latency_stats", "percentile"],
             )
+        ],
+        None,
+    ),
+    (
+        "## Telemetry — `repro.obs` and `repro.util.log`",
+        _TELEMETRY_INTRO,
+        [
+            (
+                "repro.obs.span",
+                [
+                    "Span", "SpanBatch", "Tracer", "tracing_enabled",
+                    "set_tracing", "spans_from_intervals", "intervals_from_spans",
+                    "write_spans_jsonl", "read_spans_jsonl",
+                ],
+            ),
+            (
+                "repro.obs.metrics",
+                [
+                    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+                    "percentile", "DEFAULT_LATENCY_BUCKETS",
+                ],
+            ),
+            (
+                "repro.util.log",
+                [
+                    "StructuredLogger", "get_logger", "log_context",
+                    "log_format", "set_log_format", "log_level", "set_log_level",
+                ],
+            ),
+            ("repro.experiments.trace", ["render_gantt", "occupancy", "stage_summary"]),
         ],
         None,
     ),

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.process import ComputeInterval as CI
-from repro.experiments.trace import occupancy, render_gantt, stage_summary
+from repro.experiments.trace import _char_for, occupancy, render_gantt, stage_summary
 
 
 class TestRenderGantt:
@@ -36,6 +36,43 @@ class TestRenderGantt:
         out = render_gantt([CI(1, 0.0, 1.0, "evaluate")], width=10, t_end=2.0)
         row = out.split("|")[1]
         assert row == "eeeee....."
+
+
+class TestCharFor:
+    def test_digits_one_through_nine(self):
+        for k in range(1, 10):
+            assert _char_for(f"search(s{k})") == str(k)
+
+    def test_deep_stages_use_base36_letters(self):
+        # Regression: stages past s9 used to collapse onto the *last*
+        # digit of the label ("search(s10)" -> "0", same as "s20", "s30").
+        assert _char_for("search(s10)") == "A"
+        assert _char_for("search(s35)") == "Z"
+
+    def test_stages_stay_distinct_through_s35(self):
+        chars = [_char_for(f"search(s{k})") for k in range(1, 36)]
+        assert len(set(chars)) == 35
+
+    def test_overflow_past_s35(self):
+        assert _char_for("search(s36)") == "+"
+        assert _char_for("search(s100)") == "+"
+
+    def test_malformed_search_label_falls_back(self):
+        assert _char_for("search(sX)") == "c"
+
+    def test_named_stages(self):
+        assert _char_for("gather") == "g"
+        assert _char_for("recover") == "r"
+        assert _char_for("local_mdie") == "w"
+        assert _char_for("totally_unknown") == "c"
+
+    def test_deep_stage_renders_distinctly(self):
+        out = render_gantt(
+            [CI(1, 0.0, 0.5, "search(s10)"), CI(1, 0.5, 1.0, "search(s20)")],
+            width=10,
+        )
+        row = out.split("|")[1]
+        assert "A" in row and "K" in row and "0" not in row
 
 
 class TestOccupancy:
@@ -77,3 +114,40 @@ class TestOnRealRun:
         # pipeline stages 1..3 all appear somewhere in the trace
         labels = {iv.label for iv in res.trace}
         assert {"search(s1)", "search(s2)", "search(s3)"} <= labels
+
+    def test_local_backend_occupancy_and_stage_summary(self):
+        # Spans recorded by real child *processes* must survive the wire
+        # trip home (SpanBatch, code 28) and feed the same analysis the
+        # sim backend gets.
+        from repro.datasets import make_dataset
+        from repro.parallel.p2mdie import run_p2mdie
+
+        ds = make_dataset("trains", seed=1, scale="small")
+        res = run_p2mdie(
+            ds.kb,
+            ds.pos,
+            ds.neg,
+            ds.modes,
+            ds.config,
+            p=2,
+            seed=1,
+            backend="local",
+            record_trace=True,
+            max_epochs=1,
+        )
+        assert res.trace, "local backend shipped no spans to rank 0"
+        assert {iv.rank for iv in res.trace} == {0, 1, 2}
+
+        makespan = max(iv.end for iv in res.trace)
+        occ = occupancy(res.trace, makespan)
+        assert set(occ) == {0, 1, 2}
+        assert all(0.0 <= v <= 1.0 for v in occ.values())
+
+        stats = {s.label: s for s in stage_summary(res.trace)}
+        assert "search(s1)" in stats and "evaluate" in stats
+        for s in stats.values():
+            assert s.count >= 1
+            assert s.total_seconds >= 0.0
+        # Per-rank busy time can never exceed the run's makespan.
+        busy_total = sum(s.total_seconds for s in stats.values())
+        assert busy_total <= makespan * len(occ) + 1e-9

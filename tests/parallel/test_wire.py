@@ -121,9 +121,10 @@ class TestRoundTrip:
     def test_every_message_type_covered(self):
         # Out-of-package payloads register their codecs on import: file
         # formats — the checkpoint (code 21), the theory-registry record
-        # (22), the scheduler job record (23) — and the service's wire
-        # transport messages (24-27).
+        # (22), the scheduler job record (23) — the service's wire
+        # transport messages (24-27), and the telemetry span batch (28).
         from repro.fault.checkpoint import CheckpointState
+        from repro.obs.span import SpanBatch
         from repro.service.jobs import JobRecord
         from repro.service.registry import RegistryRecord
         from repro.service.wiremsg import WireJson, WireQuery, WireQueryEnd, WireShard
@@ -136,6 +137,7 @@ class TestRoundTrip:
             WireQuery,
             WireShard,
             WireQueryEnd,
+            SpanBatch,
         } == set(wire._ENCODERS)
 
     def test_mpi_tag_table_covers_every_protocol_tag(self):
