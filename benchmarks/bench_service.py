@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 from repro.experiments.chaos import chaos_passed, run_chaos
 from repro.experiments.serviceload import (
@@ -183,10 +184,10 @@ def render(report: dict) -> str:
     return "\n".join(lines)
 
 
-def write_report(report: dict) -> pathlib.Path:
+def write_report(report: dict, duration_s: float = None) -> pathlib.Path:
     from bench_meta import write_bench_json
 
-    return write_bench_json(OUT_PATH, report, SMOKE)
+    return write_bench_json(OUT_PATH, report, SMOKE, duration_s=duration_s)
 
 
 def check(report: dict) -> None:
@@ -240,15 +241,19 @@ def check(report: dict) -> None:
 
 
 def test_service():
+    t0 = time.perf_counter()
     report = run_benchmark()
+    duration = time.perf_counter() - t0
     print("\n" + render(report) + "\n")
-    write_report(report)
+    write_report(report, duration)
     check(report)
 
 
 if __name__ == "__main__":
+    t0 = time.perf_counter()
     report = run_benchmark()
+    duration = time.perf_counter() - t0
     print(render(report))
-    path = write_report(report)
+    path = write_report(report, duration)
     print(f"\nwrote {path}")
     check(report)

@@ -10,15 +10,19 @@ pipeline width ``W``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.logic.engine import QueryBudget
 
-__all__ = ["ILPConfig", "NO_LIMIT"]
+__all__ = ["ILPConfig", "NO_LIMIT", "SAMPLING_ENV"]
 
 #: Sentinel for an unconstrained pipeline width (the paper's "nolimit").
 NO_LIMIT: Optional[int] = None
+
+#: Environment variable resolving the ``coverage_sampling`` tri-state.
+SAMPLING_ENV = "REPRO_COVERAGE_SAMPLING"
 
 
 @dataclass(frozen=True)
@@ -84,6 +88,23 @@ class ILPConfig:
         seed saturations — retried seeds across worker epochs,
         cross-validation folds sharing a KB — reuse the cached bottom
         clause instead of re-running the engine.
+    coverage_sampling:
+        Score search candidates on a stratified example sample with
+        confidence bounds (see :mod:`repro.ilp.sampling`); every clause is
+        re-evaluated exactly before acceptance, and the run emits a
+        :class:`~repro.ilp.sampling.CoverageCertificate` recording the
+        sampled-vs-exact agreement.  ``None`` resolves via the
+        ``REPRO_COVERAGE_SAMPLING`` environment variable, defaulting to
+        off (the bit-identical reference path).
+    sample_fraction:
+        Fraction of each stratum (positives, negatives — per shard in the
+        parallel algorithm) drawn into the sample.
+    sample_min:
+        Minimum sample size per stratum; strata at or below it are
+        evaluated in full.
+    sample_delta:
+        Per-bound confidence parameter: each Hoeffding screen bound holds
+        with probability ``1 - sample_delta``.
     wire_codec:
         Serialize parallel messages with the compact symbol-table wire
         codec (:mod:`repro.parallel.wire`) instead of raw pickle — both
@@ -117,6 +138,10 @@ class ILPConfig:
     coverage_kernel: Optional[str] = None
     clause_fingerprints: bool = True
     saturation_cache: bool = True
+    coverage_sampling: Optional[bool] = None
+    sample_fraction: float = 0.25
+    sample_min: int = 16
+    sample_delta: float = 0.05
     wire_codec: Optional[bool] = None
     search_strategy: str = "bfs"
     beam_width: int = 5
@@ -144,6 +169,23 @@ class ILPConfig:
             raise ValueError("coverage_kernel must be 'new', 'legacy' or None")
         if self.beam_width < 1:
             raise ValueError("beam_width must be >= 1")
+        if not (0.0 < self.sample_fraction <= 1.0):
+            raise ValueError("sample_fraction must be in (0, 1]")
+        if self.sample_min < 1:
+            raise ValueError("sample_min must be >= 1")
+        if not (0.0 < self.sample_delta < 1.0):
+            raise ValueError("sample_delta must be in (0, 1)")
+
+    def sampling_enabled(self) -> bool:
+        """Resolve the ``coverage_sampling`` tri-state (env when None).
+
+        Resolved at use sites rather than by rewriting the config, so
+        ``repr(config)`` — the checkpoint/registry ``config_sig`` — is
+        stable whichever way the mode was selected.
+        """
+        if self.coverage_sampling is not None:
+            return self.coverage_sampling
+        return os.environ.get(SAMPLING_ENV, "").strip().lower() in ("1", "on", "true")
 
     def engine_budget(self) -> QueryBudget:
         return QueryBudget(max_depth=self.engine_max_depth, max_ops=self.engine_max_ops)

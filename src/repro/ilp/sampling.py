@@ -1,0 +1,453 @@
+"""Sampled coverage: stratified example samples, confidence bounds, and
+exactness certificates.
+
+During search, most candidate clauses are pruned long before acceptance —
+yet the reference kernel scores every one of them against every example.
+This module ports two ideas from the related work (see PAPERS.md): score
+candidates against a small *stratified sample* of the examples (the Secuer
+anchor-set move), and *certify cheaply* that the approximate run accepted
+the same clauses the exact evaluator would have (the sum-of-norms
+certification move).
+
+The contract, enforced across every layer that uses this module:
+
+* **Screening is approximate, acceptance is exact.**  Sampled statistics
+  (with Hoeffding-style confidence bounds) only decide which candidates
+  are *worth* an exact evaluation; any clause that can enter a theory is
+  re-evaluated on the full example set first, so accepted theories are
+  always exact.
+* **Certificates record the agreement.**  Every accepted clause carries a
+  :class:`ClauseCertificate` (sampled estimate, exact counts, recheck
+  outcome); the per-theory :class:`CoverageCertificate` bundles them with
+  the sample parameters (seed, strata sizes, fraction, delta) so the
+  claim "the sampled run accepted what exact evaluation accepts" is an
+  artifact, not a hope.
+* **Determinism.**  Sample masks derive from :func:`repro.util.rng.make_rng`
+  labels, so the same seed produces the same strata on every backend (and
+  on a rebuilt shard after fault recovery).
+
+Strata are the positive and negative example lists; in the parallel
+algorithm each worker shard samples its own span with the same fraction,
+so the pooled sample is stratified per shard as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ilp.config import ILPConfig
+from repro.util.rng import make_rng
+
+__all__ = [
+    "StratifiedSampler",
+    "SampledStats",
+    "ClauseCertificate",
+    "CoverageCertificate",
+    "make_sampler",
+    "sampler_for",
+    "clause_certificate",
+    "stratum_size",
+    "hoeffding_eps",
+    "certificate_to_bytes",
+    "certificate_from_bytes",
+    "CERT_WIRE_CODE",
+]
+
+#: wire type code of a serialized certificate (append-only registry of
+#: :func:`repro.parallel.wire.register_codec`; see its docstring).
+CERT_WIRE_CODE = 29
+
+
+def stratum_size(n: int, fraction: float, min_stratum: int) -> int:
+    """Sample size for a stratum of ``n`` examples: ``fraction`` of the
+    stratum, never below ``min_stratum`` (small strata are evaluated in
+    full — sampling 3 of 12 examples buys nothing but variance)."""
+    if n <= 0:
+        return 0
+    return min(n, max(min_stratum, math.ceil(fraction * n)))
+
+
+def hoeffding_eps(n: int, delta: float) -> float:
+    """Two-sided Hoeffding radius for a mean of ``n`` 0/1 draws: the true
+    coverage fraction lies within ``±eps`` of the sample fraction with
+    probability ``1 - delta``."""
+    if n <= 0:
+        return 1.0
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+@dataclass(frozen=True)
+class StratifiedSampler:
+    """Deterministic positive/negative sample masks over one example store.
+
+    ``pos_mask`` / ``neg_mask`` are bitsets over the store's full example
+    lists (bit i set ⇔ example i is in the sample), drawn once per run
+    from the labelled RNG stream — liveness changes never redraw them, so
+    sampled evaluations stay cacheable exactly like exact ones.
+    """
+
+    pos_mask: int
+    neg_mask: int
+    n_pos: int
+    n_neg: int
+    pos_n: int
+    neg_n: int
+    seed: int
+    fraction: float
+    delta: float
+    min_stratum: int
+
+    def strata(self) -> tuple:
+        """``(label, sample_size, stratum_total)`` description rows."""
+        return (("pos", self.pos_n, self.n_pos), ("neg", self.neg_n, self.n_neg))
+
+
+def make_sampler(
+    n_pos: int,
+    n_neg: int,
+    seed: int,
+    *,
+    fraction: float,
+    delta: float,
+    min_stratum: int,
+    labels: tuple = (),
+) -> StratifiedSampler:
+    """Draw the stratified sample masks for one store.
+
+    ``labels`` extends the RNG derivation path (e.g. the worker's virtual
+    rank), so every shard draws an independent — but fully deterministic —
+    sample regardless of which backend or host evaluates it.
+    """
+    rng = make_rng(seed, "coverage_sample", *labels)
+    pos_n = stratum_size(n_pos, fraction, min_stratum)
+    neg_n = stratum_size(n_neg, fraction, min_stratum)
+    pos_mask = 0
+    for i in sorted(rng.sample(range(n_pos), pos_n)) if pos_n else ():
+        pos_mask |= 1 << i
+    neg_mask = 0
+    for i in sorted(rng.sample(range(n_neg), neg_n)) if neg_n else ():
+        neg_mask |= 1 << i
+    return StratifiedSampler(
+        pos_mask=pos_mask,
+        neg_mask=neg_mask,
+        n_pos=n_pos,
+        n_neg=n_neg,
+        pos_n=pos_n,
+        neg_n=neg_n,
+        seed=seed,
+        fraction=fraction,
+        delta=delta,
+        min_stratum=min_stratum,
+    )
+
+
+def sampler_for(
+    config: ILPConfig, n_pos: int, n_neg: int, seed: int, labels: tuple = ()
+) -> Optional[StratifiedSampler]:
+    """The run's sampler when ``config`` enables sampling, else None."""
+    if not config.sampling_enabled():
+        return None
+    return make_sampler(
+        n_pos,
+        n_neg,
+        seed,
+        fraction=config.sample_fraction,
+        delta=config.sample_delta,
+        min_stratum=config.sample_min,
+        labels=labels,
+    )
+
+
+@dataclass(frozen=True)
+class SampledStats:
+    """One rule's sampled coverage: hits within each stratum's sample.
+
+    ``pos_n``/``pos_total`` are the *alive* sample size and alive stratum
+    total at evaluation time (positive coverage elsewhere in the system
+    always means alive-positive coverage); negatives never die, so
+    ``neg_n``/``neg_total`` are the drawn sample size and the full list.
+    Mergeable across worker shards — each shard samples its own span at
+    the same fraction, so summed counts remain a stratified sample.
+    """
+
+    pos_hits: int
+    pos_n: int
+    pos_total: int
+    neg_hits: int
+    neg_n: int
+    neg_total: int
+
+    def merged(self, other: "SampledStats") -> "SampledStats":
+        return SampledStats(
+            pos_hits=self.pos_hits + other.pos_hits,
+            pos_n=self.pos_n + other.pos_n,
+            pos_total=self.pos_total + other.pos_total,
+            neg_hits=self.neg_hits + other.neg_hits,
+            neg_n=self.neg_n + other.neg_n,
+            neg_total=self.neg_total + other.neg_total,
+        )
+
+    # -- scaled estimates and bounds ------------------------------------------
+    @staticmethod
+    def _scale(hits: int, n: int, total: int) -> float:
+        if n <= 0:
+            return 0.0
+        return hits / n * total
+
+    def est_pos(self) -> int:
+        return round(self._scale(self.pos_hits, self.pos_n, self.pos_total))
+
+    def est_neg(self) -> int:
+        return round(self._scale(self.neg_hits, self.neg_n, self.neg_total))
+
+    def pos_upper(self, delta: float) -> int:
+        """Optimistic positive-cover bound: the largest alive-positive
+        count compatible with the sample at confidence ``1 - delta``.
+        Exact (== hits) when the sample is the whole stratum."""
+        if self.pos_n >= self.pos_total:
+            return self.pos_hits
+        p = self.pos_hits / self.pos_n if self.pos_n else 1.0
+        return min(self.pos_total, math.ceil((p + hoeffding_eps(self.pos_n, delta)) * self.pos_total))
+
+    def neg_lower(self, delta: float) -> int:
+        """Optimistic negative-cover bound (smallest compatible count)."""
+        if self.neg_n >= self.neg_total:
+            return self.neg_hits
+        p = self.neg_hits / self.neg_n if self.neg_n else 0.0
+        return max(0, math.floor((p - hoeffding_eps(self.neg_n, delta)) * self.neg_total))
+
+    def maybe_good(self, config: ILPConfig) -> bool:
+        """Could this rule still be good?  The sampled screen: keep a rule
+        unless the sample *confidently* rules it out (too few positives
+        even at the upper bound, or too many negatives even at the lower
+        bound).  Optimistic by construction — a True here only buys the
+        rule an exact evaluation, never acceptance."""
+        delta = config.sample_delta
+        return (
+            self.pos_upper(delta) >= config.min_pos
+            and self.neg_lower(delta) <= config.noise
+        )
+
+
+@dataclass(frozen=True)
+class ClauseCertificate:
+    """One accepted clause's sampled-vs-exact agreement record."""
+
+    clause: str
+    est_pos: int
+    est_neg: int
+    sample_pos_n: int
+    sample_neg_n: int
+    exact_pos: int
+    exact_neg: int
+    #: outcome of the exact recheck at acceptance time — the claim the
+    #: certificate exists to pin.  Always True on the supported paths
+    #: (acceptance runs on exact statistics); recorded rather than
+    #: assumed so a regression is visible in the artifact.
+    exact_good: bool
+    #: True when the clause was accepted through a round that deferred to
+    #: exact evaluation (no sampled screen ran — e.g. fault-tolerant
+    #: evaluation rounds); estimate fields are zero and meaningless then.
+    deferred: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "clause": self.clause,
+            "est_pos": self.est_pos,
+            "est_neg": self.est_neg,
+            "sample_pos_n": self.sample_pos_n,
+            "sample_neg_n": self.sample_neg_n,
+            "exact_pos": self.exact_pos,
+            "exact_neg": self.exact_neg,
+            "exact_good": self.exact_good,
+            "deferred": self.deferred,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ClauseCertificate":
+        return ClauseCertificate(
+            clause=str(d["clause"]),
+            est_pos=int(d["est_pos"]),
+            est_neg=int(d["est_neg"]),
+            sample_pos_n=int(d["sample_pos_n"]),
+            sample_neg_n=int(d["sample_neg_n"]),
+            exact_pos=int(d["exact_pos"]),
+            exact_neg=int(d["exact_neg"]),
+            exact_good=bool(d["exact_good"]),
+            deferred=bool(d.get("deferred", False)),
+        )
+
+
+@dataclass(frozen=True)
+class CoverageCertificate:
+    """Per-theory exactness certificate of one sampled run.
+
+    Persisted next to the theory in the registry (``vNNNN.cert``) and
+    surfaced by ``repro registry show`` and the query tier's registry op.
+    ``ok`` is the headline claim: every accepted clause passed its exact
+    recheck at acceptance time.
+    """
+
+    seed: int
+    fraction: float
+    delta: float
+    min_stratum: int
+    #: ``(label, sample_size, stratum_total)`` rows — per-run strata for
+    #: the sequential algorithm, per-rank strata for parallel runs.
+    strata: tuple = ()
+    entries: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(e.exact_good for e in self.entries)
+
+    def replace(self, **kw) -> "CoverageCertificate":
+        return replace(self, **kw)
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        deferred = sum(1 for e in self.entries if e.deferred)
+        tail = f", {deferred} deferred to exact" if deferred else ""
+        return (
+            f"{len(self.entries)} accepted clauses, exact recheck "
+            f"{'ok' if self.ok else 'FAILED'} "
+            f"(fraction={self.fraction}, delta={self.delta}{tail})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "fraction": self.fraction,
+            "delta": self.delta,
+            "min_stratum": self.min_stratum,
+            "strata": [list(s) for s in self.strata],
+            "entries": [e.to_dict() for e in self.entries],
+            "ok": self.ok,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CoverageCertificate":
+        return CoverageCertificate(
+            seed=int(d["seed"]),
+            fraction=float(d["fraction"]),
+            delta=float(d["delta"]),
+            min_stratum=int(d["min_stratum"]),
+            strata=tuple((str(l), int(n), int(t)) for l, n, t in d.get("strata", ())),
+            entries=tuple(ClauseCertificate.from_dict(e) for e in d.get("entries", ())),
+        )
+
+
+def clause_certificate(
+    clause, sampled: Optional[SampledStats], exact_pos: int, exact_neg: int, config: ILPConfig
+) -> ClauseCertificate:
+    """Build one entry at acceptance time (deferred when no screen ran)."""
+    from repro.ilp.heuristics import is_good
+
+    good = is_good(exact_pos, exact_neg, config)
+    if sampled is None:
+        return ClauseCertificate(
+            clause=str(clause),
+            est_pos=0,
+            est_neg=0,
+            sample_pos_n=0,
+            sample_neg_n=0,
+            exact_pos=exact_pos,
+            exact_neg=exact_neg,
+            exact_good=good,
+            deferred=True,
+        )
+    return ClauseCertificate(
+        clause=str(clause),
+        est_pos=sampled.est_pos(),
+        est_neg=sampled.est_neg(),
+        sample_pos_n=sampled.pos_n,
+        sample_neg_n=sampled.neg_n,
+        exact_pos=exact_pos,
+        exact_neg=exact_neg,
+        exact_good=good,
+        deferred=False,
+    )
+
+
+# -- wire codec (registered lazily: repro.parallel.wire imports the message
+# module which imports this one, so a module-level wire import would cycle) ---
+
+
+def _enc_certificate(e, c: CoverageCertificate) -> None:
+    e.u(c.seed)
+    e.f64(c.fraction)
+    e.f64(c.delta)
+    e.u(c.min_stratum)
+    e.u(len(c.strata))
+    for label, n, total in c.strata:
+        e.sym(label)
+        e.u(n)
+        e.u(total)
+    e.u(len(c.entries))
+    for ent in c.entries:
+        e.sym(ent.clause)
+        e.u(ent.est_pos)
+        e.u(ent.est_neg)
+        e.u(ent.sample_pos_n)
+        e.u(ent.sample_neg_n)
+        e.u(ent.exact_pos)
+        e.u(ent.exact_neg)
+        e.flag(ent.exact_good)
+        e.flag(ent.deferred)
+
+
+def _dec_certificate(d) -> CoverageCertificate:
+    seed = d.u()
+    fraction = d.f64()
+    delta = d.f64()
+    min_stratum = d.u()
+    strata = tuple((d.sym(), d.u(), d.u()) for _ in range(d.u()))
+    entries = tuple(
+        ClauseCertificate(
+            clause=d.sym(),
+            est_pos=d.u(),
+            est_neg=d.u(),
+            sample_pos_n=d.u(),
+            sample_neg_n=d.u(),
+            exact_pos=d.u(),
+            exact_neg=d.u(),
+            exact_good=d.flag(),
+            deferred=d.flag(),
+        )
+        for _ in range(d.u())
+    )
+    return CoverageCertificate(
+        seed=seed,
+        fraction=fraction,
+        delta=delta,
+        min_stratum=min_stratum,
+        strata=strata,
+        entries=entries,
+    )
+
+
+def _ensure_codec():
+    from repro.parallel import wire
+
+    wire.register_codec(CoverageCertificate, CERT_WIRE_CODE, _enc_certificate, _dec_certificate)
+    return wire
+
+
+def certificate_to_bytes(cert: CoverageCertificate) -> bytes:
+    """Serialize a certificate in the wire format (``.cert`` file body)."""
+    wire = _ensure_codec()
+    data = wire.encode_always(cert)
+    assert data is not None
+    return data
+
+
+def certificate_from_bytes(data: bytes) -> CoverageCertificate:
+    """Decode a ``.cert`` file body; raises ``WireError``/``ValueError``
+    on malformed or foreign payloads."""
+    wire = _ensure_codec()
+    out = wire.decode(data)
+    if not isinstance(out, CoverageCertificate):
+        raise wire.WireError("not a coverage certificate")
+    return out

@@ -50,6 +50,8 @@ from repro.parallel.messages import (
     MarkCovered,
     PipelineRules,
     Repartition,
+    SampledEvaluateRequest,
+    SampledEvaluateResult,
     StartPipeline,
     Stop,
     per_worker_evaluate_requests,
@@ -100,6 +102,11 @@ def consume_bag(master, ctx: ProcContext, bag: ClauseBag, log: EpochLog, evaluat
         best = pick_best(bag, stats, master.config)
         bag.discard(best)
         master.theory.add(best)
+        # Sampled runs certify every acceptance (masters without the hook
+        # — the covering baselines — are untouched).
+        record = getattr(master, "_record_certificate", None)
+        if record is not None:
+            record(best, stats[best])
         log.accepted.append(best)
         covered = stats[best][0]
         log.pos_covered += covered
@@ -194,6 +201,17 @@ class P2Master(FTMasterMixin, SimProcess):
         # worker (lineage itself is structural: parent = body minus the
         # appended last literal).
         self._worker_cand: dict[int, dict[Clause, tuple[int, int]]] = {}
+        # sampled-coverage mode (resolved once here so the decision
+        # travels with the pickled master to real backends, whatever the
+        # remote environment says):
+        self._sampling = config.sampling_enabled()
+        #: clause -> pooled SampledStats of the latest screening round.
+        self._sample_est: dict = {}
+        #: per-rank strata rows recorded on first contact.
+        self._sample_strata: dict[int, tuple] = {}
+        self._cert_entries: list = []
+        #: sampled-run exactness certificate (None on the reference path).
+        self.certificate = None
 
     @property
     def epochs(self) -> int:
@@ -242,6 +260,54 @@ class P2Master(FTMasterMixin, SimProcess):
 
     # -- global evaluation round (Fig. 5 lines 10-11 / 18-19) --------------------
     def _global_eval(self, ctx: ProcContext, clauses: list[Clause]):
+        """One evaluation round: exact, or sampled screen + exact on the
+        survivors when ``coverage_sampling`` is on.
+
+        The sampled flavour broadcasts a :class:`SampledEvaluateRequest`
+        (workers score the bag on their local per-shard strata — masks
+        never ship, both sides derive them from the run seed), pools the
+        per-rule sampled stats, and sends the plausibly-good survivors
+        through a normal exact round.  Screened-out rules report their
+        *optimistic bounds* as totals, so the shared bag-consumption
+        filter (:func:`drop_not_good`) discards exactly the rules the
+        sample confidently ruled out — and anything that can be accepted
+        was measured exactly.
+        """
+        if not self._sampling:
+            totals = yield from self._exact_eval(ctx, clauses)
+            return totals
+        rules = tuple(clauses)
+        yield ctx.bcast(SampledEvaluateRequest(rules=rules), tag=Tag.EVALUATE, dsts=self._workers())
+        pooled: list = [None] * len(rules)
+        for _ in self._workers():
+            msg = yield ctx.recv(tag=Tag.RESULT)
+            res: SampledEvaluateResult = msg.payload
+            if res.rank not in self._sample_strata and res.stats:
+                s0 = res.stats[0]
+                self._sample_strata[res.rank] = (
+                    (f"pos@r{res.rank}", s0.pos_n, s0.pos_total),
+                    (f"neg@r{res.rank}", s0.neg_n, s0.neg_total),
+                )
+            for i, ss in enumerate(res.stats):
+                pooled[i] = ss if pooled[i] is None else pooled[i].merged(ss)
+        yield ctx.compute(len(clauses) + 1, label="aggregate")
+        delta = self.config.sample_delta
+        survivors = [c for c, ss in zip(clauses, pooled) if ss.maybe_good(self.config)]
+        for c, ss in zip(clauses, pooled):
+            self._sample_est[c] = ss
+        exact: dict = {}
+        if survivors:
+            ex_totals = yield from self._exact_eval(ctx, survivors)
+            exact = dict(zip(survivors, ex_totals))
+        out = []
+        for c, ss in zip(clauses, pooled):
+            if c in exact:
+                out.append(exact[c])
+            else:
+                out.append((ss.pos_upper(delta), ss.neg_lower(delta)))
+        return out
+
+    def _exact_eval(self, ctx: ProcContext, clauses: list[Clause]):
         """Broadcast evaluate(); gather and sum per-worker stats.
 
         With coverage inheritance, when the master knows a worker's local
@@ -271,6 +337,39 @@ class P2Master(FTMasterMixin, SimProcess):
         # Aggregation cost is linear in bag size.
         yield ctx.compute(len(clauses) + 1, label="aggregate")
         return [(p, n) for p, n in totals]
+
+    # -- sampled-run certification ------------------------------------------------
+    def _record_certificate(self, best: Clause, totals: tuple) -> None:
+        """Record one acceptance's sampled-vs-exact agreement.
+
+        Called by :func:`consume_bag` right after ``theory.add``.  On the
+        fault-tolerant path no screen runs (``_ft_eval_round`` is always
+        exact), so entries there are ``deferred``.
+        """
+        if not self._sampling:
+            return
+        from repro.ilp.sampling import clause_certificate
+
+        self._cert_entries.append(
+            clause_certificate(best, self._sample_est.get(best), totals[0], totals[1], self.config)
+        )
+
+    def _build_certificate(self) -> None:
+        if not self._sampling:
+            return
+        from repro.ilp.sampling import CoverageCertificate
+
+        strata = tuple(
+            row for rank in sorted(self._sample_strata) for row in self._sample_strata[rank]
+        )
+        self.certificate = CoverageCertificate(
+            seed=self.seed,
+            fraction=self.config.sample_fraction,
+            delta=self.config.sample_delta,
+            min_stratum=self.config.sample_min,
+            strata=strata,
+            entries=tuple(self._cert_entries),
+        )
 
     # -- process body ----------------------------------------------------------------
     def run(self, ctx: ProcContext):
@@ -325,6 +424,7 @@ class P2Master(FTMasterMixin, SimProcess):
             if not log.accepted and stall >= self.stall_limit:
                 break
 
+        self._build_certificate()
         yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self._workers())
 
     # -- fault-tolerant body ------------------------------------------------------
@@ -379,6 +479,7 @@ class P2Master(FTMasterMixin, SimProcess):
 
         # Stop every provisioned host — including declared-dead ones that
         # may in fact be alive (false positives keep running otherwise).
+        self._build_certificate()
         yield ctx.bcast(Stop(), tag=Tag.STOP, dsts=self.ft.hosts)
 
     # -- repartitioning extension (§4.1's rejected alternative) ------------------

@@ -64,6 +64,8 @@ from repro.parallel.messages import (
     AdoptWorker,
     EvaluateRequest,
     EvaluateResult,
+    SampledEvaluateRequest,
+    SampledEvaluateResult,
     ExamplesReport,
     FTEvaluateRequest,
     FTEvaluateResult,
@@ -505,6 +507,44 @@ def _dec_evaluate_result(d: _Decoder) -> EvaluateResult:
     return EvaluateResult(rank=rank, stats=stats)
 
 
+def _enc_sampled_evaluate_request(e: _Encoder, m: SampledEvaluateRequest) -> None:
+    e.clauses(m.rules)
+
+
+def _dec_sampled_evaluate_request(d: _Decoder) -> SampledEvaluateRequest:
+    return SampledEvaluateRequest(rules=d.clauses())
+
+
+def _enc_sampled_evaluate_result(e: _Encoder, m: SampledEvaluateResult) -> None:
+    e.u(m.rank)
+    e.u(len(m.stats))
+    for ss in m.stats:
+        e.u(ss.pos_hits)
+        e.u(ss.pos_n)
+        e.u(ss.pos_total)
+        e.u(ss.neg_hits)
+        e.u(ss.neg_n)
+        e.u(ss.neg_total)
+
+
+def _dec_sampled_evaluate_result(d: _Decoder) -> SampledEvaluateResult:
+    from repro.ilp.sampling import SampledStats
+
+    rank = d.u()
+    stats = tuple(
+        SampledStats(
+            pos_hits=d.u(),
+            pos_n=d.u(),
+            pos_total=d.u(),
+            neg_hits=d.u(),
+            neg_n=d.u(),
+            neg_total=d.u(),
+        )
+        for _ in range(d.u())
+    )
+    return SampledEvaluateResult(rank=rank, stats=stats)
+
+
 def _enc_mark_covered(e: _Encoder, m: MarkCovered) -> None:
     e.clause(m.rule)
 
@@ -712,6 +752,9 @@ _ENCODERS: dict = {
     FTEvaluateResult: (18, _enc_ft_evaluate_result),
     FTPipelineTask: (19, _enc_ft_pipeline_task),
     FTPipelineRules: (20, _enc_ft_pipeline_rules),
+    # 21-29 reserved (out-of-package; see register_codec).
+    SampledEvaluateRequest: (30, _enc_sampled_evaluate_request),
+    SampledEvaluateResult: (31, _enc_sampled_evaluate_result),
 }
 _DECODERS: dict = {
     0: _dec_load_examples,
@@ -735,6 +778,8 @@ _DECODERS: dict = {
     18: _dec_ft_evaluate_result,
     19: _dec_ft_pipeline_task,
     20: _dec_ft_pipeline_rules,
+    30: _dec_sampled_evaluate_request,
+    31: _dec_sampled_evaluate_result,
 }
 
 
@@ -743,8 +788,8 @@ def register_codec(payload_type: type, code: int, enc, dec) -> None:
 
     Lets higher layers ship their payloads in the wire format without
     creating an import cycle back into this module's registry.  Codes
-    0-20 are the in-package messages above; currently reserved by
-    out-of-package formats (never reuse or renumber):
+    0-20 and 30+ are the in-package messages above; currently reserved
+    by out-of-package formats (never reuse or renumber):
 
     * 21 — :class:`repro.fault.checkpoint.CheckpointState` (``.ckpt`` files)
     * 22 — :class:`repro.service.registry.RegistryRecord` (``.theory`` files)
@@ -754,6 +799,7 @@ def register_codec(payload_type: type, code: int, enc, dec) -> None:
     * 26 — :class:`repro.service.wiremsg.WireShard`
     * 27 — :class:`repro.service.wiremsg.WireQueryEnd`
     * 28 — :class:`repro.obs.span.SpanBatch` (per-rank telemetry spans)
+    * 29 — :class:`repro.ilp.sampling.CoverageCertificate` (``.cert`` files)
     """
     if code in _DECODERS or payload_type in _ENCODERS:
         prev = _ENCODERS.get(payload_type)
@@ -807,8 +853,17 @@ def decode(data: bytes) -> object:
         raise WireError(f"unknown message type code {data[2]}")
     d = _Decoder(data)
     d.pos = 3
-    d.read_syms()
-    out = dec(d)
+    try:
+        d.read_syms()
+        out = dec(d)
+    except WireError:
+        raise
+    except Exception as exc:
+        # A truncated or bit-flipped body crashes the primitive readers
+        # (IndexError past the buffer, struct.error on a short f64,
+        # UnicodeDecodeError in a symbol...).  Receivers are promised a
+        # WireError for any malformed payload — fold them all into it.
+        raise WireError(f"truncated or corrupt message body: {exc!r}") from exc
     if d.pos != len(data):
         raise WireError(f"trailing bytes after message ({len(data) - d.pos})")
     return out

@@ -273,6 +273,9 @@ class JobOutcome:
     #: ``repr`` of the ILPConfig the run used (registry provenance).
     config_sig: str = ""
     epoch_logs: list = field(default_factory=list)
+    #: sampled-run :class:`~repro.ilp.sampling.CoverageCertificate`
+    #: (None on exact runs); persisted next to the theory on publish.
+    certificate: object = None
 
     def summary(self) -> dict:
         """Plain-data summary for status responses (theory as Prolog text)."""
@@ -337,6 +340,7 @@ def run_job(
             uncovered=res.uncovered,
             ops=res.ops,
             finished=_seq_finished(res, cap),
+            certificate=res.certificate,
         )
     elif spec.algo == "independent":
         from repro.parallel import run_independent
@@ -382,6 +386,7 @@ def _parallel_outcome(res, cap: Optional[int]) -> JobOutcome:
         mbytes=res.mbytes,
         finished=not (cap is not None and res.epochs >= cap and res.uncovered > 0),
         epoch_logs=list(getattr(res, "epoch_logs", [])),
+        certificate=getattr(res, "certificate", None),
     )
 
 

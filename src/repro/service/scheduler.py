@@ -638,6 +638,7 @@ class JobScheduler:
                 outcome.theory,
                 config_sig=outcome.config_sig,
                 provenance=provenance,
+                certificate=outcome.certificate,
             )
         except (InjectedFault, OSError):
             # A failed publish never wrote the artifact (registry writes
@@ -648,6 +649,7 @@ class JobScheduler:
                 outcome.theory,
                 config_sig=outcome.config_sig,
                 provenance=provenance,
+                certificate=outcome.certificate,
             )
 
     # -- resilience introspection -------------------------------------------------

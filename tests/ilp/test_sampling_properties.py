@@ -1,0 +1,335 @@
+"""Property-based parity suite for sampled coverage (hypothesis).
+
+Two pinned invariants, quantified over seeds and sample parameters:
+
+* **Sampling off is bit-identical.**  With ``coverage_sampling`` off —
+  explicitly, by default, or with the env override set but overridden —
+  runs produce identical theories, identical per-epoch logs, identical
+  engine-operation counts, and identical coverage *bitsets*.  The
+  sampling layer must be invisible when disabled.
+* **Sampling on is certified exact.**  Every sampled run emits a
+  :class:`~repro.ilp.sampling.CoverageCertificate` whose exact recheck
+  passed for every accepted clause, and whose exact counts satisfy the
+  acceptance predicate — screening may change *which* rules get an exact
+  look, never the exactness of what is accepted.
+
+CI runs this module under the pinned ``sampling-ci`` hypothesis profile
+(registered in ``conftest.py``) so the example stream is reproducible
+across machines.
+"""
+
+import os
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.bottom import build_bottom
+from repro.ilp.config import SAMPLING_ENV, ILPConfig
+from repro.ilp.coverage import popcount
+from repro.ilp.heuristics import is_good
+from repro.ilp.mdie import mdie
+from repro.ilp.sampling import (
+    ClauseCertificate,
+    CoverageCertificate,
+    SampledStats,
+    certificate_from_bytes,
+    certificate_to_bytes,
+    make_sampler,
+    stratum_size,
+)
+from repro.ilp.search import learn_rule
+from repro.ilp.store import ExampleStore
+from repro.logic.engine import Engine
+from repro.logic.knowledge import KnowledgeBase
+from repro.logic.parser import parse_term
+from repro.ilp.modes import ModeSet
+
+
+def _family():
+    kb = KnowledgeBase()
+    kb.add_program(
+        """
+        parent(ann, mary). parent(ann, tom). parent(tom, eve). parent(tom, ian).
+        parent(sue, bob). parent(bob, joan). parent(eve, kim). parent(mary, liz).
+        female(ann). female(mary). female(eve). female(sue). female(joan).
+        female(kim). female(liz). male(tom). male(ian). male(bob).
+        """
+    )
+    pos = [
+        parse_term(s)
+        for s in (
+            "daughter(mary, ann)",
+            "daughter(eve, tom)",
+            "daughter(joan, bob)",
+            "daughter(kim, eve)",
+            "daughter(liz, mary)",
+        )
+    ]
+    neg = [
+        parse_term(s)
+        for s in (
+            "daughter(tom, ann)",
+            "daughter(ian, tom)",
+            "daughter(eve, ann)",
+            "daughter(ann, mary)",
+            "daughter(bob, sue)",
+        )
+    ]
+    modes = ModeSet(
+        [
+            "modeh(1, daughter(+person, +person))",
+            "modeb(*, parent(+person, -person))",
+            "modeb(*, parent(-person, +person))",
+            "modeb(1, female(+person))",
+            "modeb(1, male(+person))",
+        ]
+    )
+    config = ILPConfig(min_pos=1, noise=0, max_clause_length=3, var_depth=2, max_nodes=500)
+    return kb, pos, neg, modes, config
+
+
+KB, POS, NEG, MODES, CONFIG = _family()
+
+
+def _run(config, seed):
+    res = mdie(KB, POS, NEG, MODES, config, seed=seed)
+    return res
+
+
+def _log_triples(res):
+    """Per-epoch log minus the ops column (caches make ops path-dependent
+    between exact and full-sample runs, never between off-mode runs)."""
+    return [(str(s), str(r), c) for s, r, c, _ in res.log]
+
+
+def _fingerprint(res):
+    """Everything the off-mode parity pins, ops included."""
+    return (
+        sorted(str(c) for c in res.theory),
+        [(str(s), str(r), c, ops) for s, r, c, ops in res.log],
+        res.epochs,
+        res.uncovered,
+        res.ops,
+        res.cache_hits,
+        res.cache_misses,
+    )
+
+
+class TestOffPathBitIdentical:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_disabled_variants_identical(self, seed):
+        """Default config, explicit False, and explicit False with the env
+        override set must be indistinguishable, run for run."""
+        had = os.environ.pop(SAMPLING_ENV, None)
+        try:
+            base = _fingerprint(_run(CONFIG, seed))
+            explicit = _fingerprint(_run(CONFIG.replace(coverage_sampling=False), seed))
+            os.environ[SAMPLING_ENV] = "1"
+            overridden = _fingerprint(
+                _run(CONFIG.replace(coverage_sampling=False), seed)
+            )
+        finally:
+            if had is None:
+                os.environ.pop(SAMPLING_ENV, None)
+            else:
+                os.environ[SAMPLING_ENV] = had
+        assert base == explicit == overridden
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_search_bitsets_identical(self, seed):
+        """learn_rule with sampler=None returns bit-identical coverage
+        bitsets to a config that never heard of sampling."""
+        import random
+
+        rng = random.Random(seed)
+        example = POS[rng.randrange(len(POS))]
+        runs = []
+        for config in (CONFIG, CONFIG.replace(coverage_sampling=False)):
+            engine = Engine(KB, config.engine_budget())
+            store = ExampleStore(POS, NEG)
+            bottom = build_bottom(example, engine, MODES, config)
+            result = learn_rule(engine, bottom, store, config, width=None, sampler=None)
+            runs.append(
+                [
+                    (str(er.clause), er.stats.pos_bits, er.stats.neg_bits, er.score)
+                    for er in sorted(result.good, key=lambda er: er.sort_key())
+                ]
+            )
+        assert runs[0] == runs[1]
+        assert runs[0], "search found no good rules — property is vacuous"
+
+    def test_off_run_has_no_certificate(self):
+        assert _run(CONFIG, 0).certificate is None
+
+
+class TestOnPathCertified:
+    @given(
+        seed=st.integers(0, 2**16),
+        fraction=st.sampled_from([0.25, 0.5, 0.75]),
+        min_stratum=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_certificate_recheck_always_passes(self, seed, fraction, min_stratum):
+        config = CONFIG.replace(
+            coverage_sampling=True, sample_fraction=fraction, sample_min=min_stratum
+        )
+        res = _run(config, seed)
+        cert = res.certificate
+        assert cert is not None and cert.seed == seed
+        assert cert.ok, "an accepted clause failed its exact recheck"
+        assert len(cert.entries) == len(res.theory)
+        for entry in cert.entries:
+            assert entry.exact_good
+            assert is_good(entry.exact_pos, entry.exact_neg, config)
+            assert not entry.deferred  # sequential runs always screen
+        for label, n, total in cert.strata:
+            assert n == stratum_size(total, fraction, min_stratum)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_full_sample_run_matches_exact_run(self, seed):
+        """fraction=1.0 makes the screen exact: the sampled run must accept
+        the same rules in the same order as the reference run."""
+        exact = _run(CONFIG, seed)
+        sampled = _run(
+            CONFIG.replace(coverage_sampling=True, sample_fraction=1.0, sample_min=1),
+            seed,
+        )
+        assert sorted(str(c) for c in exact.theory) == sorted(
+            str(c) for c in sampled.theory
+        )
+        assert _log_triples(exact) == _log_triples(sampled)
+        assert sampled.certificate is not None and sampled.certificate.ok
+
+
+class TestSamplerProperties:
+    @given(
+        n_pos=st.integers(0, 200),
+        n_neg=st.integers(0, 200),
+        seed=st.integers(0, 2**16),
+        fraction=st.floats(0.05, 1.0),
+        min_stratum=st.integers(1, 32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_masks_deterministic_and_well_formed(
+        self, n_pos, n_neg, seed, fraction, min_stratum
+    ):
+        kw = dict(fraction=fraction, delta=0.05, min_stratum=min_stratum)
+        a = make_sampler(n_pos, n_neg, seed, **kw)
+        b = make_sampler(n_pos, n_neg, seed, **kw)
+        assert a == b  # redraw is free: masks never need shipping
+        assert popcount(a.pos_mask) == a.pos_n == stratum_size(n_pos, fraction, min_stratum)
+        assert popcount(a.neg_mask) == a.neg_n == stratum_size(n_neg, fraction, min_stratum)
+        assert a.pos_mask < (1 << max(n_pos, 1))
+        assert a.neg_mask < (1 << max(n_neg, 1))
+
+
+@st.composite
+def sampled_stats(draw):
+    pos_total = draw(st.integers(0, 500))
+    pos_n = draw(st.integers(0, pos_total))
+    pos_hits = draw(st.integers(0, pos_n))
+    neg_total = draw(st.integers(0, 500))
+    neg_n = draw(st.integers(0, neg_total))
+    neg_hits = draw(st.integers(0, neg_n))
+    return SampledStats(pos_hits, pos_n, pos_total, neg_hits, neg_n, neg_total)
+
+
+class TestBoundProperties:
+    @given(s=sampled_stats(), delta=st.floats(0.001, 0.5))
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_bracket_estimates(self, s, delta):
+        assert 0 <= s.est_pos() <= s.pos_total
+        assert 0 <= s.est_neg() <= s.neg_total
+        assert s.est_pos() <= s.pos_upper(delta) <= s.pos_total
+        assert 0 <= s.neg_lower(delta) <= s.est_neg()
+
+    @given(s=sampled_stats())
+    @settings(max_examples=200, deadline=None)
+    def test_full_sample_bounds_are_exact(self, s):
+        if s.pos_n == s.pos_total:
+            assert s.pos_upper(0.05) == s.pos_hits
+        if s.neg_n == s.neg_total:
+            assert s.neg_lower(0.05) == s.neg_hits
+
+    @given(s=sampled_stats())
+    @settings(max_examples=100, deadline=None)
+    def test_screen_never_beats_smaller_delta(self, s):
+        """Shrinking delta (more confidence demanded) can only widen the
+        bounds — screening becomes strictly more conservative."""
+        assert s.pos_upper(0.01) >= s.pos_upper(0.2)
+        assert s.neg_lower(0.01) <= s.neg_lower(0.2)
+
+    @given(a=sampled_stats(), b=sampled_stats())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_fieldwise_sum(self, a, b):
+        m = a.merged(b)
+        assert (m.pos_hits, m.pos_n, m.pos_total) == (
+            a.pos_hits + b.pos_hits,
+            a.pos_n + b.pos_n,
+            a.pos_total + b.pos_total,
+        )
+        assert (m.neg_hits, m.neg_n, m.neg_total) == (
+            a.neg_hits + b.neg_hits,
+            a.neg_n + b.neg_n,
+            a.neg_total + b.neg_total,
+        )
+
+
+@st.composite
+def certificates(draw):
+    entries = draw(
+        st.lists(
+            st.builds(
+                ClauseCertificate,
+                clause=st.text(
+                    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+                    max_size=40,
+                ),
+                est_pos=st.integers(0, 1000),
+                est_neg=st.integers(0, 1000),
+                sample_pos_n=st.integers(0, 1000),
+                sample_neg_n=st.integers(0, 1000),
+                exact_pos=st.integers(0, 1000),
+                exact_neg=st.integers(0, 1000),
+                exact_good=st.booleans(),
+                deferred=st.booleans(),
+            ),
+            max_size=6,
+        )
+    )
+    strata = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["pos", "neg", "pos@r1", "neg@r7"]),
+                st.integers(0, 10_000),
+                st.integers(0, 10_000),
+            ),
+            max_size=6,
+        )
+    )
+    return CoverageCertificate(
+        seed=draw(st.integers(0, 2**32)),
+        fraction=draw(st.floats(0.01, 1.0)),
+        delta=draw(st.floats(0.001, 0.5)),
+        min_stratum=draw(st.integers(1, 64)),
+        strata=tuple(strata),
+        entries=tuple(entries),
+    )
+
+
+class TestCertificateRoundtrips:
+    @given(cert=certificates())
+    @settings(max_examples=100, deadline=None)
+    def test_dict_roundtrip(self, cert):
+        assert CoverageCertificate.from_dict(cert.to_dict()) == cert
+
+    @given(cert=certificates())
+    @settings(max_examples=100, deadline=None)
+    def test_wire_roundtrip(self, cert):
+        assert certificate_from_bytes(certificate_to_bytes(cert)) == cert

@@ -34,10 +34,13 @@ from repro.parallel.messages import (
     Repartition,
     RestartPipeline,
     RuleStats,
+    SampledEvaluateRequest,
+    SampledEvaluateResult,
     StartPipeline,
     Stop,
     UpdateRouting,
 )
+from repro.ilp.sampling import SampledStats
 
 RULE = parse_clause("active(A) :- atom(A, B, c), bond(A, B, C, 7).")
 PARENT = parse_clause("active(A) :- atom(A, B, c).")
@@ -73,6 +76,14 @@ MESSAGES = [
     EvaluateRequest(rules=(RULE, PARENT), candidates=(None, (1 << 200 | 5, 7))),
     EvaluateResult(rank=2, stats=(RuleStats(pos=3, neg=0, pos_cand=0b111, neg_cand=1 << 90),)),
     EvaluateResult(rank=1, stats=()),
+    SampledEvaluateRequest(rules=(RULE, PARENT)),
+    SampledEvaluateResult(
+        rank=2,
+        stats=(
+            SampledStats(pos_hits=3, pos_n=8, pos_total=30, neg_hits=0, neg_n=5, neg_total=20),
+        ),
+    ),
+    SampledEvaluateResult(rank=1, stats=()),
     MarkCovered(rule=RULE),
     GatherExamples(),
     ExamplesReport(rank=1, pos=POS, neg=NEG),
@@ -119,16 +130,20 @@ class TestRoundTrip:
         assert wire.decode(data) == msg
 
     def test_every_message_type_covered(self):
-        # Out-of-package payloads register their codecs on import: file
-        # formats — the checkpoint (code 21), the theory-registry record
-        # (22), the scheduler job record (23) — the service's wire
-        # transport messages (24-27), and the telemetry span batch (28).
+        # Out-of-package payloads register their codecs on import (or, for
+        # the coverage certificate, on first use): file formats — the
+        # checkpoint (code 21), the theory-registry record (22), the
+        # scheduler job record (23), the coverage certificate (29) — the
+        # service's wire transport messages (24-27), and the telemetry
+        # span batch (28).
         from repro.fault.checkpoint import CheckpointState
+        from repro.ilp.sampling import CoverageCertificate, _ensure_codec
         from repro.obs.span import SpanBatch
         from repro.service.jobs import JobRecord
         from repro.service.registry import RegistryRecord
         from repro.service.wiremsg import WireJson, WireQuery, WireQueryEnd, WireShard
 
+        _ensure_codec()
         assert {type(m) for m in MESSAGES} | {
             CheckpointState,
             RegistryRecord,
@@ -138,6 +153,7 @@ class TestRoundTrip:
             WireShard,
             WireQueryEnd,
             SpanBatch,
+            CoverageCertificate,
         } == set(wire._ENCODERS)
 
     def test_mpi_tag_table_covers_every_protocol_tag(self):

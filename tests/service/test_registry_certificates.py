@@ -1,0 +1,174 @@
+"""Coverage certificates in the registry: publish, read, quarantine.
+
+A certificate is a *secondary* artifact (``vNNNN.cert`` next to
+``vNNNN.theory``): damage to it must never take the theory down with it.
+Startup recovery quarantines corrupt certificates — renamed aside for
+forensics, listed in ``registry.quarantined`` — while the exact theory
+record keeps being served.
+"""
+
+import os
+
+import pytest
+
+from repro.ilp.sampling import ClauseCertificate, CoverageCertificate
+from repro.logic import Theory, parse_clause
+from repro.service import RegistryError
+from repro.service.server import Service
+
+
+CERT = CoverageCertificate(
+    seed=3,
+    fraction=0.25,
+    delta=0.05,
+    min_stratum=16,
+    strata=(("pos", 8, 30), ("neg", 5, 20)),
+    entries=(
+        ClauseCertificate(
+            clause="p(X) :- q(X).",
+            est_pos=7,
+            est_neg=0,
+            sample_pos_n=8,
+            sample_neg_n=5,
+            exact_pos=9,
+            exact_neg=0,
+            exact_good=True,
+        ),
+    ),
+)
+
+
+@pytest.fixture
+def theory():
+    return Theory([parse_clause("p(X) :- q(X).")])
+
+
+class TestPublishAndGet:
+    def test_round_trip(self, registry, theory):
+        rec = registry.publish("t", theory, certificate=CERT)
+        assert registry.get_certificate("t", rec.version) == CERT
+        assert registry.get_certificate("t") == CERT  # resolves like get()
+
+    def test_absent_is_none_not_error(self, registry, theory):
+        registry.publish("t", theory)  # exact run: no certificate
+        assert registry.get_certificate("t") is None
+
+    def test_versions_keep_their_own_certificates(self, registry, theory):
+        registry.publish("t", theory, certificate=CERT)
+        registry.publish("t", theory)  # v2 exact
+        assert registry.get_certificate("t", 1) == CERT
+        assert registry.get_certificate("t", 2) is None
+
+    def test_corrupt_certificate_is_a_registry_error(self, registry, theory):
+        rec = registry.publish("t", theory, certificate=CERT)
+        path = registry.certificate_path("t", rec.version)
+        with open(path, "r+b") as fh:
+            fh.write(b"\xff\xff\xff\xff")
+        with pytest.raises(RegistryError, match="corrupt certificate"):
+            registry.get_certificate("t")
+        # the theory record itself is unharmed
+        assert registry.get("t").to_theory() == theory
+
+    def test_gc_removes_orphaned_certificates(self, registry, theory):
+        for _ in range(3):
+            registry.publish("t", theory, certificate=CERT)
+        registry.gc("t", keep=1)
+        assert registry.versions("t") == [3]
+        assert not os.path.exists(registry.certificate_path("t", 1))
+        assert registry.get_certificate("t", 3) == CERT
+
+
+class TestRecovery:
+    def _corrupt(self, registry, name, version, data=b"garbage, not a cert"):
+        path = registry.certificate_path(name, version)
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return path
+
+    def test_corrupt_certificates_quarantined_not_fatal(self, registry, theory):
+        registry.publish("good", theory, certificate=CERT)
+        rec = registry.publish("bad", theory, certificate=CERT)
+        path = self._corrupt(registry, "bad", rec.version)
+        found = registry.recover()
+        assert found == ["bad/v0001"]
+        assert registry.quarantined == ["bad/v0001"]
+        # renamed aside for forensics, invisible to readers
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert registry.get_certificate("bad") is None
+        # the theory is still served; the intact certificate too
+        assert registry.get("bad").to_theory() == theory
+        assert registry.get_certificate("good") == CERT
+
+    def test_truncated_certificate_quarantined(self, registry, theory):
+        from repro.ilp.sampling import certificate_to_bytes
+
+        rec = registry.publish("t", theory, certificate=CERT)
+        data = certificate_to_bytes(CERT)
+        self._corrupt(registry, "t", rec.version, data[: len(data) // 2])
+        assert registry.recover() == ["t/v0001"]
+
+    def test_recover_is_idempotent(self, registry, theory):
+        rec = registry.publish("t", theory, certificate=CERT)
+        self._corrupt(registry, "t", rec.version)
+        assert registry.recover() == ["t/v0001"]
+        assert registry.recover() == []  # nothing left to quarantine
+        assert registry.quarantined == ["t/v0001"]
+
+    def test_clean_registry_recovers_empty(self, registry, theory):
+        registry.publish("t", theory, certificate=CERT)
+        assert registry.recover() == []
+        assert registry.get_certificate("t") == CERT
+
+
+class TestServiceSurface:
+    def test_startup_recovery_and_stats(self, tmp_path, registry, theory):
+        rec = registry.publish("t", theory, certificate=CERT)
+        path = registry.certificate_path("t", rec.version)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00" * 16)
+        svc = Service(
+            slots=1,
+            state_dir=str(tmp_path / "jobs"),
+            registry_dir=registry.root,
+        )
+        try:
+            stats = svc.handle({"op": "stats"})
+            assert stats["resilience"]["registry_quarantined"] == ["t/v0001"]
+            resp = svc.handle({"op": "registry", "action": "show", "name": "t"})
+            assert resp["ok"]
+            assert "certificate" not in resp  # quarantined at startup
+        finally:
+            svc.close()
+
+    def test_show_surfaces_certificate(self, tmp_path, registry, theory):
+        registry.publish("t", theory, certificate=CERT)
+        svc = Service(
+            slots=1,
+            state_dir=str(tmp_path / "jobs"),
+            registry_dir=registry.root,
+        )
+        try:
+            resp = svc.handle({"op": "registry", "action": "show", "name": "t"})
+            assert resp["ok"]
+            assert resp["certificate"] == CERT.to_dict()
+            assert resp["certificate"]["ok"] is True
+        finally:
+            svc.close()
+
+    def test_show_reports_cert_damaged_after_startup(self, tmp_path, registry, theory):
+        rec = registry.publish("t", theory, certificate=CERT)
+        svc = Service(
+            slots=1,
+            state_dir=str(tmp_path / "jobs"),
+            registry_dir=registry.root,
+        )
+        try:
+            # damage arrives while the service is live (post-recovery)
+            with open(registry.certificate_path("t", rec.version), "wb") as fh:
+                fh.write(b"\xde\xad")
+            resp = svc.handle({"op": "registry", "action": "show", "name": "t"})
+            assert resp["ok"]  # the theory still serves
+            assert "certificate_error" in resp
+        finally:
+            svc.close()
